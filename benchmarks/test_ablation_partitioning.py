@@ -1,0 +1,69 @@
+"""Ablation — strip vs 2-D grid partitioning (DeepThings' choice).
+
+DeepThings partitions feature maps into 2-D grids; MoDNN/AOFL/PICO use
+horizontal strips.  Halo overhead scales with tile *perimeter* over
+*area*: with many devices a strip becomes a thin full-width sliver
+whose two halo edges dwarf its payload, while a near-square grid tile
+keeps the halo fraction lower — so for deeply fused segments at high
+device counts the grid does **less** redundant compute *and* holds
+smaller tiles.  Strips win on simplicity (2 neighbours, 1-D stitch) and
+match the grid at small device counts (a 2×1 grid *is* two strips).
+This bench quantifies the trade-off on a 9-unit VGG16 prefix.
+"""
+
+from __future__ import annotations
+
+from repro.cost.flops import segment_flops
+from repro.models.zoo import get_model
+from repro.partition.fused import segment_input_region
+from repro.partition.grid import grid_partition, grid_shape_for
+from repro.partition.strips import equal_partition, strip_regions
+
+
+def compare(n_devices: int, n_fused: int):
+    model = get_model("vgg16")
+    _, h, w = model.out_shape(n_fused - 1)
+    strips = strip_regions(h, w, equal_partition(h, n_devices))
+    rows, cols = grid_shape_for(n_devices)
+    grid = grid_partition(h, w, rows, cols)
+
+    def totals(regions):
+        flops = sum(
+            segment_flops(model, 0, n_fused, r) for r in regions if not r.empty
+        )
+        # Peak per-device input memory: the largest tile any device holds.
+        c_in = model.input_shape[0]
+        peak = max(
+            (
+                segment_input_region(model, 0, n_fused, r).area * c_in * 4
+                for r in regions
+                if not r.empty
+            ),
+            default=0,
+        )
+        return flops, peak
+
+    return totals(strips), totals(grid)
+
+
+def test_strips_vs_grid_8_devices(benchmark):
+    (strip_flops, strip_mem), (grid_flops, grid_mem) = benchmark.pedantic(
+        compare, args=(8, 9), rounds=1, iterations=1
+    )
+    print()
+    print(f"strips: {strip_flops / 1e9:.2f} GFLOPs, peak tile {strip_mem / 1e6:.2f} MB")
+    print(f"grid:   {grid_flops / 1e9:.2f} GFLOPs, peak tile {grid_mem / 1e6:.2f} MB")
+    # At 8 devices the 2x4 grid's squarer tiles beat thin strips on both
+    # redundant compute and peak memory (perimeter/area effect).
+    assert grid_flops <= strip_flops
+    assert grid_mem <= strip_mem
+
+
+def test_strips_match_grid_2_devices(benchmark):
+    # At 2 devices the grid degenerates to two strips (rotated 90°; the
+    # map and kernels are symmetric, so the costs coincide exactly).
+    (strip_flops, strip_mem), (grid_flops, grid_mem) = benchmark.pedantic(
+        compare, args=(2, 9), rounds=1, iterations=1
+    )
+    assert grid_flops == strip_flops
+    assert grid_mem == strip_mem

@@ -1,0 +1,47 @@
+"""Inference-engine micro-benchmarks: numpy conv throughput and the
+split/stitch overhead the paper claims is negligible (§IV-D)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.toy import toy_chain
+from repro.nn.executor import Engine
+from repro.nn.tiles import compile_segment, extract_tile, run_segment
+from repro.partition.regions import Region
+
+
+def test_full_inference_toy(benchmark):
+    model = toy_chain(8, 2, input_hw=64, in_channels=1, base_channels=32)
+    engine = Engine(model, seed=0)
+    x = np.random.default_rng(0).standard_normal(model.input_shape).astype(np.float32)
+    out = benchmark(engine.forward_features, x)
+    assert out.shape == model.final_shape
+
+
+def test_tile_program_execution(benchmark):
+    model = toy_chain(6, 1, input_hw=64, in_channels=3, base_channels=16)
+    engine = Engine(model, seed=0)
+    x = np.random.default_rng(1).standard_normal(model.input_shape).astype(np.float32)
+    _, h, w = model.final_shape
+    program = compile_segment(model, 0, model.n_units, Region.from_bounds(0, h // 2, 0, w))
+    tile = extract_tile(x, program.input_region)
+    out = benchmark(run_segment, engine, program, tile)
+    assert out.shape[1] == h // 2
+
+
+def test_split_stitch_overhead(benchmark):
+    """The paper: 'the time consumption of feature split and stitch can
+    be ignored' — measure extract+place against one conv layer."""
+    rng = np.random.default_rng(2)
+    fmap = rng.standard_normal((64, 112, 112)).astype(np.float32)
+    region = Region.from_bounds(10, 70, 0, 112)
+    out = np.empty_like(fmap)
+
+    def split_and_stitch():
+        tile = extract_tile(fmap, region)
+        out[:, region.rows.start : region.rows.end] = tile
+        return tile
+
+    tile = benchmark(split_and_stitch)
+    assert tile.shape == (64, 60, 112)

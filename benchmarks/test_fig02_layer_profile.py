@@ -1,0 +1,23 @@
+"""Fig. 2 — per-layer communication and computation overhead.
+
+Paper claim: conv layers provide 99.19 % of VGG16's and 99.59 % of
+YOLOv2's computation, while the per-layer communication share varies
+widely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig02_layer_profile
+
+
+@pytest.mark.parametrize("model_name", ["vgg16", "yolov2"])
+def test_fig02(benchmark, once, model_name):
+    result = once(benchmark, fig02_layer_profile.run, model_name)
+    print()
+    print(result.format())
+    assert result.conv_computation_share > 0.99
+    # Communication share varies across layers (paper Fig. 2's bars).
+    comm = [l.communication_share for l in result.layers]
+    assert max(comm) > 3 * min(c for c in comm if c > 0)

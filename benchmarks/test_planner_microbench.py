@@ -1,0 +1,46 @@
+"""Planner micro-benchmarks: raw wall-clock of the core algorithms.
+
+Not a paper table — engineering health checks for the library itself:
+Algorithm 1 on the real evaluation models, Algorithm 2 adaptation, and
+the Pareto-frontier ablation planner.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.device import heterogeneous_cluster, pi_cluster
+from repro.core.dp_planner import plan_homogeneous
+from repro.core.heterogeneous import adapt_to_cluster
+from repro.core.pareto import plan_pareto
+from repro.cost.comm import NetworkModel
+from repro.models.zoo import get_model
+
+NET = NetworkModel.from_mbps(50.0)
+
+
+def test_dp_vgg16_8dev(benchmark):
+    model = get_model("vgg16")
+    cluster = pi_cluster(8, 600)
+    plan = benchmark(plan_homogeneous, model, cluster, NET)
+    assert plan is not None and plan.n_stages >= 1
+
+
+def test_dp_yolov2_8dev(benchmark):
+    model = get_model("yolov2")
+    cluster = pi_cluster(8, 600)
+    plan = benchmark(plan_homogeneous, model, cluster, NET)
+    assert plan is not None
+
+
+def test_adapt_table1_cluster(benchmark):
+    model = get_model("vgg16")
+    cluster = heterogeneous_cluster([1200, 1200, 800, 800, 600, 600, 600, 600])
+    homo = plan_homogeneous(model, cluster, NET)
+    plan = benchmark(adapt_to_cluster, model, homo, cluster)
+    assert plan.n_stages == homo.n_stages
+
+
+def test_pareto_vgg16_8dev(benchmark):
+    model = get_model("vgg16")
+    cluster = pi_cluster(8, 600)
+    plan = benchmark(plan_pareto, model, cluster, NET)
+    assert plan is not None

@@ -1,0 +1,44 @@
+"""Table I — utilisation and redundancy ratios on the heterogeneous
+cluster (2×1.2 GHz, 2×800 MHz, 4×600 MHz), VGG16 and YOLOv2.
+
+Paper claims: PICO keeps utilisation high (77 % / 95 % averages) with
+single-digit redundancy; LW has minimal redundancy but the worst
+utilisation; the fused-layer schemes keep devices busy but waste a
+large share on redundant halo computation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table1_utilization
+
+
+def test_table1(benchmark, once):
+    result = once(
+        benchmark,
+        table1_utilization.run,
+        model_names=("vgg16", "yolov2"),
+        sim_tasks=30,
+    )
+    print()
+    print(result.format())
+    for model in ("vgg16", "yolov2"):
+        lw = result.get(model, "LW")
+        efl = result.get(model, "EFL")
+        ofl = result.get(model, "OFL")
+        pico = result.get(model, "PICO")
+        # LW: minimal redundancy, worst utilisation.
+        assert lw.average_redundancy <= min(
+            efl.average_redundancy, ofl.average_redundancy,
+            pico.average_redundancy,
+        ) + 1e-9
+        assert lw.average_utilization < pico.average_utilization
+        # PICO: top utilisation, redundancy below both fused schemes.
+        assert pico.average_utilization >= max(
+            efl.average_utilization, ofl.average_utilization
+        ) - 0.05
+        assert pico.average_redundancy < min(
+            efl.average_redundancy, ofl.average_redundancy
+        )
+        # Fused schemes burn double-digit shares on redundant halo work.
+        assert efl.average_redundancy > 0.02
+        assert ofl.average_redundancy > 0.02

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Deployment workflow: plan → validate memory → visualise → ship JSON.
+
+Walks the full artefact pipeline an operator would run before pushing a
+plan to a fleet: plan VGG16 under a latency bound, check every device
+fits the Pi's 2 GB (minus OS) memory budget, render the cost table and
+pipeline timeline, export the plan as JSON, and reload it to prove the
+artefact is self-contained.
+
+Run:  python examples/deployment.py
+"""
+
+import os
+import tempfile
+
+from repro import (
+    heterogeneous_cluster,
+    load_plan,
+    render_plan,
+    render_timeline,
+    wifi_50mbps,
+)
+from repro.core.serialize import dump_plan
+from repro.cost.memory import check_memory, plan_memory
+from repro.models import vgg16
+from repro.schemes import PicoScheme
+
+
+def main() -> None:
+    model = vgg16()
+    cluster = heterogeneous_cluster([1200, 1200, 800, 800, 600, 600, 600, 600])
+    network = wifi_50mbps()
+
+    # Plan with a latency bound: at most 10 s end-to-end per frame.
+    plan = PicoScheme(t_lim=10.0).plan(model, cluster, network)
+    print(render_plan(model, plan, network))
+
+    # Memory validation against a 1.5 GB usable budget per Pi.
+    budget = int(1.5 * 1024**3)
+    report = check_memory(model, plan, budget_bytes=budget)
+    print(f"\nmemory check passed (budget {budget / 1024**3:.1f} GB/device):")
+    for entry in report:
+        print(
+            f"  {entry.device_name:<16s} "
+            f"{entry.weight_bytes / 1e6:7.1f} MB weights + "
+            f"{entry.activation_bytes / 1e6:6.1f} MB activations"
+        )
+    heaviest = max(plan_memory(model, plan), key=lambda e: e.total_bytes)
+    print(
+        f"heaviest device: {heaviest.device_name} "
+        f"({heaviest.total_bytes / 1e6:.1f} MB total)"
+    )
+
+    # Timeline of the first tasks through the pipeline.
+    print()
+    print(render_timeline(model, plan, network, n_tasks=5))
+
+    # Ship the plan as a self-contained JSON artefact.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "vgg16_plan.json")
+        dump_plan(plan, path)
+        size = os.path.getsize(path)
+        reloaded = load_plan(path)
+        assert reloaded == plan
+        print(f"\nplan serialised to {size} bytes of JSON and reloaded intact")
+
+
+if __name__ == "__main__":
+    main()

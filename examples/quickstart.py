@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: plan and evaluate pipelined CNN inference in ~20 lines.
+
+Plans VGG16 on the paper's testbed (8 Raspberry-Pi 4Bs behind a 50 Mbps
+WiFi AP), prints the PICO pipeline, and compares all four
+parallelization schemes analytically.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import evaluate, pi_cluster, plan, wifi_50mbps
+from repro.core.plan import plan_cost
+from repro.models import vgg16
+from repro.schemes import (
+    EarlyFusedScheme,
+    LayerWiseScheme,
+    OptimalFusedScheme,
+    PicoScheme,
+)
+
+
+def main() -> None:
+    model = vgg16()
+    cluster = pi_cluster(8, freq_mhz=600)
+    network = wifi_50mbps()
+
+    # One call: Algorithm 1 (DP) + Algorithm 2 (heterogeneous greedy).
+    pipeline = plan(model, cluster, network)
+    print(pipeline.describe())
+    cost = evaluate(model, pipeline, network)
+    print(
+        f"\nPICO: period {cost.period:.2f}s -> "
+        f"{60 * cost.throughput:.1f} inferences/min, "
+        f"pipeline latency {cost.latency:.2f}s\n"
+    )
+
+    print(f"{'scheme':>7s} {'stages':>7s} {'period':>9s} {'latency':>9s} {'thpt/min':>9s}")
+    for scheme in (
+        LayerWiseScheme(),
+        EarlyFusedScheme(),
+        OptimalFusedScheme(),
+        PicoScheme(),
+    ):
+        p = scheme.plan(model, cluster, network)
+        c = plan_cost(model, p, network)
+        print(
+            f"{scheme.name:>7s} {p.n_stages:>7d} {c.period:>8.2f}s "
+            f"{c.latency:>8.2f}s {60 * c.throughput:>9.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

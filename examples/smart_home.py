@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Smart home scenario: adaptive scheme switching over a day/night load.
+
+The paper's motivating example (§II): home devices are idle while the
+occupants are at work and busy when they return.  A camera pushes
+YOLOv2 detection tasks to the cluster; the workload alternates between
+a light and a heavy Poisson phase.  APICO runs the one-stage OFL plan
+while it is fastest, then switches to the PICO pipeline when the
+arrival rate crosses OFL's capacity.
+
+Run:  python examples/smart_home.py
+"""
+
+import numpy as np
+
+from repro import (
+    build_apico_switcher,
+    pi_cluster,
+    simulate_adaptive,
+    simulate_plan,
+    wifi_50mbps,
+)
+from repro.core.plan import plan_cost
+from repro.models import yolov2
+from repro.schemes import EarlyFusedScheme, OptimalFusedScheme, PicoScheme
+from repro.workload import day_night_trace
+
+
+def main() -> None:
+    model = yolov2()
+    cluster = pi_cluster(8, freq_mhz=600)
+    network = wifi_50mbps()
+
+    ofl_plan = OptimalFusedScheme().plan(model, cluster, network)
+    ofl_capacity = plan_cost(model, ofl_plan, network).throughput
+    print(f"one-stage (OFL) capacity: {60 * ofl_capacity:.1f} tasks/min")
+
+    # Quiet morning, busy evening, quiet night, busy morning rush.
+    trace = day_night_trace(
+        light_rate=0.15 * ofl_capacity,
+        heavy_rate=1.3 * ofl_capacity,
+        phase_duration_s=600.0,
+        cycles=2,
+    )
+    arrivals = trace.sample(np.random.default_rng(7))
+    print(f"trace: {len(arrivals)} tasks over {trace.horizon_s / 60:.0f} min\n")
+
+    print(f"{'scheme':>7s} {'avg lat':>9s} {'p95 lat':>9s} {'completed':>10s}")
+    for name, scheme in (
+        ("EFL", EarlyFusedScheme()),
+        ("OFL", OptimalFusedScheme()),
+        ("PICO", PicoScheme()),
+    ):
+        p = scheme.plan(model, cluster, network)
+        sim = simulate_plan(model, p, network, arrivals, plan_name=name)
+        print(
+            f"{name:>7s} {sim.avg_latency:>8.2f}s "
+            f"{sim.percentile_latency(95):>8.2f}s {sim.completed:>10d}"
+        )
+
+    switcher = build_apico_switcher(model, cluster, network)
+    sim = simulate_adaptive(model, switcher, network, arrivals)
+    usage = ", ".join(f"{k}: {v}" for k, v in sorted(sim.plan_usage.items()))
+    print(
+        f"{'APICO':>7s} {sim.avg_latency:>8.2f}s "
+        f"{sim.percentile_latency(95):>8.2f}s {sim.completed:>10d}"
+        f"   (tasks per plan -> {usage})"
+    )
+
+
+if __name__ == "__main__":
+    main()

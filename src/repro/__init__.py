@@ -1,0 +1,106 @@
+"""PICO — pipelined cooperative CNN inference on heterogeneous IoT edge
+clusters.
+
+A full reproduction of "Towards Efficient Inference: Adaptively
+Cooperate in Heterogeneous IoT Edge Cluster" (ICDCS 2021): the PICO
+planner (DP + greedy heterogeneous adaptation), the LW/EFL/OFL
+baselines, the APICO adaptive switcher, a numpy CNN engine with
+bit-exact tiled execution, a discrete-event cluster simulator, and a
+real multiprocess pipeline runtime.
+
+Quick start::
+
+    from repro import plan, evaluate
+    from repro.models import vgg16
+    from repro.cluster import pi_cluster
+
+    p = plan(vgg16(), pi_cluster(8, 600))
+    print(p.describe())
+    print(evaluate(vgg16(), p))
+"""
+
+from repro.adaptive import AdaptiveSwitcher, build_apico_switcher
+from repro.cluster import (
+    Cluster,
+    Device,
+    heterogeneous_cluster,
+    pi_cluster,
+    raspberry_pi,
+    simulate_adaptive,
+    simulate_plan,
+    utilization_table,
+)
+from repro.core import (
+    PipelinePlan,
+    PlanCost,
+    StagePlan,
+    bfs_optimal,
+    dump_plan,
+    load_plan,
+    plan_cost,
+)
+from repro.report import render_plan, render_timeline
+from repro.cost import CostOptions, NetworkModel, wifi_50mbps
+from repro.models import get_model
+from repro.nn import Engine, init_weights
+from repro.runtime import DistributedPipeline
+from repro.schemes import (
+    EarlyFusedScheme,
+    LayerWiseScheme,
+    OptimalFusedScheme,
+    PicoScheme,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveSwitcher",
+    "Cluster",
+    "CostOptions",
+    "Device",
+    "DistributedPipeline",
+    "EarlyFusedScheme",
+    "Engine",
+    "LayerWiseScheme",
+    "NetworkModel",
+    "OptimalFusedScheme",
+    "PicoScheme",
+    "PipelinePlan",
+    "PlanCost",
+    "StagePlan",
+    "bfs_optimal",
+    "dump_plan",
+    "build_apico_switcher",
+    "evaluate",
+    "get_model",
+    "heterogeneous_cluster",
+    "init_weights",
+    "load_plan",
+    "pi_cluster",
+    "plan",
+    "plan_cost",
+    "raspberry_pi",
+    "render_plan",
+    "render_timeline",
+    "simulate_adaptive",
+    "simulate_plan",
+    "utilization_table",
+    "wifi_50mbps",
+]
+
+
+def plan(model, cluster, network=None, **kwargs) -> PipelinePlan:
+    """Plan a PICO pipeline for ``model`` on ``cluster``.
+
+    Convenience wrapper over :class:`~repro.schemes.PicoScheme`;
+    ``network`` defaults to the paper's 50 Mbps WiFi.
+    """
+    network = network or wifi_50mbps()
+    return PicoScheme(**kwargs).plan(model, cluster, network)
+
+
+def evaluate(model, pipeline_plan, network=None, options=None) -> PlanCost:
+    """Analytic period/latency of a plan (Eq. 9-11)."""
+    network = network or wifi_50mbps()
+    options = options or CostOptions()
+    return plan_cost(model, pipeline_plan, network, options)

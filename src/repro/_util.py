@@ -1,0 +1,14 @@
+"""Dependency-free helpers shared across subpackages."""
+
+from __future__ import annotations
+
+__all__ = ["out_size"]
+
+
+def out_size(in_size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a conv/pool along one axis (floor mode)."""
+    if in_size + 2 * padding < kernel:
+        raise ValueError(
+            f"input size {in_size} with padding {padding} smaller than kernel {kernel}"
+        )
+    return (in_size + 2 * padding - kernel) // stride + 1

@@ -1,0 +1,65 @@
+"""M/D/1 latency estimation (paper Theorem 2).
+
+A parallel scheme with period ``p`` serves Poisson arrivals of rate
+``λ`` like an M/D/1 queue: deterministic service ``p``, utilisation
+``ρ = λp``.  The Pollaczek–Khinchine waiting time is
+
+    W_q = λ p² / (2 (1 − λp))
+
+and a task's average inference latency is ``W_q + t`` with ``t`` the
+execution (pipeline) latency.  The paper's Theorem 2 prints
+``p(2 − pλ) / (2(1 − pλ)) + t``, which equals ``W_q + p + t`` — it
+counts the bottleneck-stage service twice when ``t`` is the full
+pipeline latency.  We default to the queueing-correct form and keep the
+paper's literal formula available; the two differ by exactly one
+period, so they agree everywhere except a narrow crossover window.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "md1_waiting_time",
+    "average_inference_latency",
+    "theorem2_literal",
+    "stable",
+]
+
+
+def stable(period: float, arrival_rate: float) -> bool:
+    """Whether the queue is stable (utilisation < 1)."""
+    return period * arrival_rate < 1.0
+
+
+def md1_waiting_time(period: float, arrival_rate: float) -> float:
+    """Mean M/D/1 queueing delay before service starts."""
+    if period < 0 or arrival_rate < 0:
+        raise ValueError("period and arrival rate must be non-negative")
+    if arrival_rate == 0 or period == 0:
+        return 0.0
+    rho = period * arrival_rate
+    if rho >= 1.0:
+        return math.inf
+    return arrival_rate * period * period / (2.0 * (1.0 - rho))
+
+
+def average_inference_latency(
+    period: float, latency: float, arrival_rate: float
+) -> float:
+    """Expected task latency: M/D/1 wait + pipeline execution latency."""
+    if latency < period:
+        raise ValueError(f"latency {latency} cannot be below period {period}")
+    wait = md1_waiting_time(period, arrival_rate)
+    return wait + latency
+
+
+def theorem2_literal(period: float, latency: float, arrival_rate: float) -> float:
+    """The paper's Theorem 2 exactly as printed:
+    ``p(2 − pλ) / (2(1 − pλ)) + t``."""
+    if period < 0 or arrival_rate < 0:
+        raise ValueError("period and arrival rate must be non-negative")
+    rho = period * arrival_rate
+    if rho >= 1.0:
+        return math.inf
+    return period * (2.0 - rho) / (2.0 * (1.0 - rho)) + latency

@@ -1,0 +1,118 @@
+"""APICO: adaptive parallel-scheme switching (paper §IV-C).
+
+Under heavy load the pipelined plan's short period slashes queueing
+delay; under light load a one-stage plan finishes each lone task faster
+because every device works on it.  The switcher scores each candidate
+plan with the Theorem 2 estimate at the current (EWMA-smoothed) arrival
+rate and activates the argmin.  An optional hysteresis margin prevents
+flapping around crossover points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.adaptive.estimator import ArrivalRateTracker
+from repro.adaptive.queueing import average_inference_latency
+from repro.cluster.device import Cluster
+from repro.core.plan import PipelinePlan, plan_cost
+from repro.cost.comm import NetworkModel
+from repro.cost.flops import CostOptions, DEFAULT_OPTIONS
+from repro.models.graph import Model
+from repro.schemes.base import Scheme
+from repro.schemes.optimal_fused import OptimalFusedScheme
+from repro.schemes.pico import PicoScheme
+
+__all__ = ["CandidatePlan", "AdaptiveSwitcher", "build_apico_switcher"]
+
+
+@dataclass(frozen=True)
+class CandidatePlan:
+    """A pre-planned scheme with its analytic period and latency."""
+
+    name: str
+    plan: PipelinePlan
+    period: float
+    latency: float
+
+    def estimated_latency(self, arrival_rate: float) -> float:
+        return average_inference_latency(self.period, self.latency, arrival_rate)
+
+
+class AdaptiveSwitcher:
+    """Chooses the candidate with the lowest Theorem 2 latency estimate."""
+
+    def __init__(
+        self,
+        candidates: "Sequence[CandidatePlan]",
+        tracker: Optional[ArrivalRateTracker] = None,
+        hysteresis: float = 0.0,
+    ) -> None:
+        if not candidates:
+            raise ValueError("need at least one candidate plan")
+        if hysteresis < 0:
+            raise ValueError("hysteresis must be non-negative")
+        self.candidates = tuple(candidates)
+        self.tracker = tracker or ArrivalRateTracker()
+        self.hysteresis = hysteresis
+        self._active = self.choose(self.tracker.rate)
+
+    @property
+    def active(self) -> CandidatePlan:
+        return self._active
+
+    def choose(self, arrival_rate: float) -> CandidatePlan:
+        """The best candidate at ``arrival_rate`` (no state change).
+
+        Ties — including the overload case where every estimate is
+        infinite — break towards the shorter period, i.e. the plan with
+        the most throughput headroom."""
+        return min(
+            self.candidates,
+            key=lambda c: (c.estimated_latency(arrival_rate), c.period),
+        )
+
+    def on_arrival(self, now: float) -> CandidatePlan:
+        """Record an arrival; switch the active plan if another candidate
+        beats the current one by more than the hysteresis margin.
+
+        Overload is special-cased: when the active plan is saturated
+        (infinite estimate), any plan with more throughput headroom is
+        adopted immediately — hysteresis must never pin the cluster to
+        a plan that cannot keep up."""
+        rate = self.tracker.observe(now)
+        best = self.choose(rate)
+        if best.name != self._active.name:
+            current_est = self._active.estimated_latency(rate)
+            best_est = best.estimated_latency(rate)
+            if current_est == float("inf"):
+                if best_est < current_est or best.period < self._active.period:
+                    self._active = best
+            elif best_est <= current_est * (1.0 - self.hysteresis):
+                self._active = best
+        return self._active
+
+
+def build_apico_switcher(
+    model: Model,
+    cluster: Cluster,
+    network: NetworkModel,
+    options: CostOptions = DEFAULT_OPTIONS,
+    schemes: "Optional[Tuple[Scheme, ...]]" = None,
+    tracker: Optional[ArrivalRateTracker] = None,
+    hysteresis: float = 0.0,
+) -> AdaptiveSwitcher:
+    """Plan the default APICO candidate set: PICO (pipelined) plus the
+    paper's chosen one-stage scheme, AOFL/OFL (§IV-C: "we choose [8] as
+    the one-stage scheme")."""
+    if schemes is None:
+        schemes = (PicoScheme(), OptimalFusedScheme())
+    candidates = []
+    for scheme in schemes:
+        plan = scheme.plan(model, cluster, network, options)
+        cost = plan_cost(model, plan, network, options)
+        candidates.append(
+            CandidatePlan(scheme.name, plan, cost.period, cost.latency)
+        )
+    return AdaptiveSwitcher(candidates, tracker, hysteresis)

@@ -1,0 +1,290 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro models                       # list the zoo
+    python -m repro describe vgg16               # architecture summary
+    python -m repro plan vgg16 --devices 8 --freq 600 [--save plan.json]
+    python -m repro compare yolov2 --devices 8 --freq 600
+    python -m repro simulate vgg16 --load 1.2 --horizon 600
+    python -m repro timeline vgg16 --devices 8
+
+Frequencies are per-device MHz; ``--freqs`` takes a comma list for a
+heterogeneous cluster and overrides ``--devices/--freq``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.adaptive.switcher import build_apico_switcher
+from repro.cluster.device import Cluster, heterogeneous_cluster, pi_cluster
+from repro.cluster.simulator import simulate_adaptive, simulate_plan
+from repro.core.plan import plan_cost
+from repro.core.serialize import dump_plan
+from repro.cost.comm import NetworkModel
+from repro.models.zoo import available_models, get_model
+from repro.report import render_plan, render_timeline
+from repro.schemes.early_fused import EarlyFusedScheme
+from repro.schemes.layer_wise import LayerWiseScheme
+from repro.schemes.optimal_fused import OptimalFusedScheme
+from repro.schemes.pico import PicoScheme
+from repro.workload.arrivals import poisson_arrivals
+
+__all__ = ["main", "build_parser"]
+
+
+def _cluster_from_args(args: argparse.Namespace) -> Cluster:
+    if args.freqs:
+        freqs = [float(f) for f in args.freqs.split(",")]
+        return heterogeneous_cluster(freqs)
+    return pi_cluster(args.devices, args.freq)
+
+
+def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--devices", type=int, default=8, help="device count")
+    parser.add_argument("--freq", type=float, default=600.0, help="CPU MHz")
+    parser.add_argument(
+        "--freqs", type=str, default="",
+        help="comma list of per-device MHz (heterogeneous cluster)",
+    )
+    parser.add_argument("--mbps", type=float, default=50.0, help="WLAN bandwidth")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PICO pipelined edge inference (ICDCS'21)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list available models")
+
+    p = sub.add_parser("describe", help="print a model's architecture")
+    p.add_argument("model")
+
+    p = sub.add_parser("plan", help="plan a PICO pipeline")
+    p.add_argument("model")
+    _add_cluster_args(p)
+    p.add_argument("--t-lim", type=float, default=0.0,
+                   help="pipeline latency bound in seconds (0 = none)")
+    p.add_argument("--save", type=str, default="", help="write plan JSON here")
+    p.add_argument("--memory", action="store_true",
+                   help="print per-device peak memory")
+
+    p = sub.add_parser("compare", help="compare all four schemes")
+    p.add_argument("model")
+    _add_cluster_args(p)
+
+    p = sub.add_parser("simulate", help="simulate Poisson workload latencies")
+    p.add_argument("model")
+    _add_cluster_args(p)
+    p.add_argument("--load", type=float, default=1.0,
+                   help="arrival rate as a fraction of EFL capacity")
+    p.add_argument("--horizon", type=float, default=600.0, help="seconds")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("timeline", help="draw the pipeline Gantt chart")
+    p.add_argument("model")
+    _add_cluster_args(p)
+    p.add_argument("--tasks", type=int, default=6)
+
+    p = sub.add_parser(
+        "experiment", help="run a paper experiment harness (fast config)"
+    )
+    p.add_argument(
+        "which",
+        choices=["fig2", "fig4", "fig8", "fig10", "fig12", "fig13",
+                 "table1", "table2"],
+    )
+    p.add_argument("--model", type=str, default="vgg16",
+                   help="model for fig2/fig8/fig10")
+    p.add_argument("--csv", type=str, default="", help="also write CSV here")
+
+    p = sub.add_parser(
+        "report", help="regenerate the whole evaluation as one document"
+    )
+    p.add_argument("--out", type=str, default="", help="write markdown here")
+    p.add_argument("--full", action="store_true",
+                   help="paper-scale sweeps (slow) instead of fast config")
+    return parser
+
+
+def _cmd_models() -> int:
+    for name in available_models():
+        print(name)
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    print(get_model(args.model).describe())
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    cluster = _cluster_from_args(args)
+    network = NetworkModel.from_mbps(args.mbps)
+    scheme = PicoScheme(t_lim=args.t_lim) if args.t_lim > 0 else PicoScheme()
+    plan = scheme.plan(model, cluster, network)
+    print(render_plan(model, plan, network))
+    if args.memory:
+        from repro.cost.memory import plan_memory
+
+        print(f"\n{'device':>16s} {'weights':>10s} {'activations':>12s} {'total':>10s}")
+        for entry in plan_memory(model, plan):
+            print(
+                f"{entry.device_name:>16s} "
+                f"{entry.weight_bytes / 1e6:>9.2f}M "
+                f"{entry.activation_bytes / 1e6:>11.2f}M "
+                f"{entry.total_bytes / 1e6:>9.2f}M"
+            )
+    if args.save:
+        dump_plan(plan, args.save)
+        print(f"\nplan written to {args.save}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    cluster = _cluster_from_args(args)
+    network = NetworkModel.from_mbps(args.mbps)
+    print(
+        f"{'scheme':>7s} {'stages':>7s} {'period':>9s} {'latency':>9s} "
+        f"{'thpt/min':>9s}"
+    )
+    for scheme in (
+        LayerWiseScheme(), EarlyFusedScheme(), OptimalFusedScheme(), PicoScheme()
+    ):
+        plan = scheme.plan(model, cluster, network)
+        cost = plan_cost(model, plan, network)
+        print(
+            f"{scheme.name:>7s} {plan.n_stages:>7d} {cost.period:>8.2f}s "
+            f"{cost.latency:>8.2f}s {60 * cost.throughput:>9.1f}"
+        )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    cluster = _cluster_from_args(args)
+    network = NetworkModel.from_mbps(args.mbps)
+    efl_plan = EarlyFusedScheme().plan(model, cluster, network)
+    capacity = plan_cost(model, efl_plan, network).throughput
+    rate = args.load * capacity
+    arrivals = poisson_arrivals(
+        rate, args.horizon, np.random.default_rng(args.seed)
+    )
+    print(
+        f"load {args.load:.0%} of EFL capacity "
+        f"({60 * rate:.1f} tasks/min, {len(arrivals)} tasks)\n"
+    )
+    print(f"{'scheme':>7s} {'avg lat':>9s} {'p95 lat':>9s}")
+    for name, scheme in (
+        ("EFL", EarlyFusedScheme()),
+        ("OFL", OptimalFusedScheme()),
+        ("PICO", PicoScheme()),
+    ):
+        plan = scheme.plan(model, cluster, network)
+        sim = simulate_plan(model, plan, network, arrivals, plan_name=name)
+        print(
+            f"{name:>7s} {sim.avg_latency:>8.2f}s "
+            f"{sim.percentile_latency(95):>8.2f}s"
+        )
+    switcher = build_apico_switcher(model, cluster, network)
+    sim = simulate_adaptive(model, switcher, network, arrivals)
+    usage = ", ".join(f"{k}:{v}" for k, v in sorted(sim.plan_usage.items()))
+    print(
+        f"{'APICO':>7s} {sim.avg_latency:>8.2f}s "
+        f"{sim.percentile_latency(95):>8.2f}s  ({usage})"
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        fig02_layer_profile,
+        fig04_fused_redundancy,
+        fig08_capacity,
+        fig10_latency,
+        fig12_speedup,
+        fig13_pico_vs_bfs,
+        table1_utilization,
+        table2_optimization_cost,
+    )
+    from repro.experiments.export import rows_for, write_csv
+
+    if args.which == "fig2":
+        result = fig02_layer_profile.run(args.model)
+    elif args.which == "fig4":
+        result = fig04_fused_redundancy.run()
+    elif args.which == "fig8":
+        result = fig08_capacity.run(
+            args.model, freqs_mhz=(600.0,), device_counts=(2, 4, 8),
+            sim_tasks=10,
+        )
+    elif args.which == "fig10":
+        result = fig10_latency.run(
+            args.model, workload_fractions=(0.4, 0.8, 1.2), horizon_s=300.0
+        )
+    elif args.which == "fig12":
+        result = fig12_speedup.run(freqs_mhz=(600.0,), device_counts=(4, 8))
+    elif args.which == "fig13":
+        result = fig13_pico_vs_bfs.run(sim_tasks=30, bfs_deadline_s=60.0)
+    elif args.which == "table1":
+        result = table1_utilization.run(sim_tasks=15)
+    else:
+        result = table2_optimization_cost.run(
+            grid=((4, 4), (8, 4), (8, 6)), bfs_budget_s=30.0
+        )
+    print(result.format())
+    if args.csv:
+        write_csv(rows_for(result), args.csv)
+        print(f"\nrows written to {args.csv}")
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    cluster = _cluster_from_args(args)
+    network = NetworkModel.from_mbps(args.mbps)
+    plan = PicoScheme().plan(model, cluster, network)
+    print(render_timeline(model, plan, network, n_tasks=args.tasks))
+    return 0
+
+
+def main(argv: "Optional[Sequence[str]]" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "models":
+        return _cmd_models()
+    if args.command == "describe":
+        return _cmd_describe(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "timeline":
+        return _cmd_timeline(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "report":
+        from repro.experiments.full_report import FAST, FULL, generate_report
+
+        text = generate_report(FULL if args.full else FAST)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text)
+            print(f"report written to {args.out}")
+        else:
+            print(text)
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

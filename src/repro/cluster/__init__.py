@@ -1,0 +1,31 @@
+"""Cluster substrate: devices, network, discrete-event simulator, metrics."""
+
+from repro.cluster.device import (
+    Cluster,
+    Device,
+    heterogeneous_cluster,
+    pi_cluster,
+    raspberry_pi,
+)
+from repro.cluster.metrics import DeviceReport, UtilizationTable, utilization_table
+from repro.cluster.simulator import (
+    SimResult,
+    TaskRecord,
+    simulate_adaptive,
+    simulate_plan,
+)
+
+__all__ = [
+    "Cluster",
+    "Device",
+    "DeviceReport",
+    "SimResult",
+    "TaskRecord",
+    "UtilizationTable",
+    "heterogeneous_cluster",
+    "pi_cluster",
+    "raspberry_pi",
+    "simulate_adaptive",
+    "simulate_plan",
+    "utilization_table",
+]

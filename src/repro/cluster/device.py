@@ -1,0 +1,115 @@
+"""Edge device and cluster descriptions.
+
+A device is characterised by its floating-point computing capacity
+``vartheta`` (FLOP/s, paper §III-A) and the regression coefficient
+``alpha`` of Eq. (5) that maps a FLOP count to wall-clock time.  The
+paper's testbed is Raspberry-Pi 4Bs pinned to one core with the CPU
+frequency scaled between 600 MHz and 1.5 GHz; :func:`raspberry_pi`
+reproduces that knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, Tuple
+
+__all__ = ["Device", "Cluster", "raspberry_pi", "pi_cluster", "heterogeneous_cluster"]
+
+#: Effective single-core FLOP/s per Hz for a Cortex-A72 running NNPACK
+#: convolutions.  Only sets the absolute time unit; every paper result we
+#: reproduce is a ratio, so the exact value is immaterial.
+FLOPS_PER_CYCLE = 2.0
+
+
+@dataclass(frozen=True)
+class Device:
+    """One edge device.
+
+    ``capacity`` is FLOP/s; ``alpha`` the Eq. (5) calibration
+    coefficient (1.0 = the cost model's FLOP counts are exact).
+    """
+
+    name: str
+    capacity: float
+    alpha: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"{self.name}: capacity must be positive")
+        if self.alpha <= 0:
+            raise ValueError(f"{self.name}: alpha must be positive")
+
+    def compute_time(self, flops: float) -> float:
+        """Eq. (5): wall-clock seconds for ``flops`` floating operations."""
+        return self.alpha * flops / self.capacity
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """An ordered collection of devices."""
+
+    devices: Tuple[Device, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "devices", tuple(self.devices))
+        if not self.devices:
+            raise ValueError("cluster needs at least one device")
+        names = [d.name for d in self.devices]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate device names: {names}")
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __iter__(self) -> Iterator[Device]:
+        return iter(self.devices)
+
+    @property
+    def total_capacity(self) -> float:
+        return sum(d.capacity for d in self.devices)
+
+    @property
+    def average_capacity(self) -> float:
+        return self.total_capacity / len(self.devices)
+
+    @property
+    def fastest(self) -> Device:
+        return max(self.devices, key=lambda d: d.capacity)
+
+    def homogenized(self) -> "Cluster":
+        """Eq. (12): same size, every device gets the average capacity."""
+        avg = self.average_capacity
+        avg_alpha = sum(d.alpha for d in self.devices) / len(self.devices)
+        return Cluster(
+            tuple(
+                Device(f"avg{i}", avg, avg_alpha)
+                for i in range(len(self.devices))
+            )
+        )
+
+    def sorted_by_capacity(self, descending: bool = True) -> Tuple[Device, ...]:
+        return tuple(
+            sorted(self.devices, key=lambda d: d.capacity, reverse=descending)
+        )
+
+
+def raspberry_pi(name: str, freq_mhz: float = 1500.0, alpha: float = 1.0) -> Device:
+    """A Raspberry-Pi 4B pinned to one core at ``freq_mhz``."""
+    if freq_mhz <= 0:
+        raise ValueError("frequency must be positive")
+    return Device(name, capacity=freq_mhz * 1e6 * FLOPS_PER_CYCLE, alpha=alpha)
+
+
+def pi_cluster(n: int, freq_mhz: float = 1500.0) -> Cluster:
+    """A homogeneous cluster of ``n`` Raspberry-Pis (the paper's testbed)."""
+    return Cluster(tuple(raspberry_pi(f"pi{i}", freq_mhz) for i in range(n)))
+
+
+def heterogeneous_cluster(freqs_mhz: "Sequence[float]") -> Cluster:
+    """A heterogeneous Pi cluster from a list of CPU frequencies, e.g. the
+    paper's Table I mix ``[1200, 1200, 800, 800, 600, 600, 600, 600]``."""
+    return Cluster(
+        tuple(
+            raspberry_pi(f"pi{i}@{int(f)}MHz", f) for i, f in enumerate(freqs_mhz)
+        )
+    )

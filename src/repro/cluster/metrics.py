@@ -1,0 +1,128 @@
+"""Per-device utilisation and redundancy metrics (paper Table I, Fig. 13).
+
+Utilisation is CPU busy time over the measurement window (from the
+simulator).  Redundancy is static per plan: for each device, the
+fraction of its per-task FLOPs that fall outside its *owned*
+(stride-projected, halo-free) share — redundant work it duplicates with
+a neighbouring device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.simulator import SimResult
+from repro.core.plan import PipelinePlan, plan_cost
+from repro.cost.comm import NetworkModel
+from repro.cost.flops import CostOptions, DEFAULT_OPTIONS
+from repro.models.graph import Model
+
+__all__ = ["DeviceReport", "UtilizationTable", "utilization_table"]
+
+
+@dataclass(frozen=True)
+class DeviceReport:
+    """Table I row fragment for one device."""
+
+    name: str
+    capacity: float
+    utilization: float
+    flops_per_task: float
+    owned_flops_per_task: float
+
+    @property
+    def redundancy_ratio(self) -> float:
+        if self.flops_per_task <= 0:
+            return 0.0
+        return max(0.0, self.flops_per_task - self.owned_flops_per_task) / (
+            self.flops_per_task
+        )
+
+
+@dataclass(frozen=True)
+class UtilizationTable:
+    """All device rows plus cluster averages."""
+
+    scheme: str
+    model: str
+    devices: Tuple[DeviceReport, ...]
+
+    @property
+    def average_utilization(self) -> float:
+        active = [d for d in self.devices if d.flops_per_task > 0]
+        pool = active or list(self.devices)
+        return sum(d.utilization for d in pool) / len(pool)
+
+    @property
+    def average_redundancy(self) -> float:
+        total = sum(d.flops_per_task for d in self.devices)
+        if total <= 0:
+            return 0.0
+        redundant = sum(
+            d.flops_per_task - d.owned_flops_per_task for d in self.devices
+        )
+        return max(0.0, redundant) / total
+
+    def format(self) -> str:
+        lines = [
+            f"{self.model} / {self.scheme}: "
+            f"avg util {self.average_utilization:6.2%}, "
+            f"avg redu {self.average_redundancy:6.2%}"
+        ]
+        for d in self.devices:
+            lines.append(
+                f"  {d.name:<16s} util {d.utilization:7.2%}  "
+                f"redu {d.redundancy_ratio:7.2%}"
+            )
+        return "\n".join(lines)
+
+
+def utilization_table(
+    model: Model,
+    plan: PipelinePlan,
+    network: NetworkModel,
+    sim: Optional[SimResult] = None,
+    options: CostOptions = DEFAULT_OPTIONS,
+    scheme_name: str = "?",
+) -> UtilizationTable:
+    """Build the Table I metrics for one plan.
+
+    ``sim`` provides measured busy times; without it, utilisation falls
+    back to the analytic steady-state estimate (busy share per period).
+    """
+    cost = plan_cost(model, plan, network, options)
+    flops: "Dict[str, float]" = {}
+    owned: "Dict[str, float]" = {}
+    capacity: "Dict[str, float]" = {}
+    busy_per_task: "Dict[str, float]" = {}
+    for sc in cost.stage_costs:
+        for dc in sc.devices:
+            name = dc.device.name
+            capacity[name] = dc.device.capacity
+            flops[name] = flops.get(name, 0.0) + dc.flops
+            owned[name] = owned.get(name, 0.0) + dc.owned_flops
+            # Busy = compute + own transfers (single-core CPU usage).
+            busy_per_task[name] = (
+                busy_per_task.get(name, 0.0) + dc.t_comp + dc.t_comm
+            )
+
+    reports: "List[DeviceReport]" = []
+    for name in capacity:
+        if sim is not None:
+            util = sim.utilization(name)
+        else:
+            # Steady state: each device works busy_per_task seconds out
+            # of every pipeline period.
+            util = busy_per_task[name] / cost.period if cost.period > 0 else 0.0
+        reports.append(
+            DeviceReport(
+                name,
+                capacity[name],
+                min(1.0, util),
+                flops.get(name, 0.0),
+                owned.get(name, 0.0),
+            )
+        )
+    reports.sort(key=lambda r: (-r.capacity, r.name))
+    return UtilizationTable(scheme_name, model.name, tuple(reports))

@@ -1,0 +1,372 @@
+"""Discrete-event simulation of a plan executing on the cluster.
+
+Substitutes the paper's physical 8×Raspberry-Pi testbed: stages are
+deterministic-service FIFO servers (service time = the Eq. 9 stage
+cost), tasks flow stage to stage, and per-device busy time accrues from
+each stage's compute share.  *Exclusive* plans (the one-stage baseline
+schemes) collapse into a single server whose service time is the full
+phase sequence.  The adaptive entry point replays an
+:class:`~repro.adaptive.switcher.AdaptiveSwitcher`, swapping the active
+plan at service boundaries: tasks already inside the pipeline finish
+under the plan that started them (model segments must be re-shipped
+before a switch in a real deployment), while the unstarted backlog
+migrates to the new plan.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.plan import PipelinePlan, plan_cost
+
+if TYPE_CHECKING:  # avoid a circular import; only needed for typing
+    from repro.adaptive.switcher import AdaptiveSwitcher
+from repro.cost.comm import NetworkModel
+from repro.cost.flops import CostOptions, DEFAULT_OPTIONS
+from repro.models.graph import Model
+
+__all__ = ["TaskRecord", "SimResult", "simulate_plan", "simulate_adaptive"]
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One task's journey through the cluster."""
+
+    task_id: int
+    arrival: float
+    started: float
+    completion: float
+    plan_name: str
+
+    @property
+    def latency(self) -> float:
+        return self.completion - self.arrival
+
+    @property
+    def waiting(self) -> float:
+        return self.started - self.arrival
+
+
+@dataclass
+class SimResult:
+    """Aggregate simulation output."""
+
+    tasks: List[TaskRecord]
+    makespan: float
+    device_busy: Dict[str, float]
+    plan_usage: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def avg_latency(self) -> float:
+        if not self.tasks:
+            return 0.0
+        return sum(t.latency for t in self.tasks) / len(self.tasks)
+
+    @property
+    def max_latency(self) -> float:
+        return max((t.latency for t in self.tasks), default=0.0)
+
+    def percentile_latency(self, q: float) -> float:
+        """Latency percentile ``q`` in [0, 100] (nearest-rank)."""
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.tasks:
+            return 0.0
+        ordered = sorted(t.latency for t in self.tasks)
+        rank = min(len(ordered) - 1, max(0, int(round(q / 100 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    @property
+    def throughput(self) -> float:
+        """Completed tasks per second of makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.completed / self.makespan
+
+    def utilization(self, device_name: str) -> float:
+        """Busy fraction of a device over the makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.device_busy.get(device_name, 0.0) / self.makespan
+
+    def steady_state(self, warmup_tasks: int) -> "SimResult":
+        """A view with the first ``warmup_tasks`` completions dropped.
+
+        Pipeline fill-up biases short runs: the first tasks see an empty
+        pipeline (low latency) while throughput over the whole makespan
+        under-counts the filled regime.  The trimmed view measures the
+        post-warm-up window; device-busy totals are scaled by the kept
+        task fraction (exact for deterministic service times).
+        """
+        if warmup_tasks < 0:
+            raise ValueError("warmup_tasks must be non-negative")
+        if warmup_tasks == 0 or warmup_tasks >= len(self.tasks):
+            return self
+        by_completion = sorted(self.tasks, key=lambda t: t.completion)
+        kept = by_completion[warmup_tasks:]
+        window_start = by_completion[warmup_tasks - 1].completion
+        fraction = len(kept) / len(self.tasks)
+        return SimResult(
+            tasks=sorted(kept, key=lambda t: t.task_id),
+            makespan=self.makespan - window_start,
+            device_busy={k: v * fraction for k, v in self.device_busy.items()},
+            plan_usage=dict(self.plan_usage),
+        )
+
+
+class _PlanRuntime:
+    """Pre-computed service times and busy shares for one plan."""
+
+    def __init__(
+        self,
+        name: str,
+        plan: PipelinePlan,
+        model: Model,
+        network: NetworkModel,
+        options: CostOptions,
+    ) -> None:
+        self.name = name
+        self.plan = plan
+        cost = plan_cost(model, plan, network, options)
+        self.period = cost.period
+        self.latency = cost.latency
+        # A device is "busy" for its compute time plus its own transfer
+        # time: on the paper's single-core Pis, socket I/O and tile
+        # split/stitch consume the CPU just like convolutions, and the
+        # paper's Table I reports measured CPU usage.
+        if plan.mode == "pipelined":
+            self.services = [sc.total for sc in cost.stage_costs]
+            self.comm = [sc.t_comm for sc in cost.stage_costs]
+            self.comp = [sc.t_comp + sc.t_head for sc in cost.stage_costs]
+            self.busy_shares: "List[List[Tuple[str, float]]]" = [
+                [(dc.device.name, dc.t_comp + dc.t_comm) for dc in sc.devices]
+                for sc in cost.stage_costs
+            ]
+            # The head runs serially on one stage device; bill it there.
+            for sc, shares in zip(cost.stage_costs, self.busy_shares):
+                if sc.t_head > 0 and shares:
+                    fastest = max(
+                        range(len(sc.devices)),
+                        key=lambda i: sc.devices[i].device.capacity,
+                    )
+                    name_, t = shares[fastest]
+                    shares[fastest] = (name_, t + sc.t_head)
+        else:
+            self.services = [cost.latency]
+            merged: "Dict[str, float]" = {}
+            for sc in cost.stage_costs:
+                for dc in sc.devices:
+                    merged[dc.device.name] = (
+                        merged.get(dc.device.name, 0.0) + dc.t_comp + dc.t_comm
+                    )
+                if sc.t_head > 0:
+                    fastest = max(sc.devices, key=lambda dc: dc.device.capacity)
+                    merged[fastest.device.name] = (
+                        merged.get(fastest.device.name, 0.0) + sc.t_head
+                    )
+            self.busy_shares = [sorted(merged.items())]
+            total_comm = sum(sc.t_comm for sc in cost.stage_costs)
+            self.comm = [total_comm]
+            self.comp = [cost.latency - total_comm]
+        self.n_stages = len(self.services)
+
+
+@dataclass
+class _InFlight:
+    task_id: int
+    arrival: float
+    started: float
+    runtime: _PlanRuntime
+
+
+def _run_event_loop(
+    arrivals: "Sequence[float]",
+    initial_runtime: _PlanRuntime,
+    pick_runtime,  # (now) -> desired _PlanRuntime
+    shared_medium: bool = False,
+) -> SimResult:
+    """Shared event loop for plain and adaptive simulations.
+
+    Plan switches happen at service boundaries: when no stage is
+    mid-service and every waiting task is still unstarted (in the first
+    stage's queue), the backlog migrates to the newly desired plan.
+    Tasks already inside the pipeline always finish under the plan that
+    started them.
+
+    With ``shared_medium=True`` the WLAN becomes an explicit resource:
+    a stage's communication phase must hold the single network token
+    before its compute phase runs, so transfers of concurrent stages
+    serialise — the event-level counterpart of the analytic
+    ``CostOptions(shared_medium=True)`` bound.  (The model folds
+    scatter+gather into one leading phase; the stage total is
+    unchanged, only the contention window shifts.)
+    """
+    counter = itertools.count()
+    heap: "List[Tuple[float, int, str, object]]" = []
+    for task_id, t in enumerate(sorted(arrivals)):
+        heapq.heappush(heap, (float(t), next(counter), "arrival", task_id))
+
+    current = initial_runtime
+    desired = initial_runtime
+    queues: "List[Deque[_InFlight]]" = [deque() for _ in range(current.n_stages)]
+    busy: "List[bool]" = [False] * current.n_stages
+    device_busy: "Dict[str, float]" = {}
+    plan_usage: "Dict[str, int]" = {}
+    records: "List[TaskRecord]" = []
+    makespan = 0.0
+
+    def maybe_swap() -> None:
+        nonlocal current, queues, busy
+        if desired is current:
+            return
+        if any(busy) or any(len(q) for q in queues[1:]):
+            return  # tasks mid-pipeline must finish first
+        if net_busy or net_queue:
+            return  # transfers in flight
+        backlog = queues[0]
+        current = desired
+        queues = [deque() for _ in range(current.n_stages)]
+        busy = [False] * current.n_stages
+        for task in backlog:
+            task.runtime = current
+            queues[0].append(task)
+
+    net_busy = False
+    net_queue: "Deque[Tuple[int, _InFlight]]" = deque()
+
+    def try_net(now: float) -> None:
+        nonlocal net_busy
+        if net_busy or not net_queue:
+            return
+        stage_idx, task = net_queue.popleft()
+        net_busy = True
+        heapq.heappush(
+            heap,
+            (
+                now + task.runtime.comm[stage_idx],
+                next(counter),
+                "net_done",
+                (stage_idx, task),
+            ),
+        )
+
+    def try_start(stage_idx: int, now: float) -> None:
+        nonlocal makespan
+        runtime = current
+        if busy[stage_idx] or not queues[stage_idx]:
+            return
+        task = queues[stage_idx].popleft()
+        assert task.runtime is runtime, "task queued under a stale runtime"
+        busy[stage_idx] = True
+        if stage_idx == 0 and task.started < 0:
+            task.started = now
+        for name, t_comp in runtime.busy_shares[stage_idx]:
+            device_busy[name] = device_busy.get(name, 0.0) + t_comp
+        if shared_medium:
+            net_queue.append((stage_idx, task))
+            try_net(now)
+            return
+        service = runtime.services[stage_idx]
+        heapq.heappush(
+            heap, (now + service, next(counter), "done", (stage_idx, task))
+        )
+
+    while heap:
+        now, _, kind, payload = heapq.heappop(heap)
+        makespan = max(makespan, now)
+        if kind == "arrival":
+            task_id = payload
+            desired = pick_runtime(now)
+            maybe_swap()
+            task = _InFlight(task_id, now, -1.0, current)
+            queues[0].append(task)
+            try_start(0, now)
+        elif kind == "net_done":
+            stage_idx, task = payload  # type: ignore[misc]
+            net_busy = False
+            heapq.heappush(
+                heap,
+                (
+                    now + task.runtime.comp[stage_idx],
+                    next(counter),
+                    "done",
+                    (stage_idx, task),
+                ),
+            )
+            try_net(now)
+        else:
+            stage_idx, task = payload  # type: ignore[misc]
+            busy[stage_idx] = False
+            if stage_idx == task.runtime.n_stages - 1:
+                plan_usage[task.runtime.name] = (
+                    plan_usage.get(task.runtime.name, 0) + 1
+                )
+                records.append(
+                    TaskRecord(
+                        task.task_id, task.arrival, task.started, now,
+                        task.runtime.name,
+                    )
+                )
+            else:
+                queues[stage_idx + 1].append(task)
+                try_start(stage_idx + 1, now)
+            maybe_swap()
+            # A swap may have replaced the queues with the new plan's
+            # (possibly shorter) stage list; only restart valid stages.
+            if stage_idx < len(queues):
+                try_start(stage_idx, now)
+            try_start(0, now)
+
+    records.sort(key=lambda r: r.task_id)
+    return SimResult(records, makespan, device_busy, plan_usage)
+
+
+def simulate_plan(
+    model: Model,
+    plan: PipelinePlan,
+    network: NetworkModel,
+    arrivals: "Sequence[float]",
+    options: CostOptions = DEFAULT_OPTIONS,
+    plan_name: Optional[str] = None,
+    shared_medium: bool = False,
+) -> SimResult:
+    """Replay ``arrivals`` through a fixed plan.
+
+    ``shared_medium=True`` serialises all stages' transfers over one
+    WLAN token (event-level contention)."""
+    runtime = _PlanRuntime(
+        plan_name or plan.mode, plan, model, network, options
+    )
+    return _run_event_loop(
+        arrivals, runtime, lambda now: runtime, shared_medium=shared_medium
+    )
+
+
+def simulate_adaptive(
+    model: Model,
+    switcher: "AdaptiveSwitcher",
+    network: NetworkModel,
+    arrivals: "Sequence[float]",
+    options: CostOptions = DEFAULT_OPTIONS,
+    shared_medium: bool = False,
+) -> SimResult:
+    """Replay ``arrivals`` with APICO switching (drain-before-switch)."""
+    runtimes = {
+        c.name: _PlanRuntime(c.name, c.plan, model, network, options)
+        for c in switcher.candidates
+    }
+    initial = runtimes[switcher.active.name]
+
+    def pick(now: float) -> _PlanRuntime:
+        active = switcher.on_arrival(now)
+        return runtimes[active.name]
+
+    return _run_event_loop(arrivals, initial, pick, shared_medium=shared_medium)

@@ -1,0 +1,179 @@
+"""Exhaustive optimal search (the paper's §V-C "BFS" baseline).
+
+Enumerates every contiguous unit split and every device allocation per
+stage, with branch-and-bound pruning on the incumbent period and the
+latency budget.  Devices are grouped into capacity classes — the stage
+cost depends only on the *multiset* of assigned capacities, which
+collapses the ``8! = 40320`` orderings of the paper's testbed to a few
+dozen class vectors per stage and is what makes exact search feasible
+at all on small instances.  Complexity is still exponential in
+(units × classes); Table II reproduces exactly that blow-up.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.device import Cluster, Device
+from repro.core.plan import PipelinePlan, StagePlan
+from repro.cost.comm import NetworkModel
+from repro.cost.flops import CostOptions, DEFAULT_OPTIONS
+from repro.cost.stage_cost import stage_time
+from repro.models.graph import Model
+from repro.partition.regions import Region
+from repro.partition.strips import weighted_partition
+
+__all__ = ["BFSResult", "bfs_optimal"]
+
+
+@dataclass(frozen=True)
+class BFSResult:
+    """Outcome of the exhaustive search."""
+
+    plan: Optional[PipelinePlan]
+    period: float
+    latency: float
+    optimal: bool  # False when the deadline cut the search short
+    nodes_explored: int
+    elapsed_s: float
+
+
+def _device_classes(cluster: Cluster) -> "List[Tuple[Device, int]]":
+    """Group devices into (representative, count) capacity classes."""
+    classes: "Dict[Tuple[float, float], List[Device]]" = {}
+    for device in cluster:
+        classes.setdefault((device.capacity, device.alpha), []).append(device)
+    ordered = sorted(classes.items(), key=lambda kv: -kv[0][0])
+    return [(devs[0], len(devs)) for _, devs in ordered]
+
+
+def bfs_optimal(
+    model: Model,
+    cluster: Cluster,
+    network: NetworkModel,
+    options: CostOptions = DEFAULT_OPTIONS,
+    t_lim: float = math.inf,
+    deadline_s: Optional[float] = None,
+    max_stages: Optional[int] = None,
+) -> BFSResult:
+    """Find the minimum-period pipeline by exhaustive search.
+
+    ``deadline_s`` bounds wall-clock; if hit, the best incumbent is
+    returned with ``optimal=False``.  ``max_stages`` optionally caps the
+    stage count (useful to keep tiny benchmark instances comparable).
+    """
+    started = time.perf_counter()
+    classes = _device_classes(cluster)
+    n_classes = len(classes)
+    n_units = model.n_units
+    class_devices: "List[List[Device]]" = []
+    for (rep, count) in classes:
+        members = [d for d in cluster if (d.capacity, d.alpha) == (rep.capacity, rep.alpha)]
+        class_devices.append(members)
+
+    stage_cache: "Dict[Tuple[int, int, Tuple[int, ...]], float]" = {}
+
+    def make_assignments(
+        start: int, end: int, alloc: "Tuple[int, ...]", offsets: "Tuple[int, ...]"
+    ):
+        """Concrete (device, region) pairs; ``offsets`` tracks how many
+        devices of each class earlier stages already consumed, so no
+        device appears in two pipelined stages."""
+        devices: "List[Device]" = []
+        for cls_idx, count in enumerate(alloc):
+            base = offsets[cls_idx]
+            devices.extend(class_devices[cls_idx][base : base + count])
+        _, h, w = model.out_shape(end - 1)
+        rows = weighted_partition(h, [d.capacity for d in devices])
+        return tuple(
+            (device, Region.from_bounds(iv.start, iv.end, 0, w))
+            for device, iv in zip(devices, rows)
+        )
+
+    def stage_cost_of(start: int, end: int, alloc: "Tuple[int, ...]") -> float:
+        # Cost depends only on the capacity multiset, so offsets of 0
+        # are fine for evaluation.
+        key = (start, end, alloc)
+        cached = stage_cache.get(key)
+        if cached is not None:
+            return cached
+        assignments = make_assignments(
+            start, end, alloc, tuple(0 for _ in alloc)
+        )
+        cost = stage_time(
+            model, start, end, assignments, network, options,
+            with_head=end == n_units,
+        ).total
+        stage_cache[key] = cost
+        return cost
+
+    best_period = math.inf
+    best_latency = math.inf
+    # Each chosen stage is recorded abstractly as (start, end, alloc).
+    best_choice: "Optional[Tuple[Tuple[int, int, Tuple[int, ...]], ...]]" = None
+    nodes = 0
+    timed_out = False
+
+    def allocations(remaining: "Tuple[int, ...]"):
+        ranges = [range(r + 1) for r in remaining]
+        for vec in itertools.product(*ranges):
+            if sum(vec) >= 1:
+                yield vec
+
+    def dfs(
+        pos: int,
+        remaining: "Tuple[int, ...]",
+        period: float,
+        latency: float,
+        choice: "List[Tuple[int, int, Tuple[int, ...]]]",
+    ) -> None:
+        nonlocal best_period, best_latency, best_choice, nodes, timed_out
+        if timed_out:
+            return
+        if deadline_s is not None and time.perf_counter() - started > deadline_s:
+            timed_out = True
+            return
+        if pos == n_units:
+            if (period, latency) < (best_period, best_latency):
+                best_period, best_latency = period, latency
+                best_choice = tuple(choice)
+            return
+        if max_stages is not None and len(choice) >= max_stages:
+            return
+        for end in range(pos + 1, n_units + 1):
+            for alloc in allocations(remaining):
+                nodes += 1
+                cost = stage_cost_of(pos, end, alloc)
+                new_period = max(period, cost)
+                new_latency = latency + cost
+                if new_period >= best_period or new_latency > t_lim:
+                    continue
+                choice.append((pos, end, alloc))
+                dfs(
+                    pos=end,
+                    remaining=tuple(r - a for r, a in zip(remaining, alloc)),
+                    period=new_period,
+                    latency=new_latency,
+                    choice=choice,
+                )
+                choice.pop()
+                if timed_out:
+                    return
+
+    dfs(0, tuple(count for _, count in classes), 0.0, 0.0, [])
+    elapsed = time.perf_counter() - started
+    if best_choice is None:
+        return BFSResult(None, math.inf, math.inf, not timed_out, nodes, elapsed)
+    # Materialise the winning abstract stages with distinct devices.
+    offsets = [0] * n_classes
+    stages: "List[StagePlan]" = []
+    for start_u, end_u, alloc in best_choice:
+        assignments = make_assignments(start_u, end_u, alloc, tuple(offsets))
+        stages.append(StagePlan(start_u, end_u, assignments))
+        offsets = [o + a for o, a in zip(offsets, alloc)]
+    plan = PipelinePlan(model.name, tuple(stages), mode="pipelined")
+    return BFSResult(plan, best_period, best_latency, not timed_out, nodes, elapsed)

@@ -1,0 +1,211 @@
+"""Algorithm 1: dynamic programming over the homogenised cluster.
+
+The paper memoises ``P[i][j][p]`` — the minimum pipeline period for
+layers ``i..j`` on ``p`` averaged devices — but every recursive call
+anchors ``i`` at the first layer, so the state space is really the
+prefix DP
+
+    P[j][p] = min over split s < j, p' < p of
+              max( P[s][p - p'],  Ts(s, j, p') )
+
+with ``Ts(s, j, p')`` the Eq. (9) cost of a single stage running units
+``[s, j)`` on ``p'`` equal-capacity devices with an equal strip
+partition.  Solutions whose accumulated pipeline latency exceeds
+``t_lim`` are pruned, as in the paper's Algorithm 1 (lines 11–16).
+
+The returned :class:`HomoPlan` is abstract (device *counts*, not
+devices); Algorithm 2 (:mod:`repro.core.heterogeneous`) maps it onto
+the real cluster.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.device import Cluster, Device
+from repro.cost.comm import NetworkModel
+from repro.cost.flops import CostOptions, DEFAULT_OPTIONS
+from repro.cost.stage_cost import branch_stage_time, homogeneous_stage_time
+from repro.partition.branches import assign_paths_lpt, is_branchable, path_flops
+from repro.models.graph import Model
+
+__all__ = ["HomoStage", "HomoPlan", "StageTimeTable", "plan_homogeneous"]
+
+
+@dataclass(frozen=True)
+class HomoStage:
+    """An abstract stage: unit segment + device count.
+
+    ``branch`` marks a branch-parallel stage over one concat block (the
+    intra-block partition extension); Algorithm 2 then assigns whole
+    block paths to devices instead of spatial strips."""
+
+    start: int
+    end: int
+    n_devices: int
+    branch: bool = False
+
+
+@dataclass(frozen=True)
+class HomoPlan:
+    """Algorithm 1 output for the homogenised cluster."""
+
+    stages: Tuple[HomoStage, ...]
+    period: float
+    latency: float
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def devices_used(self) -> int:
+        return sum(s.n_devices for s in self.stages)
+
+
+class StageTimeTable:
+    """Memoised ``Ts(start, end, p)`` single-stage costs (Eq. 9).
+
+    With ``allow_branch=True`` a single-unit segment over a concat
+    block also considers the branch-parallel layout (paths assigned to
+    devices by LPT) and keeps whichever is faster — the intra-block
+    partition the paper leaves as future work."""
+
+    def __init__(
+        self,
+        model: Model,
+        device: Device,
+        network: NetworkModel,
+        options: CostOptions = DEFAULT_OPTIONS,
+        allow_branch: bool = False,
+    ) -> None:
+        self.model = model
+        self.device = device
+        self.network = network
+        self.options = options
+        self.allow_branch = allow_branch
+        self._cache: "Dict[Tuple[int, int, int], Tuple[float, bool]]" = {}
+
+    def best(self, start: int, end: int, p: int) -> "Tuple[float, bool]":
+        """(cost, is_branch) of the cheapest layout for this stage."""
+        key = (start, end, p)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        strip_cost = homogeneous_stage_time(
+            self.model,
+            start,
+            end,
+            p,
+            self.device,
+            self.network,
+            self.options,
+            with_head=end == self.model.n_units,
+        ).total
+        result = (strip_cost, False)
+        if (
+            self.allow_branch
+            and end == start + 1
+            and p >= 2
+            and is_branchable(self.model.units[start])
+        ):
+            weights = path_flops(self.model, start, self.options)
+            groups = assign_paths_lpt(weights, [self.device.capacity] * p)
+            branch_cost = branch_stage_time(
+                self.model,
+                start,
+                tuple((self.device, g) for g in groups),
+                self.network,
+                self.options,
+                with_head=end == self.model.n_units,
+            ).total
+            if branch_cost < strip_cost:
+                result = (branch_cost, True)
+        self._cache[key] = result
+        return result
+
+    def __call__(self, start: int, end: int, p: int) -> float:
+        return self.best(start, end, p)[0]
+
+    def is_branch(self, start: int, end: int, p: int) -> bool:
+        return self.best(start, end, p)[1]
+
+
+def plan_homogeneous(
+    model: Model,
+    cluster: Cluster,
+    network: NetworkModel,
+    options: CostOptions = DEFAULT_OPTIONS,
+    t_lim: float = math.inf,
+    allow_branch: bool = False,
+) -> Optional[HomoPlan]:
+    """Run Algorithm 1 on the homogenised cluster (Eq. 12).
+
+    Returns the minimum-period plan whose pipeline latency stays within
+    ``t_lim``, or ``None`` when even the single-stage plan violates the
+    bound.  Ties in period break towards lower latency, then fewer
+    stages (less inter-stage traffic for equal analytic cost).
+    """
+    homo = cluster.homogenized()
+    device = homo.devices[0]
+    n_devices = len(homo)
+    ts = StageTimeTable(model, device, network, options, allow_branch)
+    n_units = model.n_units
+
+    # best[j][p]: (period, latency, back-pointer) for units [0, j) on p
+    # devices; back-pointer is (prev_j, prev_p, stage) or None for a
+    # single-stage solution.
+    Entry = Tuple[float, float, Optional[Tuple[int, int, HomoStage]]]
+    best: "Dict[Tuple[int, int], Optional[Entry]]" = {}
+
+    for j in range(1, n_units + 1):
+        for p in range(1, n_devices + 1):
+            single = ts(0, j, p)
+            candidate: "Optional[Entry]" = (
+                (single, single, None) if single <= t_lim else None
+            )
+            for s in range(1, j):
+                for p_tail in range(1, p):
+                    prev = best.get((s, p - p_tail))
+                    if prev is None:
+                        continue
+                    tail = ts(s, j, p_tail)
+                    latency = prev[1] + tail
+                    if latency > t_lim:
+                        continue
+                    period = max(prev[0], tail)
+                    entry: Entry = (
+                        period,
+                        latency,
+                        (s, p - p_tail, HomoStage(s, j, p_tail, ts.is_branch(s, j, p_tail))),
+                    )
+                    if candidate is None or (period, latency) < candidate[:2]:
+                        candidate = entry
+            best[(j, p)] = candidate
+
+    # A plan may leave devices idle: take the best over p <= n_devices.
+    final: Optional[Entry] = None
+    final_p = 0
+    for p in range(1, n_devices + 1):
+        entry = best.get((n_units, p))
+        if entry is None:
+            continue
+        if final is None or entry[:2] < final[:2]:
+            final = entry
+            final_p = p
+    if final is None:
+        return None
+
+    stages: "List[HomoStage]" = []
+    j, p, entry = n_units, final_p, final
+    while entry[2] is not None:
+        prev_j, prev_p, stage = entry[2]
+        stages.append(stage)
+        j, p = prev_j, prev_p
+        entry = best[(j, p)]  # type: ignore[assignment]
+        assert entry is not None
+    stages.append(HomoStage(0, j, p, ts.is_branch(0, j, p)))
+    stages.reverse()
+    return HomoPlan(tuple(stages), final[0], final[1])

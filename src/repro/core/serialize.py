@@ -1,0 +1,100 @@
+"""Plan serialisation: JSON round-trip for deployment artifacts.
+
+A planned pipeline is the artefact a deployment controller ships to the
+cluster (each device needs its segment bounds and output region before
+weights flow).  Plans serialise to plain JSON-compatible dicts; devices
+are embedded by value so a plan file is self-contained.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.cluster.device import Device
+from repro.core.plan import PipelinePlan, StagePlan
+from repro.partition.regions import Region
+
+__all__ = ["plan_to_dict", "plan_from_dict", "dump_plan", "load_plan"]
+
+_FORMAT_VERSION = 1
+
+
+def _region_to_dict(region: Region) -> "Dict[str, int]":
+    return {
+        "row_start": region.rows.start,
+        "row_end": region.rows.end,
+        "col_start": region.cols.start,
+        "col_end": region.cols.end,
+    }
+
+
+def _region_from_dict(data: "Dict[str, int]") -> Region:
+    return Region.from_bounds(
+        data["row_start"], data["row_end"], data["col_start"], data["col_end"]
+    )
+
+
+def _device_to_dict(device: Device) -> "Dict[str, Any]":
+    return {"name": device.name, "capacity": device.capacity, "alpha": device.alpha}
+
+
+def _device_from_dict(data: "Dict[str, Any]") -> Device:
+    return Device(data["name"], data["capacity"], data.get("alpha", 1.0))
+
+
+def plan_to_dict(plan: PipelinePlan) -> "Dict[str, Any]":
+    """Serialise a plan to a JSON-compatible dict."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "model": plan.model_name,
+        "mode": plan.mode,
+        "stages": [
+            {
+                "start": stage.start,
+                "end": stage.end,
+                "assignments": [
+                    {
+                        "device": _device_to_dict(device),
+                        "out_region": _region_to_dict(region),
+                    }
+                    for device, region in stage.assignments
+                ],
+            }
+            for stage in plan.stages
+        ],
+    }
+
+
+def plan_from_dict(data: "Dict[str, Any]") -> PipelinePlan:
+    """Reconstruct a plan from :func:`plan_to_dict` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported plan format version {version!r}")
+    stages = tuple(
+        StagePlan(
+            stage["start"],
+            stage["end"],
+            tuple(
+                (
+                    _device_from_dict(a["device"]),
+                    _region_from_dict(a["out_region"]),
+                )
+                for a in stage["assignments"]
+            ),
+        )
+        for stage in data["stages"]
+    )
+    return PipelinePlan(data["model"], stages, mode=data["mode"])
+
+
+def dump_plan(plan: PipelinePlan, path: str) -> None:
+    """Write a plan to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(plan_to_dict(plan), handle, indent=2, sort_keys=True)
+
+
+def load_plan(path: str) -> PipelinePlan:
+    """Read a plan from a JSON file."""
+    with open(path) as handle:
+        return plan_from_dict(json.load(handle))

@@ -1,0 +1,56 @@
+"""Communication cost model (paper Eq. 7–8).
+
+All devices share one WLAN of bandwidth ``b`` (paper §III-A assumes a
+uniform bandwidth, the common smart-home / factory case).  The transfer
+time of a feature region between the stage's frame device ``d_f`` and a
+compute device is ``(bytes_in + bytes_out) / b``; stage communication is
+the *sum* over compute devices because the wireless medium is shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.partition.regions import Region
+
+__all__ = ["NetworkModel", "region_bytes", "wifi_50mbps"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """A shared-medium network with fixed bandwidth and optional
+    per-message latency (extension; the paper uses pure bandwidth)."""
+
+    bandwidth_bytes_per_s: float
+    per_message_latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.per_message_latency_s < 0:
+            raise ValueError("latency must be non-negative")
+
+    @classmethod
+    def from_mbps(cls, mbps: float, per_message_latency_s: float = 0.0) -> "NetworkModel":
+        """Construct from megabits per second (the paper's 50 Mbps AP)."""
+        return cls(mbps * 1e6 / 8.0, per_message_latency_s)
+
+    @property
+    def mbps(self) -> float:
+        return self.bandwidth_bytes_per_s * 8.0 / 1e6
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` over the shared medium."""
+        if nbytes <= 0:
+            return 0.0
+        return self.per_message_latency_s + nbytes / self.bandwidth_bytes_per_s
+
+
+def region_bytes(channels: int, region: Region, bytes_per_value: int = 4) -> int:
+    """Size of a feature-map region: ``c × h × w`` values (Eq. 7's φ)."""
+    return channels * region.area * bytes_per_value
+
+
+def wifi_50mbps() -> NetworkModel:
+    """The paper's testbed access point: 50 Mbps WiFi."""
+    return NetworkModel.from_mbps(50.0)

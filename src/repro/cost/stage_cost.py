@@ -1,0 +1,235 @@
+"""Stage and pipeline timing (paper Eq. 5–11).
+
+A stage executes a fused unit segment ``[start, end)`` over a set of
+``(device, output-region)`` assignments.  Its cost (Eq. 9) is
+
+    T(S) = max_k t_comp(d_k)  +  Σ_k t_comm(d_f, d_k)
+
+— compute is parallel (Eq. 6), communication shares the medium (Eq. 8).
+The pipeline *period* is the maximum stage cost (Eq. 10), its *latency*
+the sum (Eq. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.cluster.device import Device
+from repro.cost.comm import NetworkModel, region_bytes
+from repro.cost.flops import (
+    CostOptions,
+    DEFAULT_OPTIONS,
+    head_flops,
+    segment_flops,
+    segment_owned_flops,
+)
+from repro.models.graph import Model
+from repro.partition.fused import segment_input_region
+from repro.partition.regions import Region
+from repro.partition.strips import equal_partition, strip_regions
+
+__all__ = ["DeviceCost", "StageCost", "stage_time", "branch_stage_time",
+           "homogeneous_stage_time", "single_device_time"]
+
+Assignment = Tuple[Device, Region]
+
+
+@dataclass(frozen=True)
+class DeviceCost:
+    """One device's share of a stage."""
+
+    device: Device
+    out_region: Region
+    in_region: Region
+    flops: float
+    owned_flops: float
+    t_comp: float
+    t_comm: float
+
+    @property
+    def redundant_flops(self) -> float:
+        return max(0.0, self.flops - self.owned_flops)
+
+    @property
+    def redundancy_ratio(self) -> float:
+        """Fraction of this device's computation that is halo overlap."""
+        if self.flops <= 0:
+            return 0.0
+        return self.redundant_flops / self.flops
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """Aggregate cost of one stage (Eq. 9)."""
+
+    start: int
+    end: int
+    devices: Tuple[DeviceCost, ...]
+    t_comp: float  # Eq. 6: max over devices
+    t_comm: float  # Eq. 8: sum over devices
+    t_head: float = 0.0  # dense head, serial on the stitching device
+
+    @property
+    def total(self) -> float:
+        return self.t_comp + self.t_comm + self.t_head
+
+
+def stage_time(
+    model: Model,
+    start: int,
+    end: int,
+    assignments: "Sequence[Assignment]",
+    network: NetworkModel,
+    options: CostOptions = DEFAULT_OPTIONS,
+    with_head: bool = False,
+) -> StageCost:
+    """Cost of a stage executing units ``[start, end)`` with the given
+    ``(device, final-output-region)`` assignments.
+
+    ``with_head`` adds the dense-head compute (serial, on the fastest
+    assigned device) — used by segments that end at the final unit.
+    """
+    if not assignments:
+        raise ValueError("stage needs at least one device assignment")
+    c_in = model.in_shape(start)[0]
+    c_out = model.out_shape(end - 1)[0]
+    device_costs = []
+    for device, out_region in assignments:
+        if out_region.empty:
+            device_costs.append(
+                DeviceCost(device, out_region, out_region, 0.0, 0.0, 0.0, 0.0)
+            )
+            continue
+        in_region = segment_input_region(model, start, end, out_region)
+        flops = segment_flops(model, start, end, out_region, options)
+        owned = segment_owned_flops(model, start, end, out_region, options)
+        t_comp = device.compute_time(flops)
+        nbytes = region_bytes(c_in, in_region, options.bytes_per_value) + region_bytes(
+            c_out, out_region, options.bytes_per_value
+        )
+        t_comm = network.transfer_time(nbytes)
+        device_costs.append(
+            DeviceCost(device, out_region, in_region, flops, owned, t_comp, t_comm)
+        )
+    t_head = 0.0
+    if with_head and options.include_head and model.head:
+        fastest = max((dc.device for dc in device_costs), key=lambda d: d.capacity)
+        t_head = fastest.compute_time(head_flops(model))
+    return StageCost(
+        start,
+        end,
+        tuple(device_costs),
+        t_comp=max(dc.t_comp for dc in device_costs),
+        t_comm=sum(dc.t_comm for dc in device_costs),
+        t_head=t_head,
+    )
+
+
+def branch_stage_time(
+    model: Model,
+    unit_index: int,
+    assignments: "Sequence[Tuple[Device, Tuple[int, ...]]]",
+    network: NetworkModel,
+    options: CostOptions = DEFAULT_OPTIONS,
+    with_head: bool = False,
+) -> StageCost:
+    """Cost of a *branch-parallel* stage over one concat block.
+
+    Each device executes whole paths of the block over the full spatial
+    map: it receives the union input region its paths need and returns
+    its paths' output channels.  Channel outputs are disjoint, so owned
+    FLOPs equal actual FLOPs — branch partitioning has zero redundancy
+    (its price is that a single path cannot be split).
+    """
+    from repro.partition.branches import (
+        path_flops,
+        path_input_region,
+        path_out_channels,
+    )
+
+    if not assignments:
+        raise ValueError("stage needs at least one device assignment")
+    flops_per_path = path_flops(model, unit_index, options)
+    channels_per_path = path_out_channels(model, unit_index)
+    covered = [idx for _, paths in assignments for idx in paths]
+    if sorted(covered) != list(range(len(flops_per_path))):
+        raise ValueError(
+            f"path groups {covered} must cover every path of unit "
+            f"{model.units[unit_index].name} exactly once"
+        )
+    c_in = model.in_shape(unit_index)[0]
+    _, oh, ow = model.out_shape(unit_index)
+    device_costs = []
+    for device, paths in assignments:
+        if not paths:
+            empty = Region.from_bounds(0, 0, 0, 0)
+            device_costs.append(
+                DeviceCost(device, empty, empty, 0.0, 0.0, 0.0, 0.0)
+            )
+            continue
+        flops = sum(flops_per_path[i] for i in paths)
+        in_region = path_input_region(model, unit_index, paths)
+        out_channels = sum(channels_per_path[i] for i in paths)
+        nbytes = region_bytes(c_in, in_region, options.bytes_per_value) + (
+            out_channels * oh * ow * options.bytes_per_value
+        )
+        device_costs.append(
+            DeviceCost(
+                device,
+                Region.full(oh, ow),
+                in_region,
+                flops,
+                flops,  # disjoint channels: nothing is redundant
+                device.compute_time(flops),
+                network.transfer_time(nbytes),
+            )
+        )
+    t_head = 0.0
+    if with_head and options.include_head and model.head:
+        fastest = max((dc.device for dc in device_costs), key=lambda d: d.capacity)
+        t_head = fastest.compute_time(head_flops(model))
+    return StageCost(
+        unit_index,
+        unit_index + 1,
+        tuple(device_costs),
+        t_comp=max(dc.t_comp for dc in device_costs),
+        t_comm=sum(dc.t_comm for dc in device_costs),
+        t_head=t_head,
+    )
+
+
+def homogeneous_stage_time(
+    model: Model,
+    start: int,
+    end: int,
+    n_devices: int,
+    device: Device,
+    network: NetworkModel,
+    options: CostOptions = DEFAULT_OPTIONS,
+    with_head: bool = False,
+) -> StageCost:
+    """Stage cost with ``n_devices`` copies of ``device`` and an equal
+    strip partition of the segment's final output map (§IV-A1)."""
+    _, h, w = model.out_shape(end - 1)
+    regions = strip_regions(h, w, equal_partition(h, n_devices))
+    assignments = [(device, region) for region in regions]
+    return stage_time(model, start, end, assignments, network, options, with_head)
+
+
+def single_device_time(
+    model: Model,
+    device: Device,
+    options: CostOptions = DEFAULT_OPTIONS,
+) -> float:
+    """Wall-clock for one device running the whole model locally
+    (the paper's single-device baseline for speedup ratios, Fig. 12)."""
+    total = 0.0
+    for idx in range(model.n_units):
+        _, h, w = model.out_shape(idx)
+        total += device.compute_time(
+            segment_flops(model, idx, idx + 1, Region.full(h, w), options)
+        )
+    if options.include_head and model.head:
+        total += device.compute_time(head_flops(model))
+    return total

@@ -1,0 +1,55 @@
+"""Experiment harnesses — one module per paper figure/table.
+
+==============  =====================================================
+Module          Reproduces
+==============  =====================================================
+fig02           per-layer comm/comp shares (VGG16, YOLOv2)
+fig04           fused-layer FLOPs vs devices / fused depth
+fig08/fig09     cluster capacity sweeps (run(model_name=...))
+fig10/fig11     avg latency vs Poisson workload (run(model_name=...))
+fig12           graph-CNN speedup (ResNet34, InceptionV3)
+fig13           PICO vs BFS utilisation/redundancy
+table1          heterogeneous utilisation & redundancy
+table2          planner wall-clock PICO vs BFS
+==============  =====================================================
+"""
+
+from repro.experiments import (
+    fig02_layer_profile,
+    fig04_fused_redundancy,
+    fig08_capacity,
+    fig10_latency,
+    fig12_speedup,
+    fig13_pico_vs_bfs,
+    full_report,
+    runtime_validation,
+    table1_utilization,
+    table2_optimization_cost,
+)
+from repro.experiments.common import (
+    baseline_schemes,
+    fig13_cluster,
+    format_table,
+    paper_cluster,
+    paper_network,
+    table1_cluster,
+)
+
+__all__ = [
+    "baseline_schemes",
+    "fig02_layer_profile",
+    "fig04_fused_redundancy",
+    "fig08_capacity",
+    "fig10_latency",
+    "fig12_speedup",
+    "fig13_cluster",
+    "fig13_pico_vs_bfs",
+    "format_table",
+    "full_report",
+    "runtime_validation",
+    "paper_cluster",
+    "paper_network",
+    "table1_cluster",
+    "table1_utilization",
+    "table2_optimization_cost",
+]

@@ -1,0 +1,78 @@
+"""Shared experiment configuration and formatting helpers.
+
+Defaults mirror the paper's testbed: 8 Raspberry-Pi 4Bs pinned to one
+core, a 50 Mbps WiFi access point, CPU frequencies scaled to 600 MHz /
+800 MHz / 1 GHz for the capacity sweeps, and the Table I heterogeneous
+mix (2×1.2 GHz, 2×800 MHz, 4×600 MHz).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.cluster.device import Cluster, heterogeneous_cluster, pi_cluster
+from repro.cost.comm import NetworkModel
+from repro.schemes.base import Scheme
+from repro.schemes.early_fused import EarlyFusedScheme
+from repro.schemes.layer_wise import LayerWiseScheme
+from repro.schemes.optimal_fused import OptimalFusedScheme
+from repro.schemes.pico import PicoScheme
+
+__all__ = [
+    "PAPER_FREQS_MHZ",
+    "TABLE1_FREQS_MHZ",
+    "paper_network",
+    "paper_cluster",
+    "table1_cluster",
+    "fig13_cluster",
+    "baseline_schemes",
+    "format_table",
+]
+
+#: CPU frequencies the paper sweeps in Figs. 8/9/12.
+PAPER_FREQS_MHZ: Tuple[float, ...] = (600.0, 800.0, 1000.0)
+
+#: The Table I heterogeneous mix.
+TABLE1_FREQS_MHZ: Tuple[float, ...] = (1200, 1200, 800, 800, 600, 600, 600, 600)
+
+#: Fig. 13 deploys the toy model on 6 heterogeneous devices.
+FIG13_FREQS_MHZ: Tuple[float, ...] = (1200, 1200, 800, 800, 600, 600)
+
+
+def paper_network(mbps: float = 50.0) -> NetworkModel:
+    """The paper's 50 Mbps WiFi access point (override for sweeps)."""
+    return NetworkModel.from_mbps(mbps)
+
+
+def paper_cluster(n_devices: int = 8, freq_mhz: float = 600.0) -> Cluster:
+    """A homogeneous slice of the paper's 8-Pi testbed."""
+    return pi_cluster(n_devices, freq_mhz)
+
+
+def table1_cluster() -> Cluster:
+    return heterogeneous_cluster(TABLE1_FREQS_MHZ)
+
+
+def fig13_cluster() -> Cluster:
+    return heterogeneous_cluster(FIG13_FREQS_MHZ)
+
+
+def baseline_schemes(include_lw: bool = True) -> "List[Scheme]":
+    """The paper's comparison set in Table I order."""
+    schemes: "List[Scheme]" = []
+    if include_lw:
+        schemes.append(LayerWiseScheme())
+    schemes.extend([EarlyFusedScheme(), OptimalFusedScheme(), PicoScheme()])
+    return schemes
+
+
+def format_table(headers: "Sequence[str]", rows: "Sequence[Sequence[object]]") -> str:
+    """Plain-text table with right-aligned columns."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

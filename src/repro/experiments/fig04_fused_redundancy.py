@@ -1,0 +1,81 @@
+"""Fig. 4: fused-layer computation overhead vs devices and fused depth.
+
+Reproduces the paper's motivation plot on VGG16: per-device FLOPs
+(Fig. 4a) shrink as devices are added, but the *total* FLOPs across all
+devices (Fig. 4b) grow with both the device count and the number of
+fused layers, because each device's input halo expands recursively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.cost.flops import CostOptions, DEFAULT_OPTIONS, segment_flops
+from repro.models.graph import Model
+from repro.models.zoo import get_model
+from repro.partition.strips import equal_partition, strip_regions
+
+__all__ = ["FusedPoint", "Fig4Result", "run"]
+
+
+@dataclass(frozen=True)
+class FusedPoint:
+    n_devices: int
+    n_fused_units: int
+    per_device_gflops: float  # max over devices (Fig. 4a)
+    total_gflops: float  # sum over devices (Fig. 4b)
+    single_device_gflops: float  # no-parallelism reference
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    model: str
+    points: Tuple[FusedPoint, ...]
+
+    def format(self) -> str:
+        lines = [f"Fig. 4 — fused-layer overhead, {self.model}"]
+        for p in self.points:
+            overhead = p.total_gflops / p.single_device_gflops - 1.0
+            lines.append(
+                f"  devices={p.n_devices}  fused={p.n_fused_units:2d}  "
+                f"per-device {p.per_device_gflops:6.2f} GF  "
+                f"total {p.total_gflops:6.2f} GF  (+{overhead:6.1%} redundant)"
+            )
+        return "\n".join(lines)
+
+
+def _fused_flops(
+    model: Model, n_fused: int, n_devices: int, options: CostOptions
+) -> Tuple[float, float]:
+    """(max per-device, total) FLOPs for the fused prefix of ``n_fused``
+    units split into ``n_devices`` equal strips."""
+    _, h, w = model.out_shape(n_fused - 1)
+    per_device = []
+    for region in strip_regions(h, w, equal_partition(h, n_devices)):
+        if region.empty:
+            continue
+        per_device.append(segment_flops(model, 0, n_fused, region, options))
+    return max(per_device), sum(per_device)
+
+
+def run(
+    model_name: str = "vgg16",
+    device_counts: "Sequence[int]" = (1, 2, 4, 8),
+    fused_counts: "Sequence[int]" = (4, 7, 10, 13),
+    options: CostOptions = DEFAULT_OPTIONS,
+) -> Fig4Result:
+    model = get_model(model_name)
+    points: "List[FusedPoint]" = []
+    for n_fused in fused_counts:
+        if n_fused > model.n_units:
+            continue
+        single, _ = _fused_flops(model, n_fused, 1, options)
+        for n_devices in device_counts:
+            per_dev, total = _fused_flops(model, n_fused, n_devices, options)
+            points.append(
+                FusedPoint(
+                    n_devices, n_fused, per_dev / 1e9, total / 1e9, single / 1e9
+                )
+            )
+    return Fig4Result(model.name, tuple(points))

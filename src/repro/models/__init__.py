@@ -1,0 +1,34 @@
+"""Model specifications: layers, unit graphs and the evaluation zoo."""
+
+from repro.models.graph import BlockUnit, LayerUnit, Model, PlanUnit, chain_model
+from repro.models.inception import inception_v3
+from repro.models.mobilenet import mobilenet_v2
+from repro.models.layers import ConvSpec, DenseSpec, PoolSpec, conv1x1, conv3x3, maxpool2
+from repro.models.resnet import resnet34
+from repro.models.toy import fig13_model, toy_chain
+from repro.models.vgg import vgg16
+from repro.models.yolo import yolov2
+from repro.models.zoo import available_models, get_model
+
+__all__ = [
+    "BlockUnit",
+    "ConvSpec",
+    "DenseSpec",
+    "LayerUnit",
+    "Model",
+    "PlanUnit",
+    "PoolSpec",
+    "available_models",
+    "chain_model",
+    "conv1x1",
+    "conv3x3",
+    "fig13_model",
+    "get_model",
+    "inception_v3",
+    "maxpool2",
+    "mobilenet_v2",
+    "resnet34",
+    "toy_chain",
+    "vgg16",
+    "yolov2",
+]

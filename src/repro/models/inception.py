@@ -1,0 +1,177 @@
+"""InceptionV3 (Szegedy et al.) as a chain of inception :class:`BlockUnit`\\ s.
+
+Every inception module is one plan unit with concat merge.  Two
+fidelity notes:
+
+* Branches that fan out internally (the 1×3/3×1 splits of the C
+  modules) are flattened into separate paths that each repeat the
+  shared prefix conv; this slightly over-counts the shared 1×1/3×3
+  prefix FLOPs (< 2 % of a C module) but keeps every path a chain.
+* Average pools inside branches use ``count_include_pad`` semantics so
+  region-restricted execution stays bit-exact (see ``repro.nn.ops``).
+
+The paper itself notes inception blocks contain more layers than
+residual blocks, so block-granular planning loses some speedup on
+InceptionV3 (Fig. 12) — an effect this construction reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.models.graph import BlockUnit, LayerUnit, Model
+from repro.models.layers import ConvSpec, DenseSpec, PoolSpec, SpatialLayer
+
+__all__ = ["inception_v3"]
+
+
+def _bn_conv(
+    name: str, cin: int, cout: int, kernel, stride=1, padding=0
+) -> ConvSpec:
+    return ConvSpec(
+        name, cin, cout, kernel_size=kernel, stride=stride, padding=padding,
+        batch_norm=True, bias=False,
+    )
+
+
+def _avgpool3(name: str, channels: int) -> PoolSpec:
+    return PoolSpec(name, channels, kernel_size=3, stride=1, padding=1, kind_="avg")
+
+
+def _inception_a(name: str, cin: int, pool_proj: int) -> BlockUnit:
+    """35×35 module: 1×1 / 5×5 / double-3×3 / pool branches."""
+    paths: Tuple[Tuple[SpatialLayer, ...], ...] = (
+        (_bn_conv(f"{name}.b1.conv", cin, 64, 1),),
+        (
+            _bn_conv(f"{name}.b5.reduce", cin, 48, 1),
+            _bn_conv(f"{name}.b5.conv", 48, 64, 5, padding=2),
+        ),
+        (
+            _bn_conv(f"{name}.b3.reduce", cin, 64, 1),
+            _bn_conv(f"{name}.b3.conv1", 64, 96, 3, padding=1),
+            _bn_conv(f"{name}.b3.conv2", 96, 96, 3, padding=1),
+        ),
+        (
+            _avgpool3(f"{name}.pool", cin),
+            _bn_conv(f"{name}.pool.proj", cin, pool_proj, 1),
+        ),
+    )
+    return BlockUnit(name, paths, merge="concat")
+
+
+def _reduction_a(name: str, cin: int) -> BlockUnit:
+    """Grid reduction 35→17."""
+    paths = (
+        (_bn_conv(f"{name}.b3.conv", cin, 384, 3, stride=2),),
+        (
+            _bn_conv(f"{name}.b3dbl.reduce", cin, 64, 1),
+            _bn_conv(f"{name}.b3dbl.conv1", 64, 96, 3, padding=1),
+            _bn_conv(f"{name}.b3dbl.conv2", 96, 96, 3, stride=2),
+        ),
+        (PoolSpec(f"{name}.pool", cin, kernel_size=3, stride=2),),
+    )
+    return BlockUnit(name, paths, merge="concat")
+
+
+def _inception_b(name: str, cin: int, c7: int) -> BlockUnit:
+    """17×17 module with factorised 1×7 / 7×1 convolutions."""
+    paths = (
+        (_bn_conv(f"{name}.b1.conv", cin, 192, 1),),
+        (
+            _bn_conv(f"{name}.b7.reduce", cin, c7, 1),
+            _bn_conv(f"{name}.b7.conv1", c7, c7, (1, 7), padding=(0, 3)),
+            _bn_conv(f"{name}.b7.conv2", c7, 192, (7, 1), padding=(3, 0)),
+        ),
+        (
+            _bn_conv(f"{name}.b7dbl.reduce", cin, c7, 1),
+            _bn_conv(f"{name}.b7dbl.conv1", c7, c7, (7, 1), padding=(3, 0)),
+            _bn_conv(f"{name}.b7dbl.conv2", c7, c7, (1, 7), padding=(0, 3)),
+            _bn_conv(f"{name}.b7dbl.conv3", c7, c7, (7, 1), padding=(3, 0)),
+            _bn_conv(f"{name}.b7dbl.conv4", c7, 192, (1, 7), padding=(0, 3)),
+        ),
+        (
+            _avgpool3(f"{name}.pool", cin),
+            _bn_conv(f"{name}.pool.proj", cin, 192, 1),
+        ),
+    )
+    return BlockUnit(name, paths, merge="concat")
+
+
+def _reduction_b(name: str, cin: int) -> BlockUnit:
+    """Grid reduction 17→8."""
+    paths = (
+        (
+            _bn_conv(f"{name}.b3.reduce", cin, 192, 1),
+            _bn_conv(f"{name}.b3.conv", 192, 320, 3, stride=2),
+        ),
+        (
+            _bn_conv(f"{name}.b7.reduce", cin, 192, 1),
+            _bn_conv(f"{name}.b7.conv1", 192, 192, (1, 7), padding=(0, 3)),
+            _bn_conv(f"{name}.b7.conv2", 192, 192, (7, 1), padding=(3, 0)),
+            _bn_conv(f"{name}.b7.conv3", 192, 192, 3, stride=2),
+        ),
+        (PoolSpec(f"{name}.pool", cin, kernel_size=3, stride=2),),
+    )
+    return BlockUnit(name, paths, merge="concat")
+
+
+def _inception_c(name: str, cin: int) -> BlockUnit:
+    """8×8 module; internal 1×3 / 3×1 fan-outs flattened into paths."""
+    paths = (
+        (_bn_conv(f"{name}.b1.conv", cin, 320, 1),),
+        (
+            _bn_conv(f"{name}.b3.reduce", cin, 384, 1),
+            _bn_conv(f"{name}.b3.conv_h", 384, 384, (1, 3), padding=(0, 1)),
+        ),
+        (
+            _bn_conv(f"{name}.b3.reduce2", cin, 384, 1),
+            _bn_conv(f"{name}.b3.conv_v", 384, 384, (3, 1), padding=(1, 0)),
+        ),
+        (
+            _bn_conv(f"{name}.b3dbl.reduce", cin, 448, 1),
+            _bn_conv(f"{name}.b3dbl.conv", 448, 384, 3, padding=1),
+            _bn_conv(f"{name}.b3dbl.conv_h", 384, 384, (1, 3), padding=(0, 1)),
+        ),
+        (
+            _bn_conv(f"{name}.b3dbl.reduce2", cin, 448, 1),
+            _bn_conv(f"{name}.b3dbl.conv2", 448, 384, 3, padding=1),
+            _bn_conv(f"{name}.b3dbl.conv_v", 384, 384, (3, 1), padding=(1, 0)),
+        ),
+        (
+            _avgpool3(f"{name}.pool", cin),
+            _bn_conv(f"{name}.pool.proj", cin, 192, 1),
+        ),
+    )
+    return BlockUnit(name, paths, merge="concat")
+
+
+def inception_v3(input_hw: int = 299, num_classes: int = 1000) -> Model:
+    """Build the InceptionV3 architecture spec (299×299 input)."""
+    units = [
+        LayerUnit(_bn_conv("stem.conv1", 3, 32, 3, stride=2)),
+        LayerUnit(_bn_conv("stem.conv2", 32, 32, 3)),
+        LayerUnit(_bn_conv("stem.conv3", 32, 64, 3, padding=1)),
+        LayerUnit(PoolSpec("stem.pool1", 64, kernel_size=3, stride=2)),
+        LayerUnit(_bn_conv("stem.conv4", 64, 80, 1)),
+        LayerUnit(_bn_conv("stem.conv5", 80, 192, 3)),
+        LayerUnit(PoolSpec("stem.pool2", 192, kernel_size=3, stride=2)),
+        _inception_a("mixed5b", 192, pool_proj=32),   # -> 256
+        _inception_a("mixed5c", 256, pool_proj=64),   # -> 288
+        _inception_a("mixed5d", 288, pool_proj=64),   # -> 288
+        _reduction_a("mixed6a", 288),                 # -> 768 @ 17
+        _inception_b("mixed6b", 768, c7=128),
+        _inception_b("mixed6c", 768, c7=160),
+        _inception_b("mixed6d", 768, c7=160),
+        _inception_b("mixed6e", 768, c7=192),
+        _reduction_b("mixed7a", 768),                 # -> 1280 @ 8
+        _inception_c("mixed7b", 1280),                # -> 2048
+        _inception_c("mixed7c", 2048),                # -> 2048
+    ]
+    # Final spatial size depends on input resolution; use global avg pool.
+    probe = Model("probe", (3, input_hw, input_hw), tuple(units))
+    _, fh, fw = probe.final_shape
+    units.append(
+        LayerUnit(PoolSpec("avgpool", 2048, kernel_size=(fh, fw), stride=1, kind_="avg"))
+    )
+    head = (DenseSpec("fc", 2048, num_classes, activation="softmax"),)
+    return Model("inception_v3", (3, input_hw, input_hw), tuple(units), head)

@@ -1,0 +1,70 @@
+"""ResNet34 (He et al. 2016) as a chain of residual :class:`BlockUnit`\\ s.
+
+Each basic block is a plan unit (paper §IV-B: blocks are "special
+layers"); the identity shortcut is an empty path, downsampling blocks
+use a 1×1 stride-2 projection shortcut.
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import BlockUnit, LayerUnit, Model
+from repro.models.layers import ConvSpec, DenseSpec, PoolSpec
+
+__all__ = ["resnet34", "basic_block"]
+
+# (stage, number of blocks, output channels)
+_RESNET34_STAGES = ((1, 3, 64), (2, 4, 128), (3, 6, 256), (4, 3, 512))
+
+
+def basic_block(name: str, cin: int, cout: int, stride: int = 1) -> BlockUnit:
+    """A ResNet *basic* residual block: two 3×3 convs + shortcut."""
+    main = (
+        ConvSpec(
+            f"{name}.conv1", cin, cout, kernel_size=3, stride=stride, padding=1,
+            batch_norm=True, bias=False,
+        ),
+        ConvSpec(
+            f"{name}.conv2", cout, cout, kernel_size=3, stride=1, padding=1,
+            activation="linear", batch_norm=True, bias=False,
+        ),
+    )
+    if stride != 1 or cin != cout:
+        shortcut = (
+            ConvSpec(
+                f"{name}.downsample", cin, cout, kernel_size=1, stride=stride,
+                activation="linear", batch_norm=True, bias=False,
+            ),
+        )
+    else:
+        shortcut = ()
+    return BlockUnit(name, (main, shortcut), merge="add", post_activation="relu")
+
+
+def resnet34(input_hw: int = 224, num_classes: int = 1000) -> Model:
+    """Build the ResNet34 architecture spec: 7×7 stem, 16 basic blocks,
+    global average pool, FC classifier."""
+    units = [
+        LayerUnit(
+            ConvSpec(
+                "conv1", 3, 64, kernel_size=7, stride=2, padding=3,
+                batch_norm=True, bias=False,
+            )
+        ),
+        LayerUnit(PoolSpec("maxpool", 64, kernel_size=3, stride=2, padding=1)),
+    ]
+    cin = 64
+    for stage, n_blocks, cout in _RESNET34_STAGES:
+        for b in range(1, n_blocks + 1):
+            stride = 2 if (stage > 1 and b == 1) else 1
+            units.append(basic_block(f"layer{stage}.block{b}", cin, cout, stride))
+            cin = cout
+    final_hw = input_hw // 32
+    units.append(
+        LayerUnit(
+            PoolSpec(
+                "avgpool", 512, kernel_size=final_hw, stride=1, kind_="avg",
+            )
+        )
+    )
+    head = (DenseSpec("fc", 512, num_classes, activation="softmax"),)
+    return Model("resnet34", (3, input_hw, input_hw), tuple(units), head)

@@ -1,0 +1,57 @@
+"""Configurable toy models for planner benchmarking.
+
+Used by the paper's Table II (planner cost over (layers, devices)
+grids) and Fig. 13 (an 8-conv + 2-pool model on 64×64 MNIST-style
+input, deployed on 6 heterogeneous devices).
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import Model, chain_model
+from repro.models.layers import conv3x3, maxpool2
+
+__all__ = ["toy_chain", "fig13_model"]
+
+
+def toy_chain(
+    n_conv: int,
+    n_pool: int = 0,
+    input_hw: int = 64,
+    in_channels: int = 1,
+    base_channels: int = 16,
+    name: str = "",
+) -> Model:
+    """A chain of ``n_conv`` 3×3 convs with ``n_pool`` max-pools spread
+    evenly between them; channels double after each pool (capped)."""
+    if n_conv < 1:
+        raise ValueError("need at least one conv layer")
+    if n_pool < 0:
+        raise ValueError("n_pool must be non-negative")
+    if n_pool and input_hw >> n_pool < 4:
+        raise ValueError(f"input {input_hw} too small for {n_pool} pools")
+    pool_after = {
+        round((i + 1) * n_conv / (n_pool + 1)) for i in range(n_pool)
+    } if n_pool else set()
+    layers = []
+    cin = in_channels
+    cout = base_channels
+    for i in range(1, n_conv + 1):
+        layers.append(conv3x3(f"conv{i}", cin, cout))
+        cin = cout
+        if i in pool_after:
+            layers.append(maxpool2(f"pool{len([l for l in layers if l.kind == 'pool']) + 1}", cout))
+            cout = min(cout * 2, 256)
+    model_name = name or f"toy_c{n_conv}p{n_pool}"
+    return chain_model(model_name, (in_channels, input_hw, input_hw), layers)
+
+
+def fig13_model() -> Model:
+    """The paper's Fig. 13 toy: 8 conv + 2 pool layers, 64×64 input.
+
+    The paper does not state the channel widths; 32 base channels keeps
+    the model compute-bound enough on 50 Mbps WiFi for the utilisation
+    comparison to be meaningful, while staying "tiny"."""
+    return toy_chain(
+        n_conv=8, n_pool=2, input_hw=64, in_channels=1, base_channels=32,
+        name="fig13_toy",
+    )

@@ -1,0 +1,38 @@
+"""VGG16 (Simonyan & Zisserman 2014): 13 conv + 5 pool + 3 FC.
+
+The configuration matches the paper's Table I row ("Layers: 13 conv +
+5 pool", input 224×224 — the paper prints "244 × 244", an evident typo
+for the standard ImageNet crop).
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import Model, chain_model
+from repro.models.layers import DenseSpec, conv3x3, maxpool2
+
+__all__ = ["vgg16"]
+
+# (block index, number of convs, output channels)
+_VGG16_BLOCKS = ((1, 2, 64), (2, 2, 128), (3, 3, 256), (4, 3, 512), (5, 3, 512))
+
+
+def vgg16(input_hw: int = 224, num_classes: int = 1000) -> Model:
+    """Build the VGG16 architecture spec.
+
+    ``input_hw`` scales the input resolution (224 default); the head is
+    only attached for the default resolution-independent flatten size.
+    """
+    layers = []
+    cin = 3
+    for block, n_convs, cout in _VGG16_BLOCKS:
+        for i in range(1, n_convs + 1):
+            layers.append(conv3x3(f"conv{block}_{i}", cin, cout))
+            cin = cout
+        layers.append(maxpool2(f"pool{block}", cout))
+    final_hw = input_hw // 32
+    head = (
+        DenseSpec("fc6", 512 * final_hw * final_hw, 4096),
+        DenseSpec("fc7", 4096, 4096),
+        DenseSpec("fc8", 4096, num_classes, activation="softmax"),
+    )
+    return chain_model("vgg16", (3, input_hw, input_hw), layers, head)

@@ -1,0 +1,69 @@
+"""YOLOv2 (Redmon & Farhadi 2017): 23 conv + 5 pool, no FC head.
+
+The backbone (Darknet-19 trunk, 18 convs + 5 max-pools) is exact.  The
+detection tail's passthrough/reorg connection — a skip from the last
+28×28 feature map concatenated into the 14×14 tail — crosses a pooling
+boundary and therefore cannot be expressed in the chain-of-units
+abstraction the paper plans over (the paper likewise profiles YOLOv2 as
+a flat per-layer chain in Fig. 2b).  We linearise it: ``conv21`` is a
+1×1 expansion to the 1280 channels the concat would produce (negligible
+FLOPs at 14×14), and ``conv22``/``conv23`` match the real detection
+convs exactly.  Layer count (23 conv + 5 pool) and the FLOPs profile of
+every expensive layer are preserved.
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import Model, chain_model
+from repro.models.layers import ConvSpec, conv1x1, conv3x3, maxpool2
+
+__all__ = ["yolov2"]
+
+
+def _dn_conv3(name: str, cin: int, cout: int) -> ConvSpec:
+    return conv3x3(name, cin, cout, activation="leaky_relu", batch_norm=True, bias=False)
+
+
+def _dn_conv1(name: str, cin: int, cout: int) -> ConvSpec:
+    return conv1x1(name, cin, cout, activation="leaky_relu", batch_norm=True, bias=False)
+
+
+def yolov2(input_hw: int = 448, num_anchors: int = 5, num_classes: int = 80) -> Model:
+    """Build the YOLOv2 architecture spec (default 448×448 input, as in
+    the paper's Table I)."""
+    layers = [
+        _dn_conv3("conv1", 3, 32),
+        maxpool2("pool1", 32),
+        _dn_conv3("conv2", 32, 64),
+        maxpool2("pool2", 64),
+        _dn_conv3("conv3", 64, 128),
+        _dn_conv1("conv4", 128, 64),
+        _dn_conv3("conv5", 64, 128),
+        maxpool2("pool3", 128),
+        _dn_conv3("conv6", 128, 256),
+        _dn_conv1("conv7", 256, 128),
+        _dn_conv3("conv8", 128, 256),
+        maxpool2("pool4", 256),
+        _dn_conv3("conv9", 256, 512),
+        _dn_conv1("conv10", 512, 256),
+        _dn_conv3("conv11", 256, 512),
+        _dn_conv1("conv12", 512, 256),
+        _dn_conv3("conv13", 256, 512),
+        maxpool2("pool5", 512),
+        _dn_conv3("conv14", 512, 1024),
+        _dn_conv1("conv15", 1024, 512),
+        _dn_conv3("conv16", 512, 1024),
+        _dn_conv1("conv17", 1024, 512),
+        _dn_conv3("conv18", 512, 1024),
+        # Detection tail.
+        _dn_conv3("conv19", 1024, 1024),
+        _dn_conv3("conv20", 1024, 1024),
+        # Linearised passthrough: stands in for reorg(conv13) ++ conv20.
+        _dn_conv1("conv21", 1024, 1280),
+        _dn_conv3("conv22", 1280, 1024),
+        ConvSpec(
+            "conv23", 1024, num_anchors * (5 + num_classes),
+            kernel_size=1, activation="linear",
+        ),
+    ]
+    return chain_model("yolov2", (3, input_hw, input_hw), layers)

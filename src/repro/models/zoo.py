@@ -1,0 +1,39 @@
+"""Model registry: the four evaluation CNNs plus toy chains by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.models.graph import Model
+from repro.models.inception import inception_v3
+from repro.models.mobilenet import mobilenet_v2
+from repro.models.resnet import resnet34
+from repro.models.toy import fig13_model, toy_chain
+from repro.models.vgg import vgg16
+from repro.models.yolo import yolov2
+
+__all__ = ["MODEL_BUILDERS", "get_model", "available_models"]
+
+MODEL_BUILDERS: "Dict[str, Callable[[], Model]]" = {
+    "vgg16": vgg16,
+    "yolov2": yolov2,
+    "resnet34": resnet34,
+    "inception_v3": inception_v3,
+    "mobilenet_v2": mobilenet_v2,
+    "fig13_toy": fig13_model,
+}
+
+
+def get_model(name: str, **kwargs) -> Model:
+    """Build a registered model by name (kwargs forwarded to the builder)."""
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_BUILDERS)}"
+        ) from None
+    return builder(**kwargs)
+
+
+def available_models() -> "list[str]":
+    return sorted(MODEL_BUILDERS)

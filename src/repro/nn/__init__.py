@@ -1,0 +1,20 @@
+"""Numpy CNN inference engine: full-map and region-restricted execution."""
+
+from repro.nn.executor import Engine
+from repro.nn.tiles import (
+    SegmentProgram,
+    compile_segment,
+    extract_tile,
+    run_segment,
+)
+from repro.nn.weights import Weights, init_weights
+
+__all__ = [
+    "Engine",
+    "SegmentProgram",
+    "Weights",
+    "compile_segment",
+    "extract_tile",
+    "init_weights",
+    "run_segment",
+]

@@ -1,0 +1,125 @@
+"""Full-model numpy inference engine.
+
+:class:`Engine` binds a model spec to weights and executes whole
+feature maps; :mod:`repro.nn.tiles` reuses its layer dispatch for
+region-restricted (tiled) execution — the two paths are asserted
+bit-exact by the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.models.graph import BlockUnit, LayerUnit, Model, PlanUnit
+from repro.models.layers import ConvSpec, PoolSpec, SpatialLayer
+from repro.nn import ops
+from repro.nn.weights import Weights, init_weights
+
+__all__ = ["Engine"]
+
+_Pad4 = Tuple[int, int, int, int]
+
+
+class Engine:
+    """Executes a :class:`~repro.models.graph.Model` with numpy.
+
+    Parameters
+    ----------
+    model:
+        The architecture spec.
+    weights:
+        Optional pre-built weights; seeded random weights otherwise.
+    """
+
+    def __init__(
+        self, model: Model, weights: Optional[Weights] = None, seed: int = 0
+    ) -> None:
+        self.model = model
+        self.weights = weights if weights is not None else init_weights(model, seed)
+
+    # ------------------------------------------------------------------
+    # Layer-level dispatch (shared with tiled execution).
+    # ------------------------------------------------------------------
+    def run_layer(self, layer: SpatialLayer, x: np.ndarray, pads: _Pad4) -> np.ndarray:
+        """Execute one spatial layer with *explicit* padding."""
+        if isinstance(layer, ConvSpec):
+            params = self.weights[layer.name]
+            out = ops.conv2d(
+                x, params["weight"], params.get("bias"), layer.stride, pads,
+                groups=layer.groups,
+            )
+            if layer.batch_norm:
+                out = ops.batch_norm(
+                    out,
+                    params["gamma"],
+                    params["beta"],
+                    params["mean"],
+                    params["var"],
+                )
+            return ops.apply_activation(out, layer.activation)
+        assert isinstance(layer, PoolSpec)
+        if layer.kind_ == "max":
+            return ops.maxpool2d(x, layer.kernel_size, layer.stride, pads)
+        return ops.avgpool2d(x, layer.kernel_size, layer.stride, pads)
+
+    @staticmethod
+    def spec_pads(layer: SpatialLayer) -> _Pad4:
+        """The symmetric padding a layer uses on the full map."""
+        pv, ph = layer.padding
+        return (pv, pv, ph, ph)
+
+    # ------------------------------------------------------------------
+    # Full-map execution.
+    # ------------------------------------------------------------------
+    def run_unit(self, unit: PlanUnit, x: np.ndarray) -> np.ndarray:
+        """Execute one plan unit on a full feature map."""
+        if isinstance(unit, LayerUnit):
+            return self.run_layer(unit.layer, x, self.spec_pads(unit.layer))
+        assert isinstance(unit, BlockUnit)
+        outputs = []
+        for path in unit.paths:
+            out = x
+            for layer in path:
+                out = self.run_layer(layer, out, self.spec_pads(layer))
+            outputs.append(out)
+        if unit.merge == "add":
+            merged = outputs[0]
+            for out in outputs[1:]:
+                merged = merged + out
+        else:
+            merged = np.concatenate(outputs, axis=0)
+        return ops.apply_activation(
+            np.ascontiguousarray(merged, dtype=np.float32), unit.post_activation
+        )
+
+    def forward_features(self, x: np.ndarray) -> np.ndarray:
+        """Run every plan unit; returns the final feature map."""
+        self._check_input(x)
+        out = x.astype(np.float32, copy=False)
+        for unit in self.model.units:
+            out = self.run_unit(unit, out)
+        return out
+
+    def run_head(self, features: np.ndarray) -> np.ndarray:
+        """Flatten + dense head (identity if the model has no head)."""
+        out = features.reshape(-1)
+        for dense in self.model.head:
+            params = self.weights[dense.name]
+            out = ops.linear(out, params["weight"], params["bias"])
+            if dense.activation == "relu":
+                out = ops.relu(out)
+            elif dense.activation == "softmax":
+                out = ops.softmax(out)
+        return out
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """End-to-end inference: features then head."""
+        return self.run_head(self.forward_features(x))
+
+    def _check_input(self, x: np.ndarray) -> None:
+        if x.shape != self.model.input_shape:
+            raise ValueError(
+                f"input shape {x.shape} != model input {self.model.input_shape}"
+            )

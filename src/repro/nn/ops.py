@@ -1,0 +1,172 @@
+"""Numpy tensor operations for CNN inference.
+
+Feature maps are ``(C, H, W)`` float32 arrays (single image — edge
+inference is latency-bound, batch size 1).  Convolution uses a
+sliding-window view + tensordot (the im2col/matmul structure LibTorch
+and NNPACK use on the paper's Pis).  Every op takes *explicit* padding
+so region-restricted execution can substitute the per-tile virtual
+padding computed by the region algebra.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "pad2d",
+    "conv2d",
+    "maxpool2d",
+    "avgpool2d",
+    "relu",
+    "leaky_relu",
+    "relu6",
+    "apply_activation",
+    "batch_norm",
+    "linear",
+    "softmax",
+]
+
+_Size2 = Tuple[int, int]
+_Pad4 = Tuple[int, int, int, int]  # top, bottom, left, right
+
+#: Darknet's leaky-ReLU slope (YOLOv2 uses 0.1, not PyTorch's 0.01).
+LEAKY_SLOPE = 0.1
+
+
+def pad2d(x: np.ndarray, pads: _Pad4) -> np.ndarray:
+    """Zero-pad the spatial axes by (top, bottom, left, right)."""
+    top, bottom, left, right = pads
+    if top == bottom == left == right == 0:
+        return x
+    if min(pads) < 0:
+        raise ValueError(f"negative padding {pads}")
+    return np.pad(x, ((0, 0), (top, bottom), (left, right)))
+
+
+def _windows(x: np.ndarray, kernel: _Size2, stride: _Size2) -> np.ndarray:
+    """Sliding windows of ``x``: shape (C, H_out, W_out, kh, kw)."""
+    kh, kw = kernel
+    if x.shape[1] < kh or x.shape[2] < kw:
+        raise ValueError(
+            f"input spatial {x.shape[1:]} smaller than kernel {kernel}"
+        )
+    view = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(1, 2))
+    return view[:, :: stride[0], :: stride[1]]
+
+
+def conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    stride: _Size2 = (1, 1),
+    pads: _Pad4 = (0, 0, 0, 0),
+    groups: int = 1,
+) -> np.ndarray:
+    """2-D convolution (cross-correlation).
+
+    ``weight`` is ``(Cout, Cin/groups, kh, kw)``; ``groups == Cin``
+    gives a depthwise convolution (MobileNet-style).
+    """
+    if groups < 1 or x.shape[0] % groups or weight.shape[0] % groups:
+        raise ValueError(f"invalid groups={groups} for shapes {x.shape}, {weight.shape}")
+    if x.shape[0] // groups != weight.shape[1]:
+        raise ValueError(
+            f"channel mismatch: input {x.shape[0]} / groups {groups} != "
+            f"weight in-channels {weight.shape[1]}"
+        )
+    xp = pad2d(x, pads)
+    win = _windows(xp, weight.shape[2:], stride)
+    if groups == 1:
+        out = np.tensordot(weight, win, axes=([1, 2, 3], [0, 3, 4]))
+    else:
+        c_per_g = x.shape[0] // groups
+        o_per_g = weight.shape[0] // groups
+        win_g = win.reshape(groups, c_per_g, *win.shape[1:])
+        w_g = weight.reshape(groups, o_per_g, c_per_g, *weight.shape[2:])
+        out = np.einsum("gihwkl,goikl->gohw", win_g, w_g)
+        out = out.reshape(weight.shape[0], *out.shape[2:])
+    if bias is not None:
+        out = out + bias[:, None, None]
+    return np.ascontiguousarray(out, dtype=np.float32)
+
+
+def maxpool2d(
+    x: np.ndarray, kernel: _Size2, stride: _Size2, pads: _Pad4 = (0, 0, 0, 0)
+) -> np.ndarray:
+    """Max pooling; padded cells use -inf so they never win."""
+    top, bottom, left, right = pads
+    if any(pads):
+        xp = np.full(
+            (x.shape[0], x.shape[1] + top + bottom, x.shape[2] + left + right),
+            -np.inf,
+            dtype=x.dtype,
+        )
+        xp[:, top : top + x.shape[1], left : left + x.shape[2]] = x
+    else:
+        xp = x
+    win = _windows(xp, kernel, stride)
+    return np.ascontiguousarray(win.max(axis=(3, 4)), dtype=np.float32)
+
+
+def avgpool2d(
+    x: np.ndarray, kernel: _Size2, stride: _Size2, pads: _Pad4 = (0, 0, 0, 0)
+) -> np.ndarray:
+    """Average pooling with ``count_include_pad`` semantics (divisor is
+    always kh·kw), which keeps tiled execution bit-exact at borders."""
+    xp = pad2d(x, pads)
+    win = _windows(xp, kernel, stride)
+    out = win.sum(axis=(3, 4)) / float(kernel[0] * kernel[1])
+    return np.ascontiguousarray(out, dtype=np.float32)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def leaky_relu(x: np.ndarray, slope: float = LEAKY_SLOPE) -> np.ndarray:
+    return np.where(x > 0, x, slope * x).astype(x.dtype)
+
+
+def relu6(x: np.ndarray) -> np.ndarray:
+    """MobileNet's clipped ReLU."""
+    return np.clip(x, 0.0, 6.0)
+
+
+def apply_activation(x: np.ndarray, activation: str) -> np.ndarray:
+    """Dispatch by activation name ("linear" is identity)."""
+    if activation == "relu":
+        return relu(x)
+    if activation == "leaky_relu":
+        return leaky_relu(x)
+    if activation == "relu6":
+        return relu6(x)
+    if activation == "linear":
+        return x
+    raise ValueError(f"unknown activation {activation!r}")
+
+
+def batch_norm(
+    x: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    mean: np.ndarray,
+    var: np.ndarray,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Inference-mode batch normalisation (per-channel affine)."""
+    scale = gamma / np.sqrt(var + eps)
+    shift = beta - mean * scale
+    return (x * scale[:, None, None] + shift[:, None, None]).astype(np.float32)
+
+
+def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray) -> np.ndarray:
+    """Fully-connected layer: weight is (out_features, in_features)."""
+    return (weight @ x + bias).astype(np.float32)
+
+
+def softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - x.max()
+    exp = np.exp(shifted)
+    return (exp / exp.sum()).astype(np.float32)

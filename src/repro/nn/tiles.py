@@ -1,0 +1,296 @@
+"""Region-restricted (tiled) segment execution.
+
+A :class:`SegmentProgram` compiles "produce output region R of units
+[start, end)" into per-layer steps whose virtual padding and crop
+offsets are fixed ahead of time — the runtime equivalent of the paper's
+C++ split/stitch that "directly operates the frame tensor data in
+memory".  Executing a program on the extracted input tile produces
+*bit-exact* the same values as slicing R out of a full-map inference;
+the property-based tests assert this across random architectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.models.graph import BlockUnit, LayerUnit, Model
+from repro.models.layers import SpatialLayer
+from repro.nn.executor import Engine
+from repro.partition.fused import chain_backprop
+from repro.partition.regions import PaddedRegion, Region, receptive_region
+
+__all__ = [
+    "LayerStep",
+    "PathProgram",
+    "UnitProgram",
+    "SegmentProgram",
+    "compile_segment",
+    "compile_block_paths",
+    "extract_tile",
+    "run_segment",
+]
+
+_Pad4 = Tuple[int, int, int, int]
+
+
+def _pads_of(padded: PaddedRegion) -> _Pad4:
+    return (
+        padded.rows.pad_lo,
+        padded.rows.pad_hi,
+        padded.cols.pad_lo,
+        padded.cols.pad_hi,
+    )
+
+
+@dataclass(frozen=True)
+class LayerStep:
+    """Execute one layer on the current tile with fixed virtual pads."""
+
+    layer: SpatialLayer
+    pads: _Pad4
+    out_region: Region
+
+
+@dataclass(frozen=True)
+class PathProgram:
+    """One block path: crop offsets into the block's union input tile
+    (``(row_off, row_len, col_off, col_len)``), then layer steps.
+    An empty ``steps`` tuple is the identity shortcut."""
+
+    crop: Tuple[int, int, int, int]
+    steps: Tuple[LayerStep, ...]
+
+
+@dataclass(frozen=True)
+class UnitProgram:
+    """Program for one plan unit.
+
+    Chain units have a single step in ``steps`` and no paths; block
+    units carry one :class:`PathProgram` per path plus merge info.
+    """
+
+    unit_name: str
+    input_region: Region
+    out_region: Region
+    steps: Tuple[LayerStep, ...] = ()
+    paths: Tuple[PathProgram, ...] = ()
+    merge: Optional[str] = None
+    post_activation: str = "linear"
+
+
+@dataclass(frozen=True)
+class SegmentProgram:
+    """Compiled tile program for units ``[start, end)`` of a model."""
+
+    model_name: str
+    start: int
+    end: int
+    input_region: Region
+    out_region: Region
+    units: Tuple[UnitProgram, ...]
+
+
+def _crop_box(inner: Region, outer: Region) -> Tuple[int, int, int, int]:
+    if not outer.contains(inner):
+        raise AssertionError(f"path region {inner} escapes union {outer}")
+    return (
+        inner.rows.start - outer.rows.start,
+        inner.height,
+        inner.cols.start - outer.cols.start,
+        inner.width,
+    )
+
+
+def compile_segment(
+    model: Model, start: int, end: int, out_region: Region
+) -> SegmentProgram:
+    """Compile the tile program producing ``out_region`` of unit
+    ``end - 1``'s output from a tile of unit ``start``'s input."""
+    if not 0 <= start < end <= model.n_units:
+        raise ValueError(f"bad segment [{start}, {end}) for {model.n_units} units")
+    if out_region.empty:
+        raise ValueError("cannot compile a program for an empty output region")
+    unit_programs: "List[UnitProgram]" = []
+    region = out_region
+    for idx in range(end - 1, start - 1, -1):
+        unit = model.units[idx]
+        _, h, w = model.in_shape(idx)
+        if isinstance(unit, LayerUnit):
+            padded = receptive_region(
+                region,
+                unit.layer.kernel_size,
+                unit.layer.stride,
+                unit.layer.padding,
+                (h, w),
+            )
+            unit_programs.append(
+                UnitProgram(
+                    unit.name,
+                    padded.region,
+                    region,
+                    steps=(LayerStep(unit.layer, _pads_of(padded), region),),
+                )
+            )
+            region = padded.region
+        else:
+            assert isinstance(unit, BlockUnit)
+            path_inputs: "List[Optional[PaddedRegion]]" = []
+            path_tiles = []
+            union: Optional[Region] = None
+            for path in unit.paths:
+                if path:
+                    tiles = chain_backprop(path, (h, w), region)
+                    need = tiles.input.region
+                    path_inputs.append(tiles.input)
+                    path_tiles.append(tiles)
+                else:
+                    need = region
+                    path_inputs.append(None)
+                    path_tiles.append(None)
+                union = need if union is None else union.union_hull(need)
+            assert union is not None
+            path_programs = []
+            for path_in, tiles in zip(path_inputs, path_tiles):
+                if tiles is None:  # identity shortcut
+                    path_programs.append(
+                        PathProgram(crop=_crop_box(region, union), steps=())
+                    )
+                    continue
+                steps = tuple(
+                    LayerStep(t.layer, _pads_of(t.input), t.output)
+                    for t in tiles.tiles
+                )
+                path_programs.append(
+                    PathProgram(
+                        crop=_crop_box(path_in.region, union), steps=steps
+                    )
+                )
+            unit_programs.append(
+                UnitProgram(
+                    unit.name,
+                    union,
+                    region,
+                    paths=tuple(path_programs),
+                    merge=unit.merge,
+                    post_activation=unit.post_activation,
+                )
+            )
+            region = union
+    unit_programs.reverse()
+    return SegmentProgram(
+        model.name, start, end, region, out_region, tuple(unit_programs)
+    )
+
+
+def compile_block_paths(
+    model: Model, unit_index: int, path_indices: "Tuple[int, ...]"
+) -> SegmentProgram:
+    """Compile a *branch-parallel* program: execute only the selected
+    paths of a concat block over its full output map.
+
+    The produced tile spans the full spatial map but only the selected
+    paths' channels, in ascending path order — the coordinator stitches
+    them into the global concat layout.
+    """
+    unit = model.units[unit_index]
+    if not isinstance(unit, BlockUnit) or unit.merge != "concat":
+        raise ValueError(f"unit {unit.name} is not a concat block")
+    if not path_indices:
+        raise ValueError("need at least one path")
+    indices = tuple(sorted(set(path_indices)))
+    if indices[-1] >= len(unit.paths) or indices[0] < 0:
+        raise ValueError(f"path indices {indices} out of range")
+    _, h, w = model.in_shape(unit_index)
+    _, oh, ow = model.out_shape(unit_index)
+    out_region = Region.full(oh, ow)
+    union: Optional[Region] = None
+    tiles_per_path = []
+    for idx in indices:
+        path = unit.paths[idx]
+        if path:
+            tiles = chain_backprop(path, (h, w), out_region)
+            need = tiles.input.region
+        else:
+            tiles = None
+            need = out_region
+        tiles_per_path.append(tiles)
+        union = need if union is None else union.union_hull(need)
+    assert union is not None
+    path_programs = []
+    for tiles in tiles_per_path:
+        if tiles is None:
+            path_programs.append(PathProgram(_crop_box(out_region, union), ()))
+            continue
+        steps = tuple(
+            LayerStep(t.layer, _pads_of(t.input), t.output) for t in tiles.tiles
+        )
+        path_programs.append(
+            PathProgram(_crop_box(tiles.input.region, union), steps)
+        )
+    unit_program = UnitProgram(
+        unit.name,
+        union,
+        out_region,
+        paths=tuple(path_programs),
+        merge="concat",
+        post_activation=unit.post_activation,
+    )
+    return SegmentProgram(
+        model.name, unit_index, unit_index + 1, union, out_region, (unit_program,)
+    )
+
+
+def extract_tile(feature_map: np.ndarray, region: Region) -> np.ndarray:
+    """Slice a region out of a ``(C, H, W)`` feature map (copy)."""
+    return np.ascontiguousarray(
+        feature_map[
+            :, region.rows.start : region.rows.end, region.cols.start : region.cols.end
+        ]
+    )
+
+
+def _run_steps(engine: Engine, steps: Tuple[LayerStep, ...], tile: np.ndarray) -> np.ndarray:
+    for step in steps:
+        tile = engine.run_layer(step.layer, tile, step.pads)
+        if tile.shape[1:] != (step.out_region.height, step.out_region.width):
+            raise AssertionError(
+                f"{step.layer.name}: produced {tile.shape[1:]}, expected "
+                f"{(step.out_region.height, step.out_region.width)}"
+            )
+    return tile
+
+
+def run_segment(engine: Engine, program: SegmentProgram, tile: np.ndarray) -> np.ndarray:
+    """Execute a compiled program on the extracted input tile.
+
+    ``tile`` must be ``extract_tile(input_map, program.input_region)``.
+    Returns the ``out_region`` tile of the segment's output map.
+    """
+    expected = (program.input_region.height, program.input_region.width)
+    if tile.shape[1:] != expected:
+        raise ValueError(f"tile spatial {tile.shape[1:]} != program input {expected}")
+    current = tile
+    for unit_prog in program.units:
+        if unit_prog.merge is None:
+            current = _run_steps(engine, unit_prog.steps, current)
+            continue
+        outputs = []
+        for path in unit_prog.paths:
+            r_off, r_len, c_off, c_len = path.crop
+            sub = current[:, r_off : r_off + r_len, c_off : c_off + c_len]
+            outputs.append(_run_steps(engine, path.steps, np.ascontiguousarray(sub)))
+        if unit_prog.merge == "add":
+            merged = outputs[0]
+            for out in outputs[1:]:
+                merged = merged + out
+        else:
+            merged = np.concatenate(outputs, axis=0)
+        from repro.nn import ops  # local import to avoid cycle at module load
+
+        current = ops.apply_activation(
+            np.ascontiguousarray(merged, dtype=np.float32), unit_prog.post_activation
+        )
+    return current

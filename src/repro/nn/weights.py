@@ -1,0 +1,80 @@
+"""Weight initialisation and containers.
+
+Weights are plain dicts ``{layer_name: {param_name: ndarray}}`` so they
+pickle cheaply for shipment to runtime workers.  He-normal init keeps
+activations in a numerically friendly range through deep stacks, which
+matters for the bit-exactness assertions in the tile tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.models.graph import Model
+from repro.models.layers import ConvSpec, DenseSpec, PoolSpec
+
+__all__ = ["Weights", "init_weights", "conv_params", "dense_params"]
+
+Weights = Dict[str, Dict[str, np.ndarray]]
+
+
+def conv_params(layer: ConvSpec, rng: np.random.Generator) -> "Dict[str, np.ndarray]":
+    """He-normal conv weights plus optional bias / BN statistics."""
+    kh, kw = layer.kernel_size
+    in_per_group = layer.in_channels // layer.groups
+    fan_in = in_per_group * kh * kw
+    std = float(np.sqrt(2.0 / fan_in))
+    params = {
+        "weight": rng.normal(
+            0.0, std, size=(layer.out_channels, in_per_group, kh, kw)
+        ).astype(np.float32)
+    }
+    if layer.bias:
+        params["bias"] = rng.normal(0.0, 0.05, size=layer.out_channels).astype(
+            np.float32
+        )
+    if layer.batch_norm:
+        params["gamma"] = rng.uniform(0.8, 1.2, size=layer.out_channels).astype(
+            np.float32
+        )
+        params["beta"] = rng.normal(0.0, 0.05, size=layer.out_channels).astype(
+            np.float32
+        )
+        params["mean"] = rng.normal(0.0, 0.05, size=layer.out_channels).astype(
+            np.float32
+        )
+        params["var"] = rng.uniform(0.8, 1.2, size=layer.out_channels).astype(
+            np.float32
+        )
+    return params
+
+
+def dense_params(layer: DenseSpec, rng: np.random.Generator) -> "Dict[str, np.ndarray]":
+    std = float(np.sqrt(2.0 / layer.in_features))
+    return {
+        "weight": rng.normal(
+            0.0, std, size=(layer.out_features, layer.in_features)
+        ).astype(np.float32),
+        "bias": rng.normal(0.0, 0.05, size=layer.out_features).astype(np.float32),
+    }
+
+
+def init_weights(model: Model, seed: int = 0) -> Weights:
+    """Seeded random weights for every conv and dense layer of a model."""
+    rng = np.random.default_rng(seed)
+    weights: Weights = {}
+    for info in model.iter_layers():
+        layer = info.layer
+        if isinstance(layer, ConvSpec):
+            if layer.name in weights:
+                raise ValueError(f"duplicate layer name {layer.name!r}")
+            weights[layer.name] = conv_params(layer, rng)
+        elif isinstance(layer, PoolSpec):
+            continue  # pooling has no parameters
+    for dense in model.head:
+        if dense.name in weights:
+            raise ValueError(f"duplicate layer name {dense.name!r}")
+        weights[dense.name] = dense_params(dense, rng)
+    return weights

@@ -1,0 +1,57 @@
+"""Feature-map partitioning: region algebra, strips, grids, fused tiles."""
+
+from repro.partition.fused import (
+    ChainTiles,
+    LayerTile,
+    chain_backprop,
+    chain_forward_hw,
+    segment_input_region,
+    segment_owned_region,
+    unit_input_region,
+    unit_owned_input,
+)
+from repro.partition.grid import grid_partition, grid_shape_for, weighted_grid_partition
+from repro.partition.regions import (
+    EMPTY_INTERVAL,
+    Interval,
+    PaddedInterval,
+    PaddedRegion,
+    Region,
+    out_size,
+    owned_interval,
+    receptive_interval,
+    receptive_region,
+)
+from repro.partition.strips import (
+    equal_partition,
+    proportional_partition,
+    strip_regions,
+    weighted_partition,
+)
+
+__all__ = [
+    "ChainTiles",
+    "EMPTY_INTERVAL",
+    "Interval",
+    "LayerTile",
+    "PaddedInterval",
+    "PaddedRegion",
+    "Region",
+    "chain_backprop",
+    "chain_forward_hw",
+    "equal_partition",
+    "grid_partition",
+    "grid_shape_for",
+    "out_size",
+    "owned_interval",
+    "proportional_partition",
+    "receptive_interval",
+    "receptive_region",
+    "segment_input_region",
+    "segment_owned_region",
+    "strip_regions",
+    "unit_input_region",
+    "unit_owned_input",
+    "weighted_grid_partition",
+    "weighted_partition",
+]

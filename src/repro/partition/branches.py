@@ -1,0 +1,129 @@
+"""Branch (path) partitioning of concat blocks — the paper's future work.
+
+The paper observes (§V-B) that InceptionV3 speeds up less than ResNet34
+because "the optimal model partition is more likely to exist within
+blocks. And PICO currently does not support such a partition."  For a
+*concat* block the paths are independent given the block input, so an
+alternative to spatial strips is to give each device whole paths: it
+reads the union input region its paths need and produces their output
+channels over the full spatial map.  Channel outputs are disjoint, so —
+unlike spatial tiles — branch partitioning has **zero** redundant
+computation; its cost is bounded by the heaviest path (it cannot split
+a single path across devices).
+
+This module provides the path-weight accounting and the LPT (longest
+processing time) assignment of paths to devices used by the
+branch-parallel planner extension.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.cost.flops import CostOptions, DEFAULT_OPTIONS, layer_flops
+from repro.models.graph import BlockUnit, Model
+from repro.partition.fused import chain_backprop
+from repro.partition.regions import Region
+
+__all__ = [
+    "is_branchable",
+    "path_flops",
+    "path_out_channels",
+    "path_input_region",
+    "assign_paths_lpt",
+]
+
+
+def is_branchable(unit) -> bool:
+    """Whether a unit supports branch partitioning: a concat block with
+    at least two paths (add-merge outputs are not channel-disjoint)."""
+    return (
+        isinstance(unit, BlockUnit)
+        and unit.merge == "concat"
+        and len(unit.paths) >= 2
+    )
+
+
+def path_flops(
+    model: Model,
+    unit_index: int,
+    options: CostOptions = DEFAULT_OPTIONS,
+) -> "List[float]":
+    """Full-map FLOPs of each path of a concat block unit."""
+    unit = model.units[unit_index]
+    if not is_branchable(unit):
+        raise ValueError(f"unit {unit.name} is not a branchable concat block")
+    _, h, w = model.in_shape(unit_index)
+    _, oh, ow = model.out_shape(unit_index)
+    out_region = Region.full(oh, ow)
+    flops = []
+    for path in unit.paths:
+        total = 0.0
+        if path:
+            tiles = chain_backprop(path, (h, w), out_region)
+            for tile in tiles.tiles:
+                total += layer_flops(tile.layer, tile.output, options)
+        flops.append(total)
+    return flops
+
+
+def path_out_channels(model: Model, unit_index: int) -> "List[int]":
+    """Output channels each path contributes to the concat."""
+    unit = model.units[unit_index]
+    if not is_branchable(unit):
+        raise ValueError(f"unit {unit.name} is not a branchable concat block")
+    cin = model.in_shape(unit_index)[0]
+    return [path[-1].out_channels if path else cin for path in unit.paths]
+
+
+def path_input_region(
+    model: Model, unit_index: int, path_indices: "Sequence[int]"
+) -> Region:
+    """Union input region the given paths need for the full output map."""
+    unit = model.units[unit_index]
+    if not is_branchable(unit):
+        raise ValueError(f"unit {unit.name} is not a branchable concat block")
+    _, h, w = model.in_shape(unit_index)
+    _, oh, ow = model.out_shape(unit_index)
+    out_region = Region.full(oh, ow)
+    union = None
+    for idx in path_indices:
+        path = unit.paths[idx]
+        need = (
+            chain_backprop(path, (h, w), out_region).input.region
+            if path
+            else out_region
+        )
+        union = need if union is None else union.union_hull(need)
+    if union is None:
+        raise ValueError("path_indices must be non-empty")
+    return union
+
+
+def assign_paths_lpt(
+    weights: "Sequence[float]", capacities: "Sequence[float]"
+) -> "Tuple[Tuple[int, ...], ...]":
+    """Assign paths to devices by weighted LPT.
+
+    Paths are visited heaviest-first; each goes to the device whose
+    *normalised* load (assigned weight / capacity) is currently lowest.
+    Returns per-device tuples of path indices (a device may receive
+    none — it simply idles, like an empty spatial strip).
+    """
+    if not weights:
+        raise ValueError("weights must be non-empty")
+    if not capacities:
+        raise ValueError("capacities must be non-empty")
+    if any(c <= 0 for c in capacities):
+        raise ValueError("capacities must be positive")
+    groups: "List[List[int]]" = [[] for _ in capacities]
+    loads = [0.0] * len(capacities)
+    order = sorted(range(len(weights)), key=lambda i: -weights[i])
+    for path_idx in order:
+        device = min(
+            range(len(capacities)),
+            key=lambda d: (loads[d] + weights[path_idx]) / capacities[d],
+        )
+        groups[device].append(path_idx)
+        loads[device] += weights[path_idx]
+    return tuple(tuple(sorted(g)) for g in groups)

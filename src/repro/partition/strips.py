@@ -1,0 +1,109 @@
+"""Strip partitioners for feature-map rows.
+
+The paper (like MoDNN) partitions feature maps into horizontal strips.
+Homogeneous stages use an equal split (§IV-A1); heterogeneous stages use
+a capacity-weighted *divide-and-conquer* split (Algorithm 2, line 10).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.partition.regions import Interval, Region
+
+__all__ = [
+    "equal_partition",
+    "weighted_partition",
+    "proportional_partition",
+    "strip_regions",
+]
+
+
+def equal_partition(length: int, parts: int) -> "List[Interval]":
+    """Split ``[0, length)`` into ``parts`` contiguous intervals whose
+    sizes differ by at most one.  If ``parts > length`` the surplus
+    intervals are empty (a device with an empty strip simply idles)."""
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    base, extra = divmod(length, parts)
+    intervals = []
+    pos = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        intervals.append(Interval(pos, pos + size))
+        pos += size
+    return intervals
+
+
+def proportional_partition(length: int, weights: "Sequence[float]") -> "List[Interval]":
+    """Largest-remainder proportional split of ``[0, length)``."""
+    if not weights:
+        raise ValueError("weights must be non-empty")
+    if any(w < 0 for w in weights):
+        raise ValueError("weights must be non-negative")
+    total = float(sum(weights))
+    if total == 0:
+        return equal_partition(length, len(weights))
+    quotas = [length * w / total for w in weights]
+    sizes = [int(q) for q in quotas]
+    remainder = length - sum(sizes)
+    order = sorted(range(len(weights)), key=lambda i: quotas[i] - sizes[i], reverse=True)
+    for i in order[:remainder]:
+        sizes[i] += 1
+    intervals = []
+    pos = 0
+    for size in sizes:
+        intervals.append(Interval(pos, pos + size))
+        pos += size
+    return intervals
+
+
+def weighted_partition(length: int, weights: "Sequence[float]") -> "List[Interval]":
+    """Capacity-weighted divide-and-conquer split (paper Algorithm 2).
+
+    Recursively halves the device list at the point that balances total
+    weight, splitting the row range proportionally; degenerates to the
+    proportional split for power-of-two groups but matches the paper's
+    construction exactly.
+    """
+    if not weights:
+        raise ValueError("weights must be non-empty")
+    if any(w < 0 for w in weights):
+        raise ValueError("weights must be non-negative")
+    result: "List[Interval]" = [Interval(0, 0)] * len(weights)
+
+    def solve(lo: int, hi: int, start: int, end: int) -> None:
+        n = hi - lo
+        if n == 1:
+            result[lo] = Interval(start, end)
+            return
+        total = sum(weights[lo:hi])
+        if total == 0:
+            parts = equal_partition(end - start, n)
+            for i, iv in enumerate(parts):
+                result[lo + i] = iv.shift(start)
+            return
+        # Balance point: first split with left weight >= half, but keep
+        # at least one device on each side.
+        mid = lo + 1
+        acc = weights[lo]
+        while mid < hi - 1 and acc < total / 2:
+            acc += weights[mid]
+            mid += 1
+        left_weight = sum(weights[lo:mid])
+        cut = start + round((end - start) * left_weight / total)
+        cut = max(start, min(end, cut))
+        solve(lo, mid, start, cut)
+        solve(mid, hi, cut, end)
+
+    solve(0, len(weights), 0, length)
+    return result
+
+
+def strip_regions(height: int, width: int, rows: "Sequence[Interval]") -> "List[Region]":
+    """Lift row intervals into full-width regions of an ``H×W`` map."""
+    if any(iv.end > height for iv in rows):
+        raise ValueError("row interval exceeds map height")
+    return [Region(iv, Interval(0, width)) for iv in rows]

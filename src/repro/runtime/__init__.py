@@ -1,0 +1,32 @@
+"""Real multiprocess pipeline runtime (processes + TCP, paper Fig. 6)."""
+
+from repro.runtime.coordinator import DistributedPipeline, RuntimeStats, StageFailure
+from repro.runtime.messages import (
+    Hello,
+    Reconfigure,
+    Setup,
+    Shutdown,
+    TileResult,
+    TileTask,
+    WorkerError,
+)
+from repro.runtime.transport import Channel, TransportClosed, recv_message, send_message
+from repro.runtime.worker import worker_main
+
+__all__ = [
+    "Channel",
+    "DistributedPipeline",
+    "Hello",
+    "Reconfigure",
+    "RuntimeStats",
+    "Setup",
+    "Shutdown",
+    "StageFailure",
+    "TileResult",
+    "TileTask",
+    "TransportClosed",
+    "WorkerError",
+    "recv_message",
+    "send_message",
+    "worker_main",
+]

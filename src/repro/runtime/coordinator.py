@@ -1,0 +1,505 @@
+"""Coordinator: drives a plan on real worker processes.
+
+Implements the paper's Fig. 6 workflow.  Each stage runs as a thread:
+it takes a feature map from its input queue, splits it into the
+pre-compiled per-device tiles, scatters them to the stage's worker
+processes over TCP, gathers and stitches the results, and forwards the
+stitched map to the next stage's queue.  Stages overlap on different
+tasks — a real inference pipeline, not a simulation.
+
+Worker failure recovery (extension): if a worker dies mid-task, the
+stage redistributes its strip among the survivors (capacity-weighted),
+ships them new tile programs via :class:`Reconfigure`, and replays the
+task.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.plan import PipelinePlan, StagePlan
+from repro.models.graph import Model
+from repro.nn.executor import Engine
+from repro.nn.tiles import (
+    SegmentProgram,
+    compile_block_paths,
+    compile_segment,
+    extract_tile,
+)
+from repro.nn.weights import Weights, init_weights
+from repro.partition.regions import Region
+from repro.partition.strips import weighted_partition
+from repro.runtime.messages import (
+    Hello,
+    Reconfigure,
+    Setup,
+    Shutdown,
+    TileResult,
+    TileTask,
+    WorkerError,
+)
+from repro.runtime.transport import Channel, TransportClosed
+from repro.runtime.worker import worker_main
+
+__all__ = ["DistributedPipeline", "RuntimeStats", "StageFailure"]
+
+_SENTINEL = object()
+
+
+class StageFailure(RuntimeError):
+    """A stage lost all of its workers."""
+
+
+@dataclass
+class RuntimeStats:
+    """Measured behaviour of a distributed run."""
+
+    latencies: List[float] = field(default_factory=list)
+    makespan: float = 0.0
+    worker_compute_s: Dict[int, float] = field(default_factory=dict)
+    recoveries: int = 0
+
+    @property
+    def avg_latency(self) -> float:
+        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+
+    @property
+    def throughput(self) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return len(self.latencies) / self.makespan
+
+
+def _collect_weight_names(program: SegmentProgram) -> "set[str]":
+    names = set()
+    for unit in program.units:
+        for step in unit.steps:
+            names.add(step.layer.name)
+        for path in unit.paths:
+            for step in path.steps:
+                names.add(step.layer.name)
+    return names
+
+
+@dataclass
+class _WorkerHandle:
+    worker_id: int
+    device_name: str
+    capacity: float
+    process: mp.Process
+    channel: Optional[Channel] = None
+    program: Optional[SegmentProgram] = None
+    alive: bool = True
+    #: Branch-parallel stages: the block paths this worker executes and
+    #: the channel copy list [(tile_lo, tile_hi, out_lo, out_hi), ...]
+    #: mapping its tile's channel blocks into the concat output.
+    paths: Optional[Tuple[int, ...]] = None
+    channel_blocks: Optional[List[Tuple[int, int, int, int]]] = None
+
+
+def _channel_blocks_for(
+    model: Model, unit_index: int, paths: "Tuple[int, ...]"
+) -> "List[Tuple[int, int, int, int]]":
+    """Copy list mapping a branch worker's tile channels (its sorted
+    paths, concatenated) into the block's global concat layout."""
+    from repro.partition.branches import path_out_channels
+
+    per_path = path_out_channels(model, unit_index)
+    offsets = [0]
+    for c in per_path:
+        offsets.append(offsets[-1] + c)
+    blocks = []
+    tile_pos = 0
+    for idx in sorted(paths):
+        c = per_path[idx]
+        blocks.append((tile_pos, tile_pos + c, offsets[idx], offsets[idx + 1]))
+        tile_pos += c
+    return blocks
+
+
+class _StageRunner(threading.Thread):
+    """One pipeline stage: split → scatter → gather → stitch → forward."""
+
+    def __init__(
+        self,
+        index: int,
+        stage: StagePlan,
+        model: Model,
+        workers: "List[_WorkerHandle]",
+        in_queue: "queue.Queue",
+        out_queue: "queue.Queue",
+        stats: RuntimeStats,
+        stats_lock: threading.Lock,
+        recover: bool,
+    ) -> None:
+        super().__init__(name=f"stage-{index}", daemon=True)
+        self.index = index
+        self.stage = stage
+        self.model = model
+        self.workers = workers
+        self.in_queue = in_queue
+        self.out_queue = out_queue
+        self.stats = stats
+        self.stats_lock = stats_lock
+        self.recover = recover
+        self.out_shape = model.out_shape(stage.end - 1)
+        self.error: Optional[BaseException] = None
+        self._epoch = 0
+
+    def run(self) -> None:
+        try:
+            while True:
+                item = self.in_queue.get()
+                if item is _SENTINEL:
+                    self.out_queue.put(_SENTINEL)
+                    return
+                task_id, feature_map = item
+                output = self._process(task_id, feature_map)
+                self.out_queue.put((task_id, output))
+        except BaseException as exc:  # surface to the coordinator
+            self.error = exc
+            self.out_queue.put(_SENTINEL)
+
+    # ------------------------------------------------------------------
+    def _alive_workers(self) -> "List[_WorkerHandle]":
+        return [w for w in self.workers if w.alive]
+
+    def _process(self, task_id: int, feature_map: np.ndarray) -> np.ndarray:
+        while True:
+            workers = self._alive_workers()
+            if not workers:
+                raise StageFailure(f"stage {self.index}: no workers left")
+            try:
+                return self._scatter_gather(task_id, feature_map, workers)
+            except TransportClosed:
+                if not self.recover:
+                    raise StageFailure(
+                        f"stage {self.index}: worker connection lost"
+                    ) from None
+                self._repartition()
+
+    def _scatter_gather(
+        self,
+        task_id: int,
+        feature_map: np.ndarray,
+        workers: "List[_WorkerHandle]",
+    ) -> np.ndarray:
+        for worker in workers:
+            assert worker.program is not None
+            tile = extract_tile(feature_map, worker.program.input_region)
+            worker.channel.send(TileTask(task_id, tile, self._epoch))
+        output = np.empty(self.out_shape, dtype=np.float32)
+        for worker in workers:
+            while True:
+                try:
+                    message = worker.channel.recv()
+                except TransportClosed:
+                    worker.alive = False
+                    raise
+                if getattr(message, "epoch", self._epoch) < self._epoch:
+                    continue  # stale result from before a repartition
+                break
+            if isinstance(message, WorkerError):
+                raise RuntimeError(
+                    f"worker {message.worker_id} failed task "
+                    f"{message.task_id}: {message.message}"
+                )
+            assert isinstance(message, TileResult)
+            if worker.channel_blocks is not None:
+                for t_lo, t_hi, o_lo, o_hi in worker.channel_blocks:
+                    output[o_lo:o_hi] = message.tile[t_lo:t_hi]
+            else:
+                region = worker.program.out_region
+                output[
+                    :,
+                    region.rows.start : region.rows.end,
+                    region.cols.start : region.cols.end,
+                ] = message.tile
+            with self.stats_lock:
+                self.stats.worker_compute_s[worker.worker_id] = (
+                    self.stats.worker_compute_s.get(worker.worker_id, 0.0)
+                    + message.compute_s
+                )
+        return output
+
+    def _repartition(self) -> None:
+        """Redistribute the stage partition over surviving workers."""
+        survivors = self._alive_workers()
+        if not survivors:
+            raise StageFailure(f"stage {self.index}: no workers left")
+        self._epoch += 1
+        if self.stage.path_groups is not None:
+            from repro.partition.branches import assign_paths_lpt, path_flops
+
+            weights = path_flops(self.model, self.stage.start)
+            groups = assign_paths_lpt(
+                weights, [wk.capacity for wk in survivors]
+            )
+            for worker, group in zip(survivors, groups):
+                if not group:
+                    worker.program = None
+                    worker.alive = False
+                    continue
+                worker.program = compile_block_paths(
+                    self.model, self.stage.start, group
+                )
+                worker.paths = tuple(sorted(group))
+                worker.channel_blocks = _channel_blocks_for(
+                    self.model, self.stage.start, group
+                )
+                worker.channel.send(Reconfigure(worker.program))
+            with self.stats_lock:
+                self.stats.recoveries += 1
+            return
+        _, h, w = self.out_shape
+        rows = weighted_partition(h, [wk.capacity for wk in survivors])
+        for worker, iv in zip(survivors, rows):
+            region = Region.from_bounds(iv.start, iv.end, 0, w)
+            if region.empty:
+                worker.program = None
+                worker.alive = False  # nothing left for it to do
+                continue
+            program = compile_segment(
+                self.model, self.stage.start, self.stage.end, region
+            )
+            worker.program = program
+            worker.channel.send(Reconfigure(program))
+        with self.stats_lock:
+            self.stats.recoveries += 1
+
+
+class DistributedPipeline:
+    """Execute a :class:`PipelinePlan` on real OS processes.
+
+    Usage::
+
+        with DistributedPipeline(model, plan) as pipe:
+            outputs, stats = pipe.run_batch(inputs)
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        plan: PipelinePlan,
+        weights: Optional[Weights] = None,
+        seed: int = 0,
+        recover: bool = False,
+        fail_after: "Optional[Dict[str, int]]" = None,
+        connect_timeout_s: float = 30.0,
+    ) -> None:
+        if plan.stages[-1].end != model.n_units:
+            raise ValueError("plan does not cover the whole model")
+        self.model = model
+        self.plan = plan
+        self.weights = weights if weights is not None else init_weights(model, seed)
+        self.recover = recover
+        self.fail_after = fail_after or {}
+        self.connect_timeout_s = connect_timeout_s
+        self.stats = RuntimeStats()
+        self._stats_lock = threading.Lock()
+        self._engine = Engine(model, self.weights)
+        self._stages: "List[_StageRunner]" = []
+        self._workers: "List[_WorkerHandle]" = []
+        self._queues: "List[queue.Queue]" = []
+        self._submit_times: "Dict[int, float]" = {}
+        self._next_task = 0
+        self._started = False
+        self._closed = False
+        self._first_submit: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "DistributedPipeline":
+        if self._started:
+            return self
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        host, port = listener.getsockname()
+        listener.listen(64)
+        listener.settimeout(self.connect_timeout_s)
+
+        # Spawn one worker process per non-empty assignment.
+        stage_workers: "List[List[_WorkerHandle]]" = []
+        worker_id = 0
+        ctx = mp.get_context("fork")
+        for stage in self.plan.stages:
+            handles = []
+            for slot, (device, region) in enumerate(stage.assignments):
+                if region.empty:
+                    continue
+                if stage.path_groups is not None and not stage.path_groups[slot]:
+                    continue  # idle device in a branch stage
+                fail_after = self.fail_after.get(device.name)
+                process = ctx.Process(
+                    target=worker_main,
+                    args=(host, port, worker_id, fail_after),
+                    daemon=True,
+                )
+                process.start()
+                handles.append(
+                    _WorkerHandle(worker_id, device.name, device.capacity, process)
+                )
+                worker_id += 1
+            if not handles:
+                listener.close()
+                raise ValueError("a stage has no non-empty assignments")
+            stage_workers.append(handles)
+
+        # Accept connections and match them to handles via Hello.
+        by_id = {
+            h.worker_id: h for handles in stage_workers for h in handles
+        }
+        try:
+            for _ in range(len(by_id)):
+                conn, _addr = listener.accept()
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                channel = Channel(conn)
+                hello = channel.recv()
+                assert isinstance(hello, Hello)
+                by_id[hello.worker_id].channel = channel
+        finally:
+            listener.close()
+
+        # Compile programs and ship setups.
+        for stage, handles in zip(self.plan.stages, stage_workers):
+            if stage.path_groups is not None:
+                live = [
+                    group for group in stage.path_groups if group
+                ]
+                unit = self.model.units[stage.start]
+                # Ship the whole block's weights: a failure may later
+                # reassign any path to any surviving worker, and
+                # Reconfigure does not carry parameters.
+                block_names = {
+                    layer.name for p in unit.paths for layer in p
+                }
+                subset = {
+                    name: params
+                    for name, params in self.weights.items()
+                    if name in block_names
+                }
+                for group, handle in zip(live, handles):
+                    program = compile_block_paths(self.model, stage.start, group)
+                    handle.program = program
+                    handle.paths = tuple(sorted(group))
+                    handle.channel_blocks = _channel_blocks_for(
+                        self.model, stage.start, group
+                    )
+                    handle.channel.send(Setup(self.model, program, subset))
+                continue
+            live = [
+                (device, region)
+                for device, region in stage.assignments
+                if not region.empty
+            ]
+            for (device, region), handle in zip(live, handles):
+                program = compile_segment(self.model, stage.start, stage.end, region)
+                handle.program = program
+                names = _collect_weight_names(program)
+                subset = {
+                    name: params
+                    for name, params in self.weights.items()
+                    if name in names
+                }
+                handle.channel.send(Setup(self.model, program, subset))
+
+        # Wire queues and stage threads.
+        self._queues = [queue.Queue() for _ in range(len(self.plan.stages) + 1)]
+        for index, (stage, handles) in enumerate(zip(self.plan.stages, stage_workers)):
+            runner = _StageRunner(
+                index,
+                stage,
+                self.model,
+                handles,
+                self._queues[index],
+                self._queues[index + 1],
+                self.stats,
+                self._stats_lock,
+                self.recover,
+            )
+            runner.start()
+            self._stages.append(runner)
+            self._workers.extend(handles)
+        self._started = True
+        return self
+
+    # ------------------------------------------------------------------
+    def submit(self, x: np.ndarray) -> int:
+        """Feed one input; returns its task id."""
+        if not self._started:
+            raise RuntimeError("pipeline not started")
+        if x.shape != self.model.input_shape:
+            raise ValueError(
+                f"input shape {x.shape} != model input {self.model.input_shape}"
+            )
+        task_id = self._next_task
+        self._next_task += 1
+        now = time.perf_counter()
+        if self._first_submit is None:
+            self._first_submit = now
+        self._submit_times[task_id] = now
+        self._queues[0].put((task_id, np.ascontiguousarray(x, dtype=np.float32)))
+        return task_id
+
+    def collect(self, timeout_s: float = 120.0) -> Tuple[int, np.ndarray]:
+        """Fetch one completed (task_id, output) from the final stage."""
+        item = self._queues[-1].get(timeout=timeout_s)
+        if item is _SENTINEL:
+            for stage in self._stages:
+                if stage.error is not None:
+                    raise stage.error
+            raise RuntimeError("pipeline terminated unexpectedly")
+        task_id, features = item
+        now = time.perf_counter()
+        with self._stats_lock:
+            self.stats.latencies.append(now - self._submit_times.pop(task_id))
+            if self._first_submit is not None:
+                self.stats.makespan = now - self._first_submit
+        output = self._engine.run_head(features) if self.model.head else features
+        return task_id, output
+
+    def run_batch(
+        self, inputs: "Sequence[np.ndarray]", timeout_s: float = 120.0
+    ) -> Tuple[List[np.ndarray], RuntimeStats]:
+        """Submit every input, gather every output (in submit order)."""
+        ids = [self.submit(x) for x in inputs]
+        outputs: "Dict[int, np.ndarray]" = {}
+        for _ in ids:
+            task_id, out = self.collect(timeout_s)
+            outputs[task_id] = out
+        return [outputs[i] for i in ids], self.stats
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._started:
+            self._queues[0].put(_SENTINEL)
+            for stage in self._stages:
+                stage.join(timeout=10.0)
+            for worker in self._workers:
+                if worker.channel is not None:
+                    try:
+                        worker.channel.send(Shutdown())
+                    except (TransportClosed, OSError):
+                        pass
+                    worker.channel.close()
+            for worker in self._workers:
+                worker.process.join(timeout=10.0)
+                if worker.process.is_alive():
+                    worker.process.terminate()
+
+    def __enter__(self) -> "DistributedPipeline":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,92 @@
+"""Wire messages for the distributed runtime.
+
+The coordinator ships each worker a one-time :class:`Setup` (its
+compiled tile program plus the weights its segment touches — the model
+copy of paper Fig. 6), then streams :class:`TileTask` frames per
+inference.  Everything is a plain dataclass so the framed-pickle
+transport can carry it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.models.graph import Model
+from repro.nn.tiles import SegmentProgram
+from repro.nn.weights import Weights
+
+__all__ = [
+    "Hello",
+    "Setup",
+    "Reconfigure",
+    "TileTask",
+    "TileResult",
+    "WorkerError",
+    "Shutdown",
+]
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Worker → coordinator handshake."""
+
+    worker_id: int
+
+
+@dataclass(frozen=True)
+class Setup:
+    """Coordinator → worker: model spec, segment program and weights."""
+
+    model: Model
+    program: SegmentProgram
+    weights: Weights
+
+
+@dataclass(frozen=True)
+class Reconfigure:
+    """Coordinator → worker: replace the tile program (e.g. after a
+    peer failure redistributes the stage partition)."""
+
+    program: SegmentProgram
+
+
+@dataclass(frozen=True)
+class TileTask:
+    """Coordinator → worker: one input tile to process.
+
+    ``epoch`` identifies the stage partition generation; it increments
+    when a failure redistributes the stage, letting the coordinator
+    discard results computed under a stale partition."""
+
+    task_id: int
+    tile: np.ndarray
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class TileResult:
+    """Worker → coordinator: the computed output tile."""
+
+    task_id: int
+    worker_id: int
+    tile: np.ndarray
+    compute_s: float
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class WorkerError:
+    """Worker → coordinator: the worker failed processing a task."""
+
+    task_id: Optional[int]
+    worker_id: int
+    message: str
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Coordinator → worker: clean exit."""

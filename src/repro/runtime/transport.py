@@ -1,0 +1,85 @@
+"""Length-prefixed framed transport over TCP sockets.
+
+Mirrors the paper's implementation ("a distributed framework …
+using C++ extension and TCP/IP with socket"): each frame is an 8-byte
+big-endian length followed by a pickled message.  Numpy arrays ride
+along in the pickle — adequate on loopback, and the framing is what a
+production serialisation swap (flatbuffers, etc.) would keep.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any
+
+__all__ = ["TransportClosed", "send_message", "recv_message", "Channel"]
+
+_HEADER = struct.Struct(">Q")
+#: Refuse absurd frames (corrupt header, protocol desync).
+MAX_FRAME_BYTES = 1 << 31
+
+
+class TransportClosed(ConnectionError):
+    """The peer closed the connection."""
+
+
+def send_message(sock: socket.socket, message: Any) -> None:
+    """Serialise and send one framed message."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise TransportClosed("peer closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Any:
+    """Receive one framed message (blocking)."""
+    header = _recv_exact(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ValueError(f"frame of {length} bytes exceeds limit")
+    return pickle.loads(_recv_exact(sock, length))
+
+
+class Channel:
+    """A connected socket with message framing and idempotent close."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._closed = False
+
+    def send(self, message: Any) -> None:
+        if self._closed:
+            raise TransportClosed("channel is closed")
+        send_message(self._sock, message)
+
+    def recv(self) -> Any:
+        if self._closed:
+            raise TransportClosed("channel is closed")
+        return recv_message(self._sock)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+    def __enter__(self) -> "Channel":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

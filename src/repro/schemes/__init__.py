@@ -1,0 +1,26 @@
+"""The four parallelization schemes compared in the paper's evaluation."""
+
+from repro.schemes.base import PlanningError, Scheme, weighted_assignments
+from repro.schemes.early_fused import EarlyFusedScheme, default_fuse_count
+from repro.schemes.layer_wise import LayerWiseScheme
+from repro.schemes.optimal_fused import OptimalFusedScheme
+from repro.schemes.pico import PicoScheme
+
+__all__ = [
+    "EarlyFusedScheme",
+    "LayerWiseScheme",
+    "OptimalFusedScheme",
+    "PicoScheme",
+    "PlanningError",
+    "Scheme",
+    "default_fuse_count",
+    "weighted_assignments",
+]
+
+#: The paper's comparison set, in its Table I order.
+ALL_SCHEMES = (
+    LayerWiseScheme,
+    EarlyFusedScheme,
+    OptimalFusedScheme,
+    PicoScheme,
+)

@@ -1,0 +1,61 @@
+"""Scheme interface shared by all four parallelization strategies.
+
+A scheme turns (model, cluster, network) into a :class:`PipelinePlan`.
+The paper's baselines — Layer-Wise (MoDNN), Early-Fused-Layer
+(DeepThings) and Optimal-Fused-Layer (AOFL) — are *one-stage* schemes:
+the whole cluster serves one task at a time, so their plans are
+``exclusive`` and their period equals their latency.  PICO emits a
+``pipelined`` plan.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence, Tuple
+
+from repro.cluster.device import Cluster, Device
+from repro.core.plan import PipelinePlan
+from repro.cost.comm import NetworkModel
+from repro.cost.flops import CostOptions, DEFAULT_OPTIONS
+from repro.models.graph import Model
+from repro.partition.regions import Region
+from repro.partition.strips import weighted_partition
+
+__all__ = ["Scheme", "PlanningError", "weighted_assignments"]
+
+
+class PlanningError(RuntimeError):
+    """Raised when a scheme cannot produce a feasible plan."""
+
+
+def weighted_assignments(
+    model: Model, end_unit: int, devices: "Sequence[Device]"
+) -> "Tuple[Tuple[Device, Region], ...]":
+    """Capacity-weighted strip assignments over the output map of unit
+    ``end_unit - 1`` (the adaptive partition of MeDNN/AOFL baselines)."""
+    _, h, w = model.out_shape(end_unit - 1)
+    rows = weighted_partition(h, [d.capacity for d in devices])
+    return tuple(
+        (device, Region.from_bounds(iv.start, iv.end, 0, w))
+        for device, iv in zip(devices, rows)
+    )
+
+
+class Scheme(ABC):
+    """Base class for parallelization schemes."""
+
+    #: Short identifier used in experiment tables ("LW", "EFL", ...).
+    name: str = "?"
+
+    @abstractmethod
+    def plan(
+        self,
+        model: Model,
+        cluster: Cluster,
+        network: NetworkModel,
+        options: CostOptions = DEFAULT_OPTIONS,
+    ) -> PipelinePlan:
+        """Produce an execution plan for ``model`` on ``cluster``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"

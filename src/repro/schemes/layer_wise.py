@@ -1,0 +1,39 @@
+"""Layer-Wise parallelization (MoDNN, Mao et al. DATE'17).
+
+Every unit is parallelized across the whole cluster with a gather +
+scatter between consecutive units.  Redundancy is minimal (one kernel
+halo per layer) but the per-layer synchronisation makes communication
+dominate on wireless networks — the paper drops LW from the latency
+plots because of its "poor performance" and our capacity benchmarks
+reproduce that.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.device import Cluster
+from repro.core.plan import PipelinePlan, StagePlan
+from repro.cost.comm import NetworkModel
+from repro.cost.flops import CostOptions, DEFAULT_OPTIONS
+from repro.models.graph import Model
+from repro.schemes.base import Scheme, weighted_assignments
+
+__all__ = ["LayerWiseScheme"]
+
+
+class LayerWiseScheme(Scheme):
+    """One exclusive phase per plan unit, all devices in each."""
+
+    name = "LW"
+
+    def plan(
+        self,
+        model: Model,
+        cluster: Cluster,
+        network: NetworkModel,
+        options: CostOptions = DEFAULT_OPTIONS,
+    ) -> PipelinePlan:
+        stages = tuple(
+            StagePlan(idx, idx + 1, weighted_assignments(model, idx + 1, cluster.devices))
+            for idx in range(model.n_units)
+        )
+        return PipelinePlan(model.name, stages, mode="exclusive")

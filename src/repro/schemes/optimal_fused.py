@@ -1,0 +1,111 @@
+"""Optimal-Fused-Layer parallelization (AOFL, Zhou et al. SEC'19).
+
+Selects fusion points over the whole network by dynamic programming:
+each contiguous group of units is parallelized across the *best-sized*
+device subset (the fastest ``k`` devices, ``k`` optimised per group —
+adding a device pays both communication and halo redundancy, so deep
+groups prefer fewer devices), with running on one device as the ``k=1``
+degenerate case; the per-group choices chain to minimise total
+single-task time.  Still a one-stage scheme: one task occupies the
+whole cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cluster.device import Cluster
+from repro.core.plan import PipelinePlan, StagePlan
+from repro.cost.comm import NetworkModel
+from repro.cost.flops import CostOptions, DEFAULT_OPTIONS
+from repro.cost.stage_cost import stage_time
+from repro.models.graph import Model
+from repro.partition.regions import Region
+from repro.partition.strips import weighted_partition
+from repro.schemes.base import Scheme
+
+__all__ = ["OptimalFusedScheme"]
+
+
+@dataclass(frozen=True)
+class _GroupChoice:
+    cost: float
+    n_devices: int  # 1 == serial on the fastest device
+
+    @property
+    def parallel(self) -> bool:
+        return self.n_devices > 1
+
+
+class OptimalFusedScheme(Scheme):
+    """DP-optimised fusion-point + group-width selection (one-stage
+    scheme)."""
+
+    name = "OFL"
+
+    def plan(
+        self,
+        model: Model,
+        cluster: Cluster,
+        network: NetworkModel,
+        options: CostOptions = DEFAULT_OPTIONS,
+    ) -> PipelinePlan:
+        n = model.n_units
+        ranked = cluster.sorted_by_capacity()
+        choice: "dict[Tuple[int, int], _GroupChoice]" = {}
+
+        def assignments_for(end: int, k: int):
+            devices = ranked[:k]
+            _, h, w = model.out_shape(end - 1)
+            rows = weighted_partition(h, [d.capacity for d in devices])
+            return tuple(
+                (device, Region.from_bounds(iv.start, iv.end, 0, w))
+                for device, iv in zip(devices, rows)
+            )
+
+        def group_cost(start: int, end: int) -> _GroupChoice:
+            key = (start, end)
+            cached = choice.get(key)
+            if cached is not None:
+                return cached
+            with_head = end == n
+            result: Optional[_GroupChoice] = None
+            for k in range(1, len(ranked) + 1):
+                cost = stage_time(
+                    model,
+                    start,
+                    end,
+                    assignments_for(end, k),
+                    network,
+                    options,
+                    with_head=with_head,
+                ).total
+                if result is None or cost < result.cost:
+                    result = _GroupChoice(cost, k)
+            assert result is not None
+            choice[key] = result
+            return result
+
+        best: "List[float]" = [0.0] + [float("inf")] * n
+        back: "List[Optional[int]]" = [None] * (n + 1)
+        for j in range(1, n + 1):
+            for i in range(j):
+                cost = best[i] + group_cost(i, j).cost
+                if cost < best[j]:
+                    best[j] = cost
+                    back[j] = i
+        cuts = []
+        j = n
+        while j > 0:
+            i = back[j]
+            assert i is not None
+            cuts.append((i, j))
+            j = i
+        cuts.reverse()
+
+        stages = []
+        for start, end in cuts:
+            k = group_cost(start, end).n_devices
+            stages.append(StagePlan(start, end, assignments_for(end, k)))
+        return PipelinePlan(model.name, tuple(stages), mode="exclusive")

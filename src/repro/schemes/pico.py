@@ -1,0 +1,77 @@
+"""PICO: pipelined cooperation (the paper's contribution).
+
+Two steps (§IV-A): Algorithm 1's dynamic program finds the
+minimum-period stage split for the *homogenised* cluster; Algorithm 2
+greedily maps real heterogeneous devices onto those stages with
+capacity-weighted partitions.  An optional latency bound ``t_lim``
+implements the Eq. (1) constraint; ``use_pareto=True`` swaps in the
+exact Pareto-frontier planner (ablation).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cluster.device import Cluster
+from repro.core.dp_planner import plan_homogeneous
+from repro.core.heterogeneous import adapt_to_cluster
+from repro.core.pareto import plan_pareto
+from repro.core.plan import PipelinePlan
+from repro.cost.comm import NetworkModel
+from repro.cost.flops import CostOptions, DEFAULT_OPTIONS
+from repro.models.graph import Model
+from repro.schemes.base import PlanningError, Scheme
+
+__all__ = ["PicoScheme"]
+
+
+class PicoScheme(Scheme):
+    """Pipelined cooperation scheme.
+
+    ``branch_parallel=True`` enables the intra-block partition extension
+    (the paper's stated future work): single-block stages over concat
+    blocks may assign whole paths to devices when that beats spatial
+    strips.  The scheme then reports itself as ``PICO+B``.
+    """
+
+    name = "PICO"
+
+    def __init__(
+        self,
+        t_lim: float = math.inf,
+        use_pareto: bool = False,
+        branch_parallel: bool = False,
+    ) -> None:
+        if t_lim <= 0:
+            raise ValueError("t_lim must be positive")
+        self.t_lim = t_lim
+        self.use_pareto = use_pareto
+        self.branch_parallel = branch_parallel
+        if branch_parallel:
+            self.name = "PICO+B"
+
+    def plan(
+        self,
+        model: Model,
+        cluster: Cluster,
+        network: NetworkModel,
+        options: CostOptions = DEFAULT_OPTIONS,
+    ) -> PipelinePlan:
+        if self.use_pareto and self.branch_parallel:
+            raise ValueError(
+                "branch_parallel is not implemented for the Pareto planner"
+            )
+        if self.branch_parallel:
+            homo = plan_homogeneous(
+                model, cluster, network, options, t_lim=self.t_lim,
+                allow_branch=True,
+            )
+        else:
+            planner = plan_pareto if self.use_pareto else plan_homogeneous
+            homo = planner(model, cluster, network, options, t_lim=self.t_lim)
+        if homo is None:
+            raise PlanningError(
+                f"no pipeline satisfies latency limit {self.t_lim:.4f}s "
+                f"for {model.name} on {len(cluster)} devices"
+            )
+        return adapt_to_cluster(model, homo, cluster, options)

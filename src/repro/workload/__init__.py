@@ -1,0 +1,19 @@
+"""Workload generation: Poisson arrivals, saturation, phased traces."""
+
+from repro.workload.arrivals import (
+    poisson_arrivals,
+    poisson_arrivals_count,
+    saturation_arrivals,
+    uniform_arrivals,
+)
+from repro.workload.traces import Phase, PhasedTrace, day_night_trace
+
+__all__ = [
+    "Phase",
+    "PhasedTrace",
+    "day_night_trace",
+    "poisson_arrivals",
+    "poisson_arrivals_count",
+    "saturation_arrivals",
+    "uniform_arrivals",
+]

@@ -1,0 +1,84 @@
+"""Synthetic workload traces with time-varying rates.
+
+The paper motivates APICO with diurnal smart-home load ("idle when
+occupants go to work, busy when they return").  A :class:`PhasedTrace`
+concatenates Poisson segments with different rates, producing exactly
+the light→heavy→light patterns the adaptive switcher must track.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.workload.arrivals import poisson_arrivals
+
+__all__ = ["Phase", "PhasedTrace", "day_night_trace"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A constant-rate segment of a trace."""
+
+    rate: float  # tasks / second
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("rate must be non-negative")
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+
+
+@dataclass(frozen=True)
+class PhasedTrace:
+    """A sequence of Poisson phases played back to back."""
+
+    phases: Tuple[Phase, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "phases", tuple(self.phases))
+        if not self.phases:
+            raise ValueError("trace needs at least one phase")
+
+    @property
+    def horizon_s(self) -> float:
+        return sum(p.duration_s for p in self.phases)
+
+    def sample(self, rng: Optional[np.random.Generator] = None) -> "List[float]":
+        """Arrival times over the whole trace."""
+        rng = rng or np.random.default_rng()
+        arrivals: "List[float]" = []
+        offset = 0.0
+        for phase in self.phases:
+            if phase.rate > 0:
+                arrivals.extend(
+                    offset + t
+                    for t in poisson_arrivals(phase.rate, phase.duration_s, rng)
+                )
+            offset += phase.duration_s
+        return arrivals
+
+    def rate_at(self, t: float) -> float:
+        """The nominal rate active at time ``t``."""
+        offset = 0.0
+        for phase in self.phases:
+            if t < offset + phase.duration_s:
+                return phase.rate
+            offset += phase.duration_s
+        return self.phases[-1].rate
+
+
+def day_night_trace(
+    light_rate: float, heavy_rate: float, phase_duration_s: float, cycles: int = 1
+) -> PhasedTrace:
+    """Alternating light/heavy phases (the smart-home motivation)."""
+    if cycles < 1:
+        raise ValueError("cycles must be positive")
+    phases: "List[Phase]" = []
+    for _ in range(cycles):
+        phases.append(Phase(light_rate, phase_duration_s))
+        phases.append(Phase(heavy_rate, phase_duration_s))
+    return PhasedTrace(tuple(phases))

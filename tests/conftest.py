@@ -1,0 +1,59 @@
+"""Shared fixtures: small models, clusters and networks used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.device import heterogeneous_cluster, pi_cluster
+from repro.cost.comm import NetworkModel
+from repro.models.toy import toy_chain
+
+
+@pytest.fixture
+def network() -> NetworkModel:
+    """The paper's 50 Mbps WiFi."""
+    return NetworkModel.from_mbps(50.0)
+
+
+@pytest.fixture
+def fast_network() -> NetworkModel:
+    """A near-free network, for isolating compute effects."""
+    return NetworkModel.from_mbps(10000.0)
+
+
+@pytest.fixture
+def homo4():
+    return pi_cluster(4, 1000)
+
+
+@pytest.fixture
+def homo8():
+    return pi_cluster(8, 600)
+
+
+@pytest.fixture
+def hetero4():
+    return heterogeneous_cluster([1200, 1000, 800, 600])
+
+
+@pytest.fixture
+def hetero8():
+    return heterogeneous_cluster([1200, 1200, 800, 800, 600, 600, 600, 600])
+
+
+@pytest.fixture
+def small_model():
+    """A 4-conv / 1-pool chain on 32×32 RGB input — fast to execute."""
+    return toy_chain(4, 1, input_hw=32, in_channels=3, base_channels=8)
+
+
+@pytest.fixture
+def medium_model():
+    """A 6-conv / 2-pool chain on 48×48 input."""
+    return toy_chain(6, 2, input_hw=48, in_channels=3, base_channels=8)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,45 @@
+"""Tests for the top-level convenience API."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.models.toy import toy_chain
+
+
+def test_plan_defaults_to_pico_and_wifi():
+    model = toy_chain(4, 1, input_hw=32, in_channels=3)
+    cluster = repro.pi_cluster(4, 800)
+    plan = repro.plan(model, cluster)
+    assert plan.mode == "pipelined"
+    assert plan.stages[-1].end == model.n_units
+
+
+def test_evaluate_returns_cost():
+    model = toy_chain(4, 1, input_hw=32, in_channels=3)
+    cluster = repro.pi_cluster(4, 800)
+    plan = repro.plan(model, cluster)
+    cost = repro.evaluate(model, plan)
+    assert cost.period > 0
+    assert cost.latency >= cost.period
+
+
+def test_plan_kwargs_forwarded():
+    model = toy_chain(4, 1, input_hw=32, in_channels=3)
+    cluster = repro.pi_cluster(4, 800)
+    with pytest.raises(repro.schemes.PlanningError):
+        repro.plan(model, cluster, t_lim=1e-12)
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_get_model_exposed():
+    assert repro.get_model("vgg16").name == "vgg16"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name

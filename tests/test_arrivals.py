@@ -1,0 +1,108 @@
+"""Tests for workload generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload.arrivals import (
+    poisson_arrivals,
+    poisson_arrivals_count,
+    saturation_arrivals,
+    uniform_arrivals,
+)
+from repro.workload.traces import Phase, PhasedTrace, day_night_trace
+
+
+class TestPoisson:
+    def test_rate_recovered(self):
+        rng = np.random.default_rng(0)
+        times = poisson_arrivals(5.0, 2000.0, rng)
+        assert len(times) / 2000.0 == pytest.approx(5.0, rel=0.1)
+
+    def test_sorted_and_bounded(self):
+        rng = np.random.default_rng(1)
+        times = poisson_arrivals(2.0, 50.0, rng)
+        assert times == sorted(times)
+        assert all(0 < t < 50.0 for t in times)
+
+    def test_zero_rate_empty(self):
+        assert poisson_arrivals(0.0, 10.0) == []
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(1.0, 0.0)
+
+    def test_count_variant_exact_count(self):
+        rng = np.random.default_rng(2)
+        times = poisson_arrivals_count(3.0, 100, rng)
+        assert len(times) == 100
+        assert list(times) == sorted(times)
+
+    @given(rate=st.floats(0.1, 20.0), seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_interarrivals_positive(self, rate, seed):
+        rng = np.random.default_rng(seed)
+        times = poisson_arrivals_count(rate, 50, rng)
+        gaps = np.diff([0.0] + list(times))
+        assert np.all(gaps > 0)
+
+
+class TestUniform:
+    def test_exact_spacing(self):
+        times = uniform_arrivals(2.0, 3.0)
+        assert times == pytest.approx([0.5, 1.0, 1.5, 2.0, 2.5])
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            uniform_arrivals(0.0, 5.0)
+
+
+class TestSaturation:
+    def test_all_zero(self):
+        assert saturation_arrivals(4) == [0.0] * 4
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            saturation_arrivals(0)
+
+
+class TestTraces:
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            Phase(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            Phase(1.0, 0.0)
+
+    def test_horizon(self):
+        trace = PhasedTrace((Phase(1.0, 10.0), Phase(2.0, 5.0)))
+        assert trace.horizon_s == 15.0
+
+    def test_rate_at(self):
+        trace = PhasedTrace((Phase(1.0, 10.0), Phase(2.0, 5.0)))
+        assert trace.rate_at(3.0) == 1.0
+        assert trace.rate_at(12.0) == 2.0
+        assert trace.rate_at(99.0) == 2.0  # clamps to last phase
+
+    def test_sample_respects_phases(self):
+        trace = PhasedTrace((Phase(0.0, 100.0), Phase(10.0, 100.0)))
+        arrivals = trace.sample(np.random.default_rng(3))
+        assert all(t >= 100.0 for t in arrivals)
+        assert len(arrivals) == pytest.approx(1000, rel=0.2)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            PhasedTrace(())
+
+    def test_day_night(self):
+        trace = day_night_trace(0.1, 5.0, 60.0, cycles=2)
+        assert len(trace.phases) == 4
+        assert trace.phases[0].rate == 0.1
+        assert trace.phases[1].rate == 5.0
+
+    def test_day_night_invalid_cycles(self):
+        with pytest.raises(ValueError):
+            day_night_trace(0.1, 5.0, 60.0, cycles=0)

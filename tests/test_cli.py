@@ -1,0 +1,95 @@
+"""Tests for the command-line interface (in-process, no subprocesses)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.serialize import load_plan
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestModels:
+    def test_lists_zoo(self, capsys):
+        code, out = run_cli(capsys, "models")
+        assert code == 0
+        for name in ("vgg16", "yolov2", "resnet34", "inception_v3"):
+            assert name in out
+
+
+class TestDescribe:
+    def test_prints_layers(self, capsys):
+        code, out = run_cli(capsys, "describe", "vgg16")
+        assert code == 0
+        assert "conv1_1" in out and "fc8" in out
+
+    def test_unknown_model(self, capsys):
+        with pytest.raises(KeyError):
+            run_cli(capsys, "describe", "alexnet")
+
+
+class TestPlan:
+    def test_plan_toy(self, capsys):
+        code, out = run_cli(
+            capsys, "plan", "fig13_toy", "--devices", "4", "--freq", "800"
+        )
+        assert code == 0
+        assert "period" in out and "pipelined" in out
+
+    def test_plan_heterogeneous_and_save(self, capsys, tmp_path):
+        path = tmp_path / "plan.json"
+        code, out = run_cli(
+            capsys, "plan", "fig13_toy", "--freqs", "1200,800,600",
+            "--save", str(path),
+        )
+        assert code == 0
+        plan = load_plan(str(path))
+        assert plan.mode == "pipelined"
+        names = {d.name for s in plan.stages for d in s.devices}
+        assert any("1200" in n for n in names)
+
+
+class TestCompare:
+    def test_all_schemes_listed(self, capsys):
+        code, out = run_cli(
+            capsys, "compare", "fig13_toy", "--devices", "4", "--freq", "800"
+        )
+        assert code == 0
+        for scheme in ("LW", "EFL", "OFL", "PICO"):
+            assert scheme in out
+
+
+class TestSimulate:
+    def test_reports_latencies(self, capsys):
+        code, out = run_cli(
+            capsys, "simulate", "fig13_toy", "--devices", "4", "--freq", "800",
+            "--load", "0.8", "--horizon", "30",
+        )
+        assert code == 0
+        for scheme in ("EFL", "OFL", "PICO", "APICO"):
+            assert scheme in out
+
+
+class TestTimeline:
+    def test_draws_stages(self, capsys):
+        code, out = run_cli(
+            capsys, "timeline", "fig13_toy", "--devices", "4", "--freq", "800",
+            "--tasks", "3",
+        )
+        assert code == 0
+        assert "stage 0" in out

@@ -1,0 +1,195 @@
+"""Fast-configuration runs of every experiment harness, asserting the
+paper's qualitative shapes.  The full-size sweeps live in benchmarks/.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.device import heterogeneous_cluster, pi_cluster
+from repro.cost.comm import NetworkModel
+from repro.experiments import (
+    fig02_layer_profile,
+    fig04_fused_redundancy,
+    fig08_capacity,
+    fig10_latency,
+    fig12_speedup,
+    fig13_pico_vs_bfs,
+    table1_utilization,
+    table2_optimization_cost,
+)
+from repro.experiments.common import format_table
+
+
+NET = NetworkModel.from_mbps(50.0)
+
+
+class TestFig2:
+    @pytest.mark.parametrize("model_name", ["vgg16", "yolov2"])
+    def test_conv_dominates_compute(self, model_name):
+        result = fig02_layer_profile.run(model_name)
+        # Paper: 99.19% (VGG16), 99.59% (YOLOv2).
+        assert result.conv_computation_share > 0.99
+
+    def test_shares_sum_to_one(self):
+        result = fig02_layer_profile.run("vgg16")
+        assert sum(l.computation_share for l in result.layers) == pytest.approx(1.0)
+        assert sum(l.communication_share for l in result.layers) == pytest.approx(1.0)
+
+    def test_format_lists_layers(self):
+        text = fig02_layer_profile.run("vgg16").format()
+        assert "conv1_1" in text and "pool5" in text
+
+
+class TestFig4:
+    def test_total_flops_grow_with_devices_and_depth(self):
+        result = fig04_fused_redundancy.run(
+            device_counts=(1, 4, 8), fused_counts=(4, 10)
+        )
+        by_key = {(p.n_devices, p.n_fused_units): p for p in result.points}
+        # More devices -> more total FLOPs (Fig. 4b).
+        assert by_key[(8, 10)].total_gflops > by_key[(4, 10)].total_gflops
+        assert by_key[(4, 10)].total_gflops > by_key[(1, 10)].total_gflops
+        # Deeper fusion amplifies the redundancy ratio.
+        shallow = by_key[(8, 4)].total_gflops / by_key[(8, 4)].single_device_gflops
+        deep = by_key[(8, 10)].total_gflops / by_key[(8, 10)].single_device_gflops
+        assert deep > shallow
+
+    def test_per_device_flops_shrink_with_devices(self):
+        result = fig04_fused_redundancy.run(device_counts=(1, 8), fused_counts=(7,))
+        by_key = {(p.n_devices, p.n_fused_units): p for p in result.points}
+        assert by_key[(8, 7)].per_device_gflops < by_key[(1, 7)].per_device_gflops
+
+
+class TestFig8Capacity:
+    def test_scheme_ordering_and_device_scaling(self):
+        result = fig08_capacity.run(
+            "vgg16", freqs_mhz=(600.0,), device_counts=(2, 8), sim_tasks=10
+        )
+        for n in (2, 8):
+            periods = {
+                p.scheme: p.period_s
+                for p in result.points
+                if p.n_devices == n and p.freq_mhz == 600.0
+            }
+            assert periods["PICO"] <= periods["OFL"] <= periods["EFL"]
+        # PICO period improves with more devices.
+        p2 = dict(result.periods("PICO", 600.0))
+        assert p2[8] < p2[2]
+
+    def test_throughput_accessor(self):
+        result = fig08_capacity.run(
+            "vgg16", freqs_mhz=(600.0,), device_counts=(4,), sim_tasks=10,
+            include_lw=False,
+        )
+        thpt = result.throughput_at("PICO", 600.0, 4)
+        assert thpt > result.throughput_at("EFL", 600.0, 4)
+        with pytest.raises(KeyError):
+            result.throughput_at("PICO", 600.0, 99)
+
+
+class TestFig10Latency:
+    def test_pico_flat_efl_explodes(self):
+        result = fig10_latency.run(
+            "vgg16", workload_fractions=(0.4, 1.2), horizon_s=300.0
+        )
+        efl = dict(result.series("EFL"))
+        pico = dict(result.series("PICO"))
+        apico = dict(result.series("APICO"))
+        # EFL deteriorates much faster than PICO from 40% to 120% load...
+        assert efl[1.2] / efl[0.4] > 2.0
+        assert pico[1.2] / pico[0.4] < 2.0
+        # ...and is far above PICO once the cluster is overloaded.
+        assert efl[1.2] > 2.5 * pico[1.2]
+        # APICO tracks within reach of the best static scheme.
+        best = min(efl[1.2], dict(result.series("OFL"))[1.2], pico[1.2])
+        assert apico[1.2] <= best * 2.0
+
+    def test_apico_usage_reported(self):
+        result = fig10_latency.run(
+            "vgg16", workload_fractions=(1.2,), horizon_s=200.0
+        )
+        (point,) = [p for p in result.points if p.scheme == "APICO"]
+        assert point.plan_usage  # non-empty usage histogram
+
+
+class TestFig12Speedup:
+    def test_speedup_grows_with_devices(self):
+        result = fig12_speedup.run(
+            model_names=("resnet34",), freqs_mhz=(600.0,), device_counts=(2, 8)
+        )
+        assert result.speedup_at("resnet34", 600.0, 8) > result.speedup_at(
+            "resnet34", 600.0, 2
+        )
+
+    def test_resnet_speedup_band(self):
+        # Paper: ~5x for ResNet34 with 8 devices.
+        result = fig12_speedup.run(
+            model_names=("resnet34",), freqs_mhz=(600.0,), device_counts=(8,)
+        )
+        s = result.speedup_at("resnet34", 600.0, 8)
+        assert 3.0 < s < 8.0
+
+
+class TestFig13:
+    def test_bfs_at_least_as_good_and_utilised(self):
+        result = fig13_pico_vs_bfs.run(sim_tasks=30, bfs_deadline_s=60.0)
+        assert result.bfs_period_s <= result.pico_period_s + 1e-9
+        # Paper shape: both well-utilised, BFS at least as good as PICO
+        # (up to noise); absolute levels depend on the comm/compute
+        # balance of the unstated toy channel widths.
+        assert result.pico.average_utilization > 0.4
+        assert result.bfs.average_utilization >= result.pico.average_utilization - 0.15
+        text = result.format()
+        assert "PICO" in text and "BFS" in text
+
+
+class TestTable1:
+    def test_paper_shape(self):
+        result = table1_utilization.run(
+            model_names=("vgg16",), sim_tasks=15
+        )
+        lw = result.get("vgg16", "LW")
+        efl = result.get("vgg16", "EFL")
+        ofl = result.get("vgg16", "OFL")
+        pico = result.get("vgg16", "PICO")
+        # LW: minimal redundancy, worst utilisation.
+        assert lw.average_redundancy <= min(
+            efl.average_redundancy, ofl.average_redundancy
+        )
+        assert lw.average_utilization <= min(
+            efl.average_utilization, pico.average_utilization
+        )
+        # PICO: highest utilisation, redundancy below both fused schemes
+        # (the paper's headline Table I shape).
+        assert pico.average_utilization >= max(
+            lw.average_utilization,
+            efl.average_utilization,
+            ofl.average_utilization,
+        )
+        assert pico.average_redundancy < min(
+            efl.average_redundancy, ofl.average_redundancy
+        )
+        with pytest.raises(KeyError):
+            result.get("vgg16", "NOPE")
+
+
+class TestTable2:
+    def test_pico_fast_bfs_blows_up(self):
+        result = table2_optimization_cost.run(
+            grid=((4, 4), (8, 4)), bfs_budget_s=30.0
+        )
+        for row in result.rows:
+            assert row.pico_seconds < 1.0  # the paper's "< 1s" column
+            if row.bfs_completed:
+                assert row.period_gap >= -0.02  # ~optimal (D&C rounding tolerance)
+        text = result.format()
+        assert "PICO" in text
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1

@@ -1,0 +1,76 @@
+"""Tests for experiment result export (rows / CSV)."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.experiments import (
+    fig02_layer_profile,
+    fig04_fused_redundancy,
+    fig12_speedup,
+    table2_optimization_cost,
+)
+from repro.experiments.export import rows_for, write_csv
+
+
+class TestRowsFor:
+    def test_fig2(self):
+        rows = rows_for(fig02_layer_profile.run("vgg16"))
+        assert len(rows) == 18
+        assert set(rows[0]) == {
+            "model", "layer", "kind", "computation_share", "communication_share"
+        }
+        assert sum(r["computation_share"] for r in rows) == pytest.approx(1.0)
+
+    def test_fig4(self):
+        result = fig04_fused_redundancy.run(
+            device_counts=(1, 2), fused_counts=(4,)
+        )
+        rows = rows_for(result)
+        assert len(rows) == 2
+        assert rows[0]["n_fused_units"] == 4
+
+    def test_fig12(self):
+        result = fig12_speedup.run(
+            model_names=("resnet34",), freqs_mhz=(600.0,), device_counts=(2,)
+        )
+        rows = rows_for(result)
+        assert rows[0]["speedup"] > 1.0
+
+    def test_table2(self):
+        result = table2_optimization_cost.run(grid=((4, 4),), bfs_budget_s=10.0)
+        rows = rows_for(result)
+        assert rows[0]["n_layers"] == 4
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            rows_for(object())
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        rows = rows_for(fig02_layer_profile.run("vgg16"))
+        path = tmp_path / "fig2.csv"
+        write_csv(rows, str(path))
+        with open(path) as handle:
+            back = list(csv.DictReader(handle))
+        assert len(back) == len(rows)
+        assert back[0]["layer"] == rows[0]["layer"]
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv([], str(tmp_path / "x.csv"))
+
+
+class TestCliExperiment:
+    def test_fig2_with_csv(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "out.csv"
+        code = main(["experiment", "fig2", "--model", "vgg16", "--csv", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "conv1_1" in out
+        assert path.exists()

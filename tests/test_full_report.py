@@ -1,0 +1,57 @@
+"""Tests for the one-shot reproduction report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.full_report import FAST, FULL, ReportScale, generate_report
+
+
+@pytest.fixture(scope="module")
+def tiny_scale():
+    """A miniature scale so the test finishes in seconds."""
+    return ReportScale(
+        name="tiny",
+        capacity_device_counts=(2, 4),
+        capacity_freqs=(600.0,),
+        latency_fractions=(0.8,),
+        latency_horizon_s=120.0,
+        latency_repeats=1,
+        sim_tasks=6,
+        bfs_budget_s=10.0,
+        table2_grid=((4, 4),),
+        speedup_devices=(4,),
+    )
+
+
+@pytest.fixture(scope="module")
+def report(tiny_scale):
+    messages = []
+    text = generate_report(tiny_scale, progress=messages.append)
+    return text, messages
+
+
+def test_every_section_present(report):
+    text, _ = report
+    for heading in (
+        "Fig. 2", "Fig. 4", "Fig. 8", "Fig. 9", "Fig. 10", "Fig. 11",
+        "Fig. 12", "Fig. 13", "Table I", "Table II",
+    ):
+        assert f"## {heading}" in text
+
+
+def test_progress_callback_used(report):
+    _, messages = report
+    assert any("table 2" in m for m in messages)
+
+
+def test_report_is_markdown_with_code_blocks(report):
+    text, _ = report
+    assert text.startswith("# PICO reproduction report")
+    assert text.count("```") % 2 == 0
+
+
+def test_scales_defined():
+    assert FAST.name == "fast"
+    assert FULL.name == "full"
+    assert len(FULL.latency_fractions) > len(FAST.latency_fractions)

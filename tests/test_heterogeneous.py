@@ -1,0 +1,118 @@
+"""Tests for Algorithm 2 (greedy heterogeneous adaptation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.device import heterogeneous_cluster, pi_cluster
+from repro.core.dp_planner import plan_homogeneous
+from repro.core.heterogeneous import adapt_to_cluster
+from repro.core.plan import plan_cost
+from repro.cost.comm import NetworkModel
+from repro.models.toy import toy_chain
+
+
+@pytest.fixture
+def net():
+    return NetworkModel.from_mbps(50.0)
+
+
+@pytest.fixture
+def model():
+    return toy_chain(6, 1, input_hw=32)
+
+
+def test_segments_preserved(model, net):
+    cluster = heterogeneous_cluster([1200, 1000, 800, 600])
+    homo = plan_homogeneous(model, cluster, net)
+    plan = adapt_to_cluster(model, homo, cluster)
+    assert [(s.start, s.end) for s in plan.stages] == [
+        (h.start, h.end) for h in homo.stages
+    ]
+    assert [len(s.assignments) for s in plan.stages] == [
+        h.n_devices for h in homo.stages
+    ]
+
+
+def test_each_device_used_at_most_once(model, net):
+    cluster = heterogeneous_cluster([1200, 1000, 800, 800, 600, 600])
+    homo = plan_homogeneous(model, cluster, net)
+    plan = adapt_to_cluster(model, homo, cluster)
+    names = [d.name for s in plan.stages for d in s.devices]
+    assert len(names) == len(set(names))
+
+
+def test_partitions_cover_each_stage(model, net):
+    cluster = heterogeneous_cluster([1200, 800, 600, 600])
+    homo = plan_homogeneous(model, cluster, net)
+    plan = adapt_to_cluster(model, homo, cluster)
+    for stage in plan.stages:
+        _, h, w = model.out_shape(stage.end - 1)
+        rows = sorted(
+            (a[1].rows for a in stage.assignments), key=lambda iv: iv.start
+        )
+        pos = 0
+        for iv in rows:
+            assert iv.start == pos
+            pos = iv.end
+        assert pos == h
+
+
+def test_faster_devices_get_bigger_strips(net):
+    model = toy_chain(4, 0, input_hw=64)
+    cluster = heterogeneous_cluster([1800, 600])
+    homo = plan_homogeneous(model, cluster, net)
+    plan = adapt_to_cluster(model, homo, cluster)
+    for stage in plan.stages:
+        if len(stage.assignments) < 2:
+            continue
+        by_cap = sorted(stage.assignments, key=lambda a: -a[0].capacity)
+        assert by_cap[0][1].height >= by_cap[-1][1].height
+
+
+def test_homogeneous_adaptation_is_identity_cost(net, model):
+    """On an already-homogeneous cluster, adaptation must not change
+    the analytic period."""
+    cluster = pi_cluster(4, 800)
+    homo = plan_homogeneous(model, cluster, net)
+    plan = adapt_to_cluster(model, homo, cluster)
+    cost = plan_cost(model, plan, net)
+    assert cost.period == pytest.approx(homo.period, rel=1e-6)
+
+
+def test_heterogeneous_beats_naive_equal_partition(net):
+    """Capacity-weighted strips must beat equal strips on a skewed
+    cluster (the point of Algorithm 2)."""
+    from repro.core.plan import PipelinePlan, StagePlan
+    from repro.partition.regions import Region
+    from repro.partition.strips import equal_partition, strip_regions
+
+    model = toy_chain(4, 0, input_hw=64)
+    cluster = heterogeneous_cluster([1800, 600])
+    homo = plan_homogeneous(model, cluster, net)
+    adapted = adapt_to_cluster(model, homo, cluster)
+    adapted_cost = plan_cost(model, adapted, net)
+
+    naive_stages = []
+    for stage in adapted.stages:
+        _, h, w = model.out_shape(stage.end - 1)
+        regions = strip_regions(h, w, equal_partition(h, len(stage.assignments)))
+        naive_stages.append(
+            StagePlan(
+                stage.start,
+                stage.end,
+                tuple((dev, reg) for (dev, _), reg in zip(stage.assignments, regions)),
+            )
+        )
+    naive = PipelinePlan(model.name, tuple(naive_stages), mode=adapted.mode)
+    naive_cost = plan_cost(model, naive, net)
+    assert adapted_cost.period <= naive_cost.period + 1e-12
+
+
+def test_too_many_devices_needed_rejected(net, model):
+    big = pi_cluster(6, 800)
+    small = pi_cluster(2, 800)
+    homo = plan_homogeneous(model, big, net)
+    if homo.devices_used > 2:
+        with pytest.raises(ValueError):
+            adapt_to_cluster(model, homo, small)

@@ -1,0 +1,84 @@
+"""Tests for AOFL's per-group device-subset selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.device import heterogeneous_cluster, pi_cluster
+from repro.cluster.metrics import utilization_table
+from repro.core.plan import plan_cost
+from repro.cost.comm import NetworkModel
+from repro.models.toy import toy_chain
+from repro.models.zoo import get_model
+from repro.schemes.optimal_fused import OptimalFusedScheme
+
+NET = NetworkModel.from_mbps(50.0)
+
+
+def test_groups_never_exceed_cluster():
+    model = toy_chain(6, 2, input_hw=64, in_channels=3)
+    cluster = pi_cluster(5, 800)
+    plan = OptimalFusedScheme().plan(model, cluster, NET)
+    for stage in plan.stages:
+        assert 1 <= len(stage.assignments) <= 5
+
+
+def test_single_device_groups_use_fastest():
+    model = toy_chain(6, 2, input_hw=64, in_channels=3)
+    cluster = heterogeneous_cluster([1400, 600, 600])
+    plan = OptimalFusedScheme().plan(model, cluster, NET)
+    for stage in plan.stages:
+        if len(stage.assignments) == 1:
+            assert stage.assignments[0][0].name == cluster.fastest.name
+
+
+def test_groups_use_fastest_prefix():
+    """A k-device group must consist of the k fastest devices — adding
+    a slower device never beats adding a faster one under weighted
+    strips."""
+    model = get_model("vgg16")
+    cluster = heterogeneous_cluster([1200, 1200, 800, 800, 600, 600, 600, 600])
+    plan = OptimalFusedScheme().plan(model, cluster, NET)
+    ranked = [d.name for d in cluster.sorted_by_capacity()]
+    for stage in plan.stages:
+        names = [d.name for d in stage.devices]
+        assert names == ranked[: len(names)]
+
+
+def test_subset_selection_not_worse_than_all_devices():
+    """Optimising the group width must beat (or match) the old
+    always-all-devices AOFL."""
+    from repro.cost.stage_cost import stage_time
+    from repro.schemes.base import weighted_assignments
+
+    model = get_model("yolov2")
+    cluster = pi_cluster(8, 600)
+    plan = OptimalFusedScheme().plan(model, cluster, NET)
+    cost = plan_cost(model, plan, NET)
+    # Rebuild the same cuts forced onto all 8 devices.
+    all_dev_total = 0.0
+    for stage in plan.stages:
+        all_dev_total += stage_time(
+            model, stage.start, stage.end,
+            weighted_assignments(model, stage.end, cluster.devices),
+            NET, with_head=stage.end == model.n_units,
+        ).total
+    assert cost.latency <= all_dev_total + 1e-9
+
+
+def test_subset_reduces_redundancy_on_deep_models():
+    """Narrower groups mean less halo: YOLOv2's OFL redundancy must be
+    well below the all-device figure (~33 %)."""
+    model = get_model("yolov2")
+    cluster = heterogeneous_cluster([1200, 1200, 800, 800, 600, 600, 600, 600])
+    plan = OptimalFusedScheme().plan(model, cluster, NET)
+    table = utilization_table(model, plan, NET, scheme_name="OFL")
+    assert table.average_redundancy < 0.25
+
+
+def test_still_exclusive_single_task_mode():
+    model = toy_chain(4, 1, input_hw=32, in_channels=3)
+    plan = OptimalFusedScheme().plan(model, pi_cluster(3, 800), NET)
+    assert plan.mode == "exclusive"
+    cost = plan_cost(model, plan, NET)
+    assert cost.period == pytest.approx(cost.latency)

@@ -1,0 +1,142 @@
+"""Tests for plan datatypes and plan costing (paper Eq. 10–11)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.device import Device
+from repro.core.plan import PipelinePlan, StagePlan, plan_cost
+from repro.cost.comm import NetworkModel
+from repro.models.toy import toy_chain
+from repro.partition.regions import Region
+
+
+@pytest.fixture
+def model():
+    return toy_chain(4, 0, input_hw=16, in_channels=3, base_channels=8)
+
+
+@pytest.fixture
+def net():
+    return NetworkModel.from_mbps(100.0)
+
+
+def full_region(model, end):
+    _, h, w = model.out_shape(end - 1)
+    return Region.full(h, w)
+
+
+def two_stage_plan(model, mode="pipelined"):
+    d1, d2 = Device("a", 1e6), Device("b", 1e6)
+    return PipelinePlan(
+        model.name,
+        (
+            StagePlan(0, 2, ((d1, full_region(model, 2)),)),
+            StagePlan(2, 4, ((d2, full_region(model, 4)),)),
+        ),
+        mode=mode,
+    )
+
+
+class TestStagePlan:
+    def test_empty_segment_rejected(self):
+        with pytest.raises(ValueError):
+            StagePlan(2, 2, ((Device("d", 1.0), Region.full(2, 2)),))
+
+    def test_no_devices_rejected(self):
+        with pytest.raises(ValueError):
+            StagePlan(0, 1, ())
+
+    def test_accessors(self, model):
+        stage = StagePlan(0, 2, ((Device("d", 1.0), full_region(model, 2)),))
+        assert stage.n_units == 2
+        assert [d.name for d in stage.devices] == ["d"]
+
+
+class TestPipelinePlan:
+    def test_gap_rejected(self, model):
+        d = Device("d", 1.0)
+        with pytest.raises(ValueError):
+            PipelinePlan(
+                model.name,
+                (
+                    StagePlan(0, 1, ((d, full_region(model, 1)),)),
+                    StagePlan(2, 4, ((d, full_region(model, 4)),)),
+                ),
+            )
+
+    def test_must_start_at_zero(self, model):
+        d = Device("d", 1.0)
+        with pytest.raises(ValueError):
+            PipelinePlan(
+                model.name, (StagePlan(1, 4, ((d, full_region(model, 4)),)),)
+            )
+
+    def test_pipelined_device_reuse_rejected(self, model):
+        d = Device("d", 1.0)
+        with pytest.raises(ValueError):
+            PipelinePlan(
+                model.name,
+                (
+                    StagePlan(0, 2, ((d, full_region(model, 2)),)),
+                    StagePlan(2, 4, ((d, full_region(model, 4)),)),
+                ),
+                mode="pipelined",
+            )
+
+    def test_exclusive_device_reuse_allowed(self, model):
+        d = Device("d", 1.0)
+        plan = PipelinePlan(
+            model.name,
+            (
+                StagePlan(0, 2, ((d, full_region(model, 2)),)),
+                StagePlan(2, 4, ((d, full_region(model, 4)),)),
+            ),
+            mode="exclusive",
+        )
+        assert plan.n_stages == 2
+
+    def test_unknown_mode_rejected(self, model):
+        d = Device("d", 1.0)
+        with pytest.raises(ValueError):
+            PipelinePlan(
+                model.name,
+                (StagePlan(0, 4, ((d, full_region(model, 4)),)),),
+                mode="magic",
+            )
+
+    def test_all_devices_dedup(self, model):
+        plan = two_stage_plan(model, mode="exclusive")
+        assert len(plan.all_devices) == 2
+
+    def test_describe(self, model):
+        text = two_stage_plan(model).describe()
+        assert "stage 0" in text and "stage 1" in text
+
+
+class TestPlanCost:
+    def test_pipelined_period_is_max(self, model, net):
+        plan = two_stage_plan(model, "pipelined")
+        cost = plan_cost(model, plan, net)
+        totals = [sc.total for sc in cost.stage_costs]
+        assert cost.period == pytest.approx(max(totals))
+        assert cost.latency == pytest.approx(sum(totals))
+        assert cost.latency > cost.period
+
+    def test_exclusive_period_is_sum(self, model, net):
+        plan = two_stage_plan(model, "exclusive")
+        cost = plan_cost(model, plan, net)
+        assert cost.period == pytest.approx(cost.latency)
+
+    def test_throughput_inverse_period(self, model, net):
+        plan = two_stage_plan(model)
+        cost = plan_cost(model, plan, net)
+        assert cost.throughput == pytest.approx(1.0 / cost.period)
+
+    def test_incomplete_plan_rejected(self, model, net):
+        d = Device("d", 1.0)
+        plan = PipelinePlan(
+            model.name, (StagePlan(0, 2, ((d, full_region(model, 2)),)),)
+        )
+        with pytest.raises(ValueError):
+            plan_cost(model, plan, net)

@@ -1,0 +1,87 @@
+"""Property-based tests on planner invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.device import pi_cluster
+from repro.core.dp_planner import plan_homogeneous
+from repro.core.heterogeneous import adapt_to_cluster
+from repro.core.plan import plan_cost
+from repro.cost.comm import NetworkModel
+from repro.models.toy import toy_chain
+
+
+@st.composite
+def planner_instances(draw):
+    n_conv = draw(st.integers(2, 6))
+    n_pool = draw(st.integers(0, 2))
+    hw = draw(st.sampled_from([32, 48]))
+    devices = draw(st.integers(1, 5))
+    freq = draw(st.sampled_from([600.0, 1000.0]))
+    mbps = draw(st.sampled_from([10.0, 50.0, 200.0]))
+    model = toy_chain(n_conv, n_pool, input_hw=hw, in_channels=3)
+    return model, pi_cluster(devices, freq), NetworkModel.from_mbps(mbps)
+
+
+class TestPlannerProperties:
+    @given(instance=planner_instances())
+    @settings(max_examples=15, deadline=None)
+    def test_plan_structure_valid(self, instance):
+        model, cluster, net = instance
+        homo = plan_homogeneous(model, cluster, net)
+        assert homo is not None
+        assert homo.stages[0].start == 0
+        assert homo.stages[-1].end == model.n_units
+        for a, b in zip(homo.stages, homo.stages[1:]):
+            assert a.end == b.start
+        assert 1 <= homo.devices_used <= len(cluster)
+        assert homo.period <= homo.latency + 1e-12
+
+    @given(instance=planner_instances())
+    @settings(max_examples=10, deadline=None)
+    def test_adaptation_preserves_analytic_cost_on_homogeneous(self, instance):
+        model, cluster, net = instance
+        homo = plan_homogeneous(model, cluster, net)
+        plan = adapt_to_cluster(model, homo, cluster)
+        cost = plan_cost(model, plan, net)
+        assert cost.period == pytest.approx(homo.period, rel=1e-6)
+        assert cost.latency == pytest.approx(homo.latency, rel=1e-6)
+
+    @given(
+        n_conv=st.integers(3, 6),
+        devices=st.integers(2, 5),
+        mbps_pair=st.sampled_from([(10.0, 50.0), (20.0, 100.0), (50.0, 400.0)]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_period_monotone_in_bandwidth(self, n_conv, devices, mbps_pair):
+        model = toy_chain(n_conv, 1, input_hw=32, in_channels=3)
+        cluster = pi_cluster(devices, 800)
+        slow = plan_homogeneous(model, cluster, NetworkModel.from_mbps(mbps_pair[0]))
+        fast = plan_homogeneous(model, cluster, NetworkModel.from_mbps(mbps_pair[1]))
+        assert fast.period <= slow.period + 1e-12
+
+    @given(
+        n_conv=st.integers(3, 6),
+        base=st.integers(1, 4),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_period_monotone_in_devices(self, n_conv, base):
+        model = toy_chain(n_conv, 1, input_hw=32, in_channels=3)
+        net = NetworkModel.from_mbps(50.0)
+        small = plan_homogeneous(model, pi_cluster(base, 800), net)
+        big = plan_homogeneous(model, pi_cluster(base + 2, 800), net)
+        assert big.period <= small.period + 1e-12
+
+    @given(
+        n_conv=st.integers(3, 6),
+        freq_pair=st.sampled_from([(600.0, 1200.0), (800.0, 1500.0)]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_period_monotone_in_frequency(self, n_conv, freq_pair):
+        model = toy_chain(n_conv, 1, input_hw=32, in_channels=3)
+        net = NetworkModel.from_mbps(50.0)
+        slow = plan_homogeneous(model, pi_cluster(4, freq_pair[0]), net)
+        fast = plan_homogeneous(model, pi_cluster(4, freq_pair[1]), net)
+        assert fast.period <= slow.period + 1e-12

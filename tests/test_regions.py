@@ -1,0 +1,222 @@
+"""Unit and property tests for the region algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.partition.regions import (
+    EMPTY_INTERVAL,
+    Interval,
+    Region,
+    out_size,
+    owned_interval,
+    receptive_interval,
+    receptive_region,
+)
+
+
+class TestInterval:
+    def test_length(self):
+        assert len(Interval(2, 7)) == 5
+
+    def test_empty(self):
+        assert Interval(3, 3).empty
+        assert not Interval(3, 4).empty
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 2)
+
+    def test_shift(self):
+        assert Interval(1, 4).shift(3) == Interval(4, 7)
+
+    def test_clip_inside(self):
+        assert Interval(2, 8).clip(0, 10) == Interval(2, 8)
+
+    def test_clip_partial(self):
+        assert Interval(-3, 5).clip(0, 10) == Interval(0, 5)
+        assert Interval(7, 15).clip(0, 10) == Interval(7, 10)
+
+    def test_clip_disjoint_collapses(self):
+        assert Interval(12, 15).clip(0, 10).empty
+
+    def test_intersect(self):
+        assert Interval(2, 8).intersect(Interval(5, 12)) == Interval(5, 8)
+        assert Interval(2, 4).intersect(Interval(6, 9)).empty
+
+    def test_union_hull(self):
+        assert Interval(2, 4).union_hull(Interval(7, 9)) == Interval(2, 9)
+        assert EMPTY_INTERVAL.union_hull(Interval(3, 5)) == Interval(3, 5)
+        assert Interval(3, 5).union_hull(EMPTY_INTERVAL) == Interval(3, 5)
+
+    def test_contains(self):
+        assert Interval(0, 10).contains(Interval(3, 7))
+        assert Interval(0, 10).contains(EMPTY_INTERVAL)
+        assert not Interval(3, 7).contains(Interval(0, 10))
+
+    def test_overlap(self):
+        assert Interval(0, 5).overlap(Interval(3, 8)) == 2
+        assert Interval(0, 3).overlap(Interval(5, 9)) == 0
+
+
+class TestRegion:
+    def test_full(self):
+        r = Region.full(10, 20)
+        assert r.height == 10 and r.width == 20 and r.area == 200
+
+    def test_empty(self):
+        assert Region.from_bounds(2, 2, 0, 5).empty
+
+    def test_intersect(self):
+        a = Region.from_bounds(0, 5, 0, 5)
+        b = Region.from_bounds(3, 8, 2, 9)
+        got = a.intersect(b)
+        assert got == Region.from_bounds(3, 5, 2, 5)
+
+    def test_union_hull(self):
+        a = Region.from_bounds(0, 2, 0, 2)
+        b = Region.from_bounds(4, 6, 5, 8)
+        assert a.union_hull(b) == Region.from_bounds(0, 6, 0, 8)
+
+    def test_contains(self):
+        outer = Region.full(10, 10)
+        assert outer.contains(Region.from_bounds(2, 5, 3, 8))
+
+    def test_overlap_area(self):
+        a = Region.from_bounds(0, 4, 0, 4)
+        b = Region.from_bounds(2, 6, 2, 6)
+        assert a.overlap_area(b) == 4
+
+
+class TestReceptiveInterval:
+    def test_identity_conv1x1(self):
+        got = receptive_interval(Interval(3, 7), kernel=1, stride=1, padding=0, in_size=10)
+        assert got.interval == Interval(3, 7)
+        assert got.pad_lo == got.pad_hi == 0
+
+    def test_conv3x3_same_interior(self):
+        got = receptive_interval(Interval(3, 7), kernel=3, stride=1, padding=1, in_size=10)
+        assert got.interval == Interval(2, 8)
+        assert got.pad_lo == got.pad_hi == 0
+
+    def test_conv3x3_same_border(self):
+        got = receptive_interval(Interval(0, 3), kernel=3, stride=1, padding=1, in_size=10)
+        assert got.interval == Interval(0, 4)
+        assert got.pad_lo == 1 and got.pad_hi == 0
+
+    def test_pool2x2(self):
+        got = receptive_interval(Interval(1, 3), kernel=2, stride=2, padding=0, in_size=8)
+        assert got.interval == Interval(2, 6)
+
+    def test_empty_output(self):
+        got = receptive_interval(Interval(2, 2), kernel=3, stride=1, padding=1, in_size=10)
+        assert got.interval.empty
+
+    def test_full_output_covers_full_input(self):
+        h_out = out_size(10, 3, 1, 1)
+        got = receptive_interval(Interval(0, h_out), 3, 1, 1, 10)
+        assert got.interval == Interval(0, 10)
+        assert got.pad_lo == 1 and got.pad_hi == 1
+
+    @given(
+        in_size=st.integers(4, 64),
+        kernel=st.integers(1, 7),
+        stride=st.integers(1, 4),
+        padding=st.integers(0, 3),
+        data=st.data(),
+    )
+    def test_property_matches_bruteforce(self, in_size, kernel, stride, padding, data):
+        """The padded receptive field equals the brute-force union of the
+        per-output-element windows."""
+        if in_size + 2 * padding < kernel:
+            return
+        n_out = out_size(in_size, kernel, stride, padding)
+        lo = data.draw(st.integers(0, n_out - 1))
+        hi = data.draw(st.integers(lo + 1, n_out))
+        got = receptive_interval(Interval(lo, hi), kernel, stride, padding, in_size)
+        # Brute force in padded coordinates.
+        padded_lo = lo * stride
+        padded_hi = (hi - 1) * stride + kernel
+        want_lo = max(0, padded_lo - padding)
+        want_hi = min(in_size, padded_hi - padding)
+        if want_hi < want_lo:  # window entirely inside virtual padding
+            assert got.interval.empty
+        else:
+            assert got.interval == Interval(want_lo, want_hi)
+        assert got.pad_lo + len(got.interval) + got.pad_hi == padded_hi - padded_lo
+        assert got.pad_lo >= 0 and got.pad_hi >= 0
+
+    @given(
+        in_size=st.integers(4, 64),
+        kernel=st.integers(1, 5),
+        stride=st.integers(1, 3),
+        padding=st.integers(0, 2),
+        cut=st.integers(1, 63),
+    )
+    def test_property_adjacent_outputs_cover_input(
+        self, in_size, kernel, stride, padding, cut
+    ):
+        """Two adjacent output intervals need input regions whose union
+        covers the full input's receptive field — no gaps.  Holds only
+        for ``stride <= kernel`` (true of every real CNN layer); larger
+        strides legitimately skip input rows between windows."""
+        if in_size + 2 * padding < kernel or stride > kernel or padding >= kernel:
+            return
+        n_out = out_size(in_size, kernel, stride, padding)
+        cut = cut % n_out
+        if cut == 0:
+            return
+        left = receptive_interval(Interval(0, cut), kernel, stride, padding, in_size)
+        right = receptive_interval(Interval(cut, n_out), kernel, stride, padding, in_size)
+        full = receptive_interval(Interval(0, n_out), kernel, stride, padding, in_size)
+        hull = left.interval.union_hull(right.interval)
+        assert hull == full.interval
+        # And they must overlap or touch (no gap).
+        assert left.interval.end >= right.interval.start
+
+
+class TestOwnedInterval:
+    def test_stride1(self):
+        assert owned_interval(Interval(2, 5), 1, 10) == Interval(2, 5)
+
+    def test_stride2(self):
+        assert owned_interval(Interval(1, 3), 2, 10) == Interval(2, 6)
+
+    def test_clip(self):
+        assert owned_interval(Interval(3, 6), 2, 10) == Interval(6, 10)
+
+    def test_empty(self):
+        assert owned_interval(Interval(4, 4), 2, 10).empty
+
+    @given(
+        n_out=st.integers(2, 20),
+        stride=st.integers(1, 4),
+        cut=st.integers(1, 19),
+    )
+    def test_property_disjoint_partition_stays_disjoint(self, n_out, stride, cut):
+        cut = cut % n_out
+        if cut == 0:
+            return
+        in_size = n_out * stride + 2
+        left = owned_interval(Interval(0, cut), stride, in_size)
+        right = owned_interval(Interval(cut, n_out), stride, in_size)
+        assert left.overlap(right) == 0
+        assert left.end == right.start
+
+
+def test_receptive_region_axes_independent():
+    out = Region.from_bounds(0, 2, 1, 3)
+    got = receptive_region(out, (3, 1), (1, 1), (1, 0), (8, 8))
+    assert got.rows.interval == Interval(0, 3)
+    assert got.rows.pad_lo == 1
+    assert got.cols.interval == Interval(1, 3)
+    assert got.cols.pad_lo == got.cols.pad_hi == 0
+
+
+def test_out_size_matches_convention():
+    assert out_size(224, 3, 1, 1) == 224
+    assert out_size(224, 2, 2, 0) == 112
+    assert out_size(7, 7, 1, 0) == 1
+    with pytest.raises(ValueError):
+        out_size(2, 5, 1, 0)

@@ -1,0 +1,110 @@
+"""Tests for the framed TCP transport."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime.messages import Hello, TileResult, TileTask
+from repro.runtime.transport import (
+    Channel,
+    TransportClosed,
+    recv_message,
+    send_message,
+)
+
+
+@pytest.fixture
+def sock_pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_roundtrip_simple(self, sock_pair):
+        a, b = sock_pair
+        send_message(a, {"x": 1, "y": [1, 2, 3]})
+        assert recv_message(b) == {"x": 1, "y": [1, 2, 3]}
+
+    def test_roundtrip_numpy(self, sock_pair):
+        a, b = sock_pair
+        arr = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+        send_message(a, TileTask(7, arr, epoch=2))
+        got = recv_message(b)
+        assert isinstance(got, TileTask)
+        assert got.task_id == 7 and got.epoch == 2
+        np.testing.assert_array_equal(got.tile, arr)
+
+    def test_multiple_messages_in_order(self, sock_pair):
+        a, b = sock_pair
+        for i in range(10):
+            send_message(a, Hello(i))
+        for i in range(10):
+            assert recv_message(b).worker_id == i
+
+    def test_large_message(self, sock_pair):
+        a, b = sock_pair
+        arr = np.ones((8, 256, 256), dtype=np.float32)  # 2 MB
+
+        def sender():
+            send_message(a, TileResult(1, 0, arr, 0.5))
+
+        thread = threading.Thread(target=sender)
+        thread.start()
+        got = recv_message(b)
+        thread.join()
+        np.testing.assert_array_equal(got.tile, arr)
+
+    def test_closed_peer_raises(self, sock_pair):
+        a, b = sock_pair
+        a.close()
+        with pytest.raises(TransportClosed):
+            recv_message(b)
+
+    def test_partial_close_mid_frame(self, sock_pair):
+        a, b = sock_pair
+        a.sendall(b"\x00\x00\x00\x00\x00\x00\x00\x10partial")
+        a.close()
+        with pytest.raises(TransportClosed):
+            recv_message(b)
+
+    def test_oversized_frame_rejected(self, sock_pair):
+        a, b = sock_pair
+        a.sendall((1 << 40).to_bytes(8, "big"))
+        with pytest.raises(ValueError):
+            recv_message(b)
+
+
+class TestChannel:
+    def test_send_recv(self, sock_pair):
+        a, b = sock_pair
+        ca, cb = Channel(a), Channel(b)
+        ca.send("ping")
+        assert cb.recv() == "ping"
+
+    def test_close_idempotent(self, sock_pair):
+        a, _ = sock_pair
+        channel = Channel(a)
+        channel.close()
+        channel.close()  # no error
+
+    def test_use_after_close_raises(self, sock_pair):
+        a, _ = sock_pair
+        channel = Channel(a)
+        channel.close()
+        with pytest.raises(TransportClosed):
+            channel.send("x")
+        with pytest.raises(TransportClosed):
+            channel.recv()
+
+    def test_context_manager(self, sock_pair):
+        a, _ = sock_pair
+        with Channel(a) as channel:
+            pass
+        with pytest.raises(TransportClosed):
+            channel.send("x")

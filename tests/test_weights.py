@@ -1,0 +1,67 @@
+"""Tests for weight initialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.graph import Model
+from repro.models.layers import ConvSpec, DenseSpec, conv3x3
+from repro.models.resnet import basic_block
+from repro.models.toy import toy_chain
+from repro.models.graph import chain_model
+from repro.nn.weights import init_weights
+
+
+def test_conv_params_present():
+    model = toy_chain(2, 1, input_hw=16)
+    weights = init_weights(model)
+    assert set(weights) == {"conv1", "conv2"}  # pools have no params
+    assert weights["conv1"]["weight"].shape == (16, 1, 3, 3)
+    assert weights["conv1"]["bias"].shape == (16,)
+
+
+def test_bn_params_when_requested():
+    model = chain_model(
+        "m", (3, 8, 8),
+        [ConvSpec("c", 3, 4, kernel_size=3, batch_norm=True, bias=False)],
+    )
+    params = init_weights(model)["c"]
+    assert {"weight", "gamma", "beta", "mean", "var"} <= set(params)
+    assert "bias" not in params
+    assert np.all(params["var"] > 0)
+
+
+def test_block_internals_initialised():
+    model = Model("m", (4, 8, 8), (basic_block("b", 4, 8, stride=2),))
+    weights = init_weights(model)
+    assert {"b.conv1", "b.conv2", "b.downsample"} <= set(weights)
+
+
+def test_head_initialised():
+    model = chain_model(
+        "m", (3, 8, 8), [conv3x3("c", 3, 4)],
+        head=[DenseSpec("fc", 4 * 64, 10)],
+    )
+    weights = init_weights(model)
+    assert weights["fc"]["weight"].shape == (10, 256)
+
+
+def test_seed_reproducible():
+    model = toy_chain(2, 0, input_hw=8)
+    a = init_weights(model, seed=3)
+    b = init_weights(model, seed=3)
+    np.testing.assert_array_equal(a["conv1"]["weight"], b["conv1"]["weight"])
+
+
+def test_duplicate_layer_names_rejected():
+    model = chain_model(
+        "m", (3, 8, 8), [conv3x3("dup", 3, 4), conv3x3("dup", 4, 4)]
+    )
+    with pytest.raises(ValueError):
+        init_weights(model)
+
+
+def test_float32_dtype():
+    weights = init_weights(toy_chain(1, 0, input_hw=8))
+    assert weights["conv1"]["weight"].dtype == np.float32
