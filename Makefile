@@ -1,13 +1,19 @@
-.PHONY: install test bench report examples all
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+export PYTHONPATH
+
+.PHONY: install test bench bench-json report examples all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
-	pytest tests/
+	python -m pytest -x -q tests/
 
 bench:
-	pytest benchmarks/ --benchmark-only -s
+	python -m pytest benchmarks/ --benchmark-only -s
+
+bench-json:
+	python -m repro.bench.engine --out BENCH_engine.json
 
 report:
 	python -m repro report --out report.md

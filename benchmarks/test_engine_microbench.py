@@ -1,13 +1,17 @@
-"""Inference-engine micro-benchmarks: numpy conv throughput and the
+"""Inference-engine micro-benchmarks: numpy conv throughput, the
+packed-GEMM fast path against the reference kernels, and the
 split/stitch overhead the paper claims is negligible (§IV-D)."""
 
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.models.toy import toy_chain
+from repro.models.zoo import get_model
 from repro.nn.executor import Engine
 from repro.nn.tiles import compile_segment, extract_tile, run_segment
+from repro.nn.weights import init_weights
 from repro.partition.regions import Region
 
 
@@ -17,6 +21,37 @@ def test_full_inference_toy(benchmark):
     x = np.random.default_rng(0).standard_normal(model.input_shape).astype(np.float32)
     out = benchmark(engine.forward_features, x)
     assert out.shape == model.final_shape
+
+
+@pytest.mark.parametrize("fast", [False, True], ids=["reference", "fast"])
+def test_vgg16_features(benchmark, fast):
+    """Reference vs packed-GEMM feature extraction on the same weights;
+    compare the two rows to see the fast path's gain."""
+    model = get_model("vgg16", input_hw=64)
+    engine = Engine(model, init_weights(model, 0), fast=fast)
+    x = np.random.default_rng(0).standard_normal(model.input_shape).astype(np.float32)
+    engine.forward_features(x)  # warm packed-weight cache / arenas
+    out = benchmark(engine.forward_features, x)
+    assert out.shape == model.final_shape
+
+
+@pytest.mark.parametrize("fast", [False, True], ids=["reference", "fast"])
+def test_inception_block(benchmark, fast):
+    """One multi-path block unit — the shape that additionally gains
+    from branch threading when REPRO_THREADS > 1."""
+    model = get_model("inception_v3", input_hw=96)
+    engine = Engine(model, init_weights(model, 0), fast=fast)
+    x = np.random.default_rng(0).standard_normal(model.input_shape).astype(np.float32)
+    from repro.models.graph import BlockUnit
+
+    idx = next(
+        i for i, u in enumerate(model.units) if isinstance(u, BlockUnit)
+    )
+    for unit in model.units[:idx]:
+        x = engine.run_unit(unit, x)
+    engine.run_unit(model.units[idx], x)  # warm
+    out = benchmark(engine.run_unit, model.units[idx], x)
+    assert out.shape == model.out_shape(idx)
 
 
 def test_tile_program_execution(benchmark):

@@ -132,6 +132,7 @@ class _PlanRuntime:
         model: Model,
         network: NetworkModel,
         options: CostOptions,
+        measured_services: "Optional[Sequence[float]]" = None,
     ) -> None:
         self.name = name
         self.plan = plan
@@ -176,6 +177,21 @@ class _PlanRuntime:
             total_comm = sum(sc.t_comm for sc in cost.stage_costs)
             self.comm = [total_comm]
             self.comp = [cost.latency - total_comm]
+        if measured_services is not None:
+            # Replace the analytic per-stage service times with measured
+            # wall-clock ones (e.g. LocalPlanExecutor.measure); the comm
+            # component keeps its analytic estimate and compute absorbs
+            # the rest, so shared-medium contention still works.
+            if len(measured_services) != len(self.services):
+                raise ValueError(
+                    f"measured_services has {len(measured_services)} entries "
+                    f"for a {len(self.services)}-stage plan"
+                )
+            self.services = [float(s) for s in measured_services]
+            self.comm = [min(c, s) for c, s in zip(self.comm, self.services)]
+            self.comp = [
+                max(0.0, s - c) for s, c in zip(self.services, self.comm)
+            ]
         self.n_stages = len(self.services)
 
 
@@ -337,13 +353,19 @@ def simulate_plan(
     options: CostOptions = DEFAULT_OPTIONS,
     plan_name: Optional[str] = None,
     shared_medium: bool = False,
+    measured_services: "Optional[Sequence[float]]" = None,
 ) -> SimResult:
     """Replay ``arrivals`` through a fixed plan.
 
     ``shared_medium=True`` serialises all stages' transfers over one
-    WLAN token (event-level contention)."""
+    WLAN token (event-level contention).  ``measured_services`` replaces
+    the analytic per-stage service times with measured wall-clock ones
+    (one entry per stage, seconds) — the bridge from
+    :meth:`repro.schemes.local.LocalPlanExecutor.measure` to the event
+    simulator."""
     runtime = _PlanRuntime(
-        plan_name or plan.mode, plan, model, network, options
+        plan_name or plan.mode, plan, model, network, options,
+        measured_services=measured_services,
     )
     return _run_event_loop(
         arrivals, runtime, lambda now: runtime, shared_medium=shared_medium

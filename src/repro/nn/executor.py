@@ -4,22 +4,83 @@
 feature maps; :mod:`repro.nn.tiles` reuses its layer dispatch for
 region-restricted (tiled) execution — the two paths are asserted
 bit-exact by the test suite.
+
+The engine owns a *fast execution path* (default on, ``REPRO_FAST=0``
+or ``Engine(..., fast=False)`` selects the reference kernels):
+
+* convolutions lower to a single BLAS sgemm against **packed weights**
+  — per-layer pre-flattened ``(Cout, Cin·kh·kw)`` matrices built lazily
+  on first use and cached on the engine, so steady-state frames do no
+  per-call reshape or copy;
+* **batch norm is folded** into the packed conv weight and bias once
+  (:func:`repro.nn.weights.fold_batch_norm`), eliminating the separate
+  per-frame BN pass.  Folding happens identically for full-map and
+  tiled execution (both go through :meth:`Engine.run_layer`), so the
+  tile-vs-full bit-exactness contract is preserved;
+* bias adds and activations run **in place** on fresh conv outputs;
+* im2col patch matrices live in per-thread scratch arenas instead of
+  being reallocated every frame;
+* multi-path :class:`~repro.models.graph.BlockUnit`\\ s (inception
+  branches) execute **concurrently** on the shared thread pool
+  (:mod:`repro.nn.parallel`) — BLAS releases the GIL — with a serial
+  fallback when ``REPRO_THREADS`` resolves to one.
+
+The fast and reference paths are bit-exact for ``groups == 1``
+convolutions and pooling; grouped convolutions and folded BN agree to
+float32 rounding (covered by dedicated tolerance tests).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import os
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.models.graph import BlockUnit, LayerUnit, Model, PlanUnit
 from repro.models.layers import ConvSpec, PoolSpec, SpatialLayer
-from repro.nn import ops
-from repro.nn.weights import Weights, init_weights
+from repro.nn import ops, parallel
+from repro.nn.weights import Weights, fold_batch_norm, init_weights
 
 __all__ = ["Engine"]
 
 _Pad4 = Tuple[int, int, int, int]
+
+
+def _env_flag(name: str, default: bool) -> bool:
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    return value.strip().lower() not in ("0", "false", "no", "off", "")
+
+
+@dataclass(frozen=True)
+class _PackedConv:
+    """Per-layer GEMM-ready parameters (weights packed, BN folded)."""
+
+    packed: np.ndarray
+    bias: Optional[np.ndarray]
+    folded: bool  # batch norm already folded into packed/bias
+
+
+class _ThreadScratch(threading.local):
+    """Per-thread scratch state (block paths run concurrently).
+
+    ``pad`` holds im2col patch matrices.  ``outs``/``flip`` are the
+    ping-pong output arenas for chain execution: every produced feature
+    map is consumed only by the next layer, so two alternating buffers
+    suffice and steady-state frames allocate nothing.  ``chain`` gates
+    the mode — it is only set by :meth:`Engine.forward_features` on
+    block-free models, where the consumed-by-next invariant holds.
+    """
+
+    def __init__(self) -> None:
+        self.pad = ops.ScratchPad()
+        self.outs = (ops.ScratchPad(), ops.ScratchPad())
+        self.flip = 0
+        self.chain = False
 
 
 class Engine:
@@ -31,13 +92,68 @@ class Engine:
         The architecture spec.
     weights:
         Optional pre-built weights; seeded random weights otherwise.
+        Weight dicts may be partial (a worker only ships its segment's
+        layers) — packing is lazy per layer.
+    fast:
+        Use the packed-GEMM fast path.  Defaults to the ``REPRO_FAST``
+        environment flag, which defaults to on.
+    fold_bn:
+        Fold batch norm into conv weights at pack time.  Defaults to
+        ``fast``; only meaningful on the fast path.
     """
 
     def __init__(
-        self, model: Model, weights: Optional[Weights] = None, seed: int = 0
+        self,
+        model: Model,
+        weights: Optional[Weights] = None,
+        seed: int = 0,
+        *,
+        fast: Optional[bool] = None,
+        fold_bn: Optional[bool] = None,
     ) -> None:
         self.model = model
         self.weights = weights if weights is not None else init_weights(model, seed)
+        self.fast = _env_flag("REPRO_FAST", True) if fast is None else fast
+        self.fold_bn = self.fast if fold_bn is None else fold_bn
+        self._packed: "Dict[str, _PackedConv]" = {}
+        self._scratch = _ThreadScratch()
+        self._is_chain = all(
+            isinstance(unit, LayerUnit) for unit in model.units
+        )
+
+    # ------------------------------------------------------------------
+    # Packed-weight cache.
+    # ------------------------------------------------------------------
+    def _packed_conv(self, layer: ConvSpec) -> _PackedConv:
+        """The layer's GEMM-ready parameters, built once and cached."""
+        cached = self._packed.get(layer.name)
+        if cached is not None:
+            return cached
+        params = self.weights[layer.name]
+        weight = params["weight"]
+        bias = params.get("bias")
+        folded = False
+        if layer.batch_norm and self.fold_bn:
+            weight, bias = fold_batch_norm(
+                weight,
+                bias,
+                params["gamma"],
+                params["beta"],
+                params["mean"],
+                params["var"],
+            )
+            folded = True
+        packed = _PackedConv(
+            ops.pack_conv_weight(weight, layer.groups), bias, folded
+        )
+        # Benign race under concurrent first use: both threads build the
+        # same deterministic value; last assignment wins.
+        self._packed[layer.name] = packed
+        return packed
+
+    def refresh_weights(self) -> None:
+        """Drop cached packed weights (call after mutating ``weights``)."""
+        self._packed.clear()
 
     # ------------------------------------------------------------------
     # Layer-level dispatch (shared with tiled execution).
@@ -45,8 +161,10 @@ class Engine:
     def run_layer(self, layer: SpatialLayer, x: np.ndarray, pads: _Pad4) -> np.ndarray:
         """Execute one spatial layer with *explicit* padding."""
         if isinstance(layer, ConvSpec):
+            if self.fast:
+                return self._run_conv_fast(layer, x, pads)
             params = self.weights[layer.name]
-            out = ops.conv2d(
+            out = ops.conv2d_reference(
                 x, params["weight"], params.get("bias"), layer.stride, pads,
                 groups=layer.groups,
             )
@@ -61,8 +179,49 @@ class Engine:
             return ops.apply_activation(out, layer.activation)
         assert isinstance(layer, PoolSpec)
         if layer.kind_ == "max":
-            return ops.maxpool2d(x, layer.kernel_size, layer.stride, pads)
+            if self.fast:
+                return ops.maxpool2d(
+                    x, layer.kernel_size, layer.stride, pads,
+                    out_scratch=self._take_chain_arena(),
+                )
+            return ops.maxpool2d_reference(x, layer.kernel_size, layer.stride, pads)
         return ops.avgpool2d(x, layer.kernel_size, layer.stride, pads)
+
+    def _take_chain_arena(self) -> "Optional[ops.ScratchPad]":
+        """The next ping-pong output arena, or ``None`` outside chain mode."""
+        ts = self._scratch
+        if not ts.chain:
+            return None
+        arena = ts.outs[ts.flip]
+        ts.flip ^= 1
+        return arena
+
+    def _run_conv_fast(
+        self, layer: ConvSpec, x: np.ndarray, pads: _Pad4
+    ) -> np.ndarray:
+        packed = self._packed_conv(layer)
+        fused_activation = layer.activation
+        if layer.batch_norm and not packed.folded:
+            fused_activation = "linear"
+        out = ops.conv2d_packed(
+            x,
+            packed.packed,
+            packed.bias,
+            layer.kernel_size,
+            layer.stride,
+            pads,
+            groups=layer.groups,
+            activation=fused_activation,
+            scratch=self._scratch.pad,
+            out_scratch=self._take_chain_arena(),
+        )
+        if layer.batch_norm and not packed.folded:
+            params = self.weights[layer.name]
+            out = ops.batch_norm(
+                out, params["gamma"], params["beta"], params["mean"], params["var"]
+            )
+            return ops.apply_activation_(out, layer.activation)
+        return out
 
     @staticmethod
     def spec_pads(layer: SpatialLayer) -> _Pad4:
@@ -70,34 +229,88 @@ class Engine:
         pv, ph = layer.padding
         return (pv, pv, ph, ph)
 
+    def run_chain(
+        self,
+        steps: "Tuple[Tuple[SpatialLayer, _Pad4], ...]",
+        x: np.ndarray,
+    ) -> np.ndarray:
+        """Run consecutive layers where each output feeds only the next.
+
+        On the fast path the intermediate outputs live in the per-thread
+        ping-pong arenas (zero steady-state allocation); the **final**
+        output is always freshly allocated, so callers may hold it
+        across frames, merge it with other paths, or stitch it from
+        another thread.  Values are identical to running the layers
+        one by one.
+        """
+        if not steps:
+            return x
+        ts = self._scratch
+        if self.fast and len(steps) > 1 and not ts.chain:
+            ts.chain = True
+            try:
+                for layer, pads in steps[:-1]:
+                    x = self.run_layer(layer, x, pads)
+            finally:
+                ts.chain = False
+        else:
+            for layer, pads in steps[:-1]:
+                x = self.run_layer(layer, x, pads)
+        layer, pads = steps[-1]
+        return self.run_layer(layer, x, pads)
+
     # ------------------------------------------------------------------
     # Full-map execution.
     # ------------------------------------------------------------------
+    def _run_path(self, path, x: np.ndarray) -> np.ndarray:
+        return self.run_chain(
+            tuple((layer, self.spec_pads(layer)) for layer in path), x
+        )
+
     def run_unit(self, unit: PlanUnit, x: np.ndarray) -> np.ndarray:
         """Execute one plan unit on a full feature map."""
         if isinstance(unit, LayerUnit):
             return self.run_layer(unit.layer, x, self.spec_pads(unit.layer))
         assert isinstance(unit, BlockUnit)
-        outputs = []
-        for path in unit.paths:
-            out = x
-            for layer in path:
-                out = self.run_layer(layer, out, self.spec_pads(layer))
-            outputs.append(out)
+        # Inception/residual branches are independent given the block
+        # input: fan them out on the shared pool (serial fallback inside).
+        outputs = parallel.run_parallel(
+            [lambda path=path: self._run_path(path, x) for path in unit.paths]
+        )
         if unit.merge == "add":
-            merged = outputs[0]
-            for out in outputs[1:]:
-                merged = merged + out
+            # First sum allocates (an identity path may alias the block
+            # input x); the rest accumulate in place.  Same association
+            # order as the serial reference: ((p0 + p1) + p2) ...
+            if len(outputs) == 1:
+                merged = outputs[0]
+            else:
+                merged = outputs[0] + outputs[1]
+                for out in outputs[2:]:
+                    merged += out
         else:
             merged = np.concatenate(outputs, axis=0)
-        return ops.apply_activation(
-            np.ascontiguousarray(merged, dtype=np.float32), unit.post_activation
-        )
+        merged = ops.ensure_f32c(merged)
+        if merged is x:  # single identity path cannot happen, but be safe
+            return ops.apply_activation(merged, unit.post_activation)
+        return ops.apply_activation_(merged, unit.post_activation)
 
     def forward_features(self, x: np.ndarray) -> np.ndarray:
         """Run every plan unit; returns the final feature map."""
         self._check_input(x)
         out = x.astype(np.float32, copy=False)
+        ts = self._scratch
+        if self.fast and self._is_chain and not ts.chain:
+            # Chain models (every output consumed only by the next
+            # layer) run with ping-pong output arenas: zero steady-state
+            # allocation.  Detach the final map so it survives the next
+            # frame's arena reuse.
+            ts.chain = True
+            try:
+                for unit in self.model.units:
+                    out = self.run_unit(unit, out)
+            finally:
+                ts.chain = False
+            return out.copy() if out is not x else out
         for unit in self.model.units:
             out = self.run_unit(unit, out)
         return out
@@ -109,7 +322,7 @@ class Engine:
             params = self.weights[dense.name]
             out = ops.linear(out, params["weight"], params["bias"])
             if dense.activation == "relu":
-                out = ops.relu(out)
+                out = ops.apply_activation_(out, "relu")
             elif dense.activation == "softmax":
                 out = ops.softmax(out)
         return out

@@ -1,11 +1,33 @@
 """Numpy tensor operations for CNN inference.
 
 Feature maps are ``(C, H, W)`` float32 arrays (single image — edge
-inference is latency-bound, batch size 1).  Convolution uses a
-sliding-window view + tensordot (the im2col/matmul structure LibTorch
-and NNPACK use on the paper's Pis).  Every op takes *explicit* padding
-so region-restricted execution can substitute the per-tile virtual
-padding computed by the region algebra.
+inference is latency-bound, batch size 1).  Every op takes *explicit*
+padding so region-restricted execution can substitute the per-tile
+virtual padding computed by the region algebra.
+
+Two convolution paths coexist:
+
+``conv2d`` / ``conv2d_packed``
+    The fast path: explicit im2col into a reusable scratch arena, then a
+    single BLAS sgemm against a pre-flattened ``(Cout, Cin·kh·kw)``
+    weight matrix (``pack_conv_weight``), with bias add and activation
+    applied *in place* on the freshly allocated GEMM output.  For
+    ``groups == 1`` this is bit-exact with the reference path: both
+    reduce to the identical ``sgemm`` call on identically laid-out
+    operands.  Grouped convolutions use one batched ``matmul`` whose
+    per-group accumulation order can differ from the reference einsum by
+    a few ULPs.
+
+``conv2d_reference``
+    The original sliding-window + tensordot/einsum implementation, kept
+    as the independent oracle for the bit-exactness property tests and
+    as the "before" side of the engine benchmarks.
+
+Pooling follows the same pattern: ``maxpool2d`` accumulates kernel taps
+with vectorised ``np.maximum`` over strided slices (bit-exact with the
+windowed reference — max has no accumulation order), while ``avgpool2d``
+keeps the windowed sum so its float accumulation order — and therefore
+the tile-vs-full bit-exactness contract — is unchanged.
 """
 
 from __future__ import annotations
@@ -16,16 +38,24 @@ import numpy as np
 
 __all__ = [
     "pad2d",
+    "im2col",
+    "pack_conv_weight",
     "conv2d",
+    "conv2d_packed",
+    "conv2d_reference",
     "maxpool2d",
+    "maxpool2d_reference",
     "avgpool2d",
     "relu",
     "leaky_relu",
     "relu6",
     "apply_activation",
+    "apply_activation_",
     "batch_norm",
     "linear",
     "softmax",
+    "ensure_f32c",
+    "ScratchPad",
 ]
 
 _Size2 = Tuple[int, int]
@@ -33,6 +63,43 @@ _Pad4 = Tuple[int, int, int, int]  # top, bottom, left, right
 
 #: Darknet's leaky-ReLU slope (YOLOv2 uses 0.1, not PyTorch's 0.01).
 LEAKY_SLOPE = 0.1
+
+
+def ensure_f32c(x: np.ndarray) -> np.ndarray:
+    """``x`` itself when already C-contiguous float32; a copy otherwise.
+
+    ``np.ascontiguousarray`` also short-circuits, but routing every hot
+    call through this helper makes the no-copy contract explicit and
+    skips its argument normalisation overhead.
+    """
+    if x.dtype == np.float32 and x.flags.c_contiguous:
+        return x
+    return np.ascontiguousarray(x, dtype=np.float32)
+
+
+class ScratchPad:
+    """A reusable flat float32 arena for im2col patch matrices.
+
+    The im2col buffer of a conv layer is ``kh·kw`` times its input map —
+    freshly ``malloc``-ing (and page-faulting) it every frame dominates
+    the non-GEMM cost of the fast path.  A pad grows geometrically to the
+    largest request seen and hands out reshaped views of one persistent
+    allocation.  Not thread-safe: use one pad per thread.
+    """
+
+    __slots__ = ("_buf",)
+
+    def __init__(self) -> None:
+        self._buf: Optional[np.ndarray] = None
+
+    def take(self, shape: "Tuple[int, ...]") -> np.ndarray:
+        """An uninitialised float32 view of ``shape`` into the arena."""
+        n = 1
+        for dim in shape:
+            n *= int(dim)
+        if self._buf is None or self._buf.size < n:
+            self._buf = np.empty(max(n, 4096), dtype=np.float32)
+        return self._buf[:n].reshape(shape)
 
 
 def pad2d(x: np.ndarray, pads: _Pad4) -> np.ndarray:
@@ -56,6 +123,180 @@ def _windows(x: np.ndarray, kernel: _Size2, stride: _Size2) -> np.ndarray:
     return view[:, :: stride[0], :: stride[1]]
 
 
+def _out_hw(xp: np.ndarray, kernel: _Size2, stride: _Size2) -> _Size2:
+    """Output spatial size of a kernel sweep over a padded map."""
+    kh, kw = kernel
+    if xp.shape[1] < kh or xp.shape[2] < kw:
+        raise ValueError(
+            f"input spatial {xp.shape[1:]} smaller than kernel {kernel}"
+        )
+    return ((xp.shape[1] - kh) // stride[0] + 1, (xp.shape[2] - kw) // stride[1] + 1)
+
+
+def _tap(xp: np.ndarray, i: int, j: int, stride: _Size2, out_hw: _Size2) -> np.ndarray:
+    """The (i, j) kernel-tap slice of a padded map: shape (C, Ho, Wo)."""
+    ho, wo = out_hw
+    sv, sh = stride
+    return xp[:, i : i + (ho - 1) * sv + 1 : sv, j : j + (wo - 1) * sh + 1 : sh]
+
+
+def im2col(
+    x: np.ndarray,
+    kernel: _Size2,
+    stride: _Size2,
+    pads: _Pad4,
+    scratch: Optional[ScratchPad] = None,
+) -> "Tuple[np.ndarray, _Size2]":
+    """Patch matrix for GEMM convolution.
+
+    Returns ``(cols, (Ho, Wo))`` where ``cols`` has shape
+    ``(C·kh·kw, Ho·Wo)`` with rows ordered ``(channel, kh, kw)`` — the
+    exact operand layout ``np.tensordot`` builds internally, which is
+    what makes the GEMM path bit-exact with the reference.  The buffer
+    is filled tap-by-tap with strided slice copies (one vectorised copy
+    per kernel position) instead of copying a transposed 5-D window
+    view, and lives in ``scratch`` when provided.
+    """
+    kh, kw = kernel
+    top, bottom, left, right = pads
+    if min(pads) < 0:
+        raise ValueError(f"negative padding {pads}")
+    c, h, w = x.shape
+    hp, wp = h + top + bottom, w + left + right
+    if hp < kh or wp < kw:
+        raise ValueError(f"padded spatial {(hp, wp)} smaller than kernel {kernel}")
+    sv, sh = stride
+    ho, wo = (hp - kh) // sv + 1, (wp - kw) // sh + 1
+    shape = (c, kh, kw, ho, wo)
+    buf = scratch.take(shape) if scratch is not None else np.empty(shape, np.float32)
+    for i in range(kh):
+        for j in range(kw):
+            # Padding is virtual: the tap's out-of-range strips are
+            # zero-filled and the in-range block copies straight from x,
+            # so the padded map is never materialised.
+            dst = buf[:, i, j]
+            r0 = max(0, -((i - top) // sv))
+            r1 = min(ho, (top + h - 1 - i) // sv + 1) if top + h > i else 0
+            c0 = max(0, -((j - left) // sh))
+            c1 = min(wo, (left + w - 1 - j) // sh + 1) if left + w > j else 0
+            r1, c1 = max(r0, r1), max(c0, c1)
+            if r0 > 0:
+                dst[:, :r0] = 0.0
+            if r1 < ho:
+                dst[:, r1:] = 0.0
+            if c0 > 0:
+                dst[:, r0:r1, :c0] = 0.0
+            if c1 < wo:
+                dst[:, r0:r1, c1:] = 0.0
+            if r1 > r0 and c1 > c0:
+                si, sj = i - top + r0 * sv, j - left + c0 * sh
+                np.copyto(
+                    dst[:, r0:r1, c0:c1],
+                    x[
+                        :,
+                        si : si + (r1 - r0 - 1) * sv + 1 : sv,
+                        sj : sj + (c1 - c0 - 1) * sh + 1 : sh,
+                    ],
+                )
+    return buf.reshape(c * kh * kw, ho * wo), (ho, wo)
+
+
+def _check_conv(x: np.ndarray, cout: int, cin_w: int, groups: int) -> None:
+    if groups < 1 or x.shape[0] % groups or cout % groups:
+        raise ValueError(
+            f"invalid groups={groups} for shapes {x.shape}, "
+            f"({cout}, {cin_w}, ...)"
+        )
+    if x.shape[0] // groups != cin_w:
+        raise ValueError(
+            f"channel mismatch: input {x.shape[0]} / groups {groups} != "
+            f"weight in-channels {cin_w}"
+        )
+
+
+def pack_conv_weight(weight: np.ndarray, groups: int = 1) -> np.ndarray:
+    """Pre-flatten a ``(Cout, Cin/g, kh, kw)`` weight for GEMM.
+
+    ``groups == 1`` gives ``(Cout, Cin·kh·kw)``; grouped convolutions get
+    the batched-matmul layout ``(g, Cout/g, (Cin/g)·kh·kw)``.  The result
+    is C-contiguous float32 so the per-frame GEMM needs no reshape/copy.
+    """
+    cout = weight.shape[0]
+    if groups == 1:
+        return ensure_f32c(weight.reshape(cout, -1))
+    if cout % groups:
+        raise ValueError(f"groups={groups} does not divide out-channels {cout}")
+    return ensure_f32c(weight.reshape(groups, cout // groups, -1))
+
+
+def conv2d_packed(
+    x: np.ndarray,
+    packed: np.ndarray,
+    bias: Optional[np.ndarray],
+    kernel: _Size2,
+    stride: _Size2 = (1, 1),
+    pads: _Pad4 = (0, 0, 0, 0),
+    groups: int = 1,
+    activation: str = "linear",
+    scratch: Optional[ScratchPad] = None,
+    out_scratch: Optional[ScratchPad] = None,
+) -> np.ndarray:
+    """GEMM convolution against a :func:`pack_conv_weight` matrix.
+
+    Lowers to a single BLAS sgemm (one batched matmul for grouped
+    convolutions); bias add and activation run in place on the GEMM
+    output in cache-sized row blocks, so the op allocates exactly one
+    array beyond the scratch arenas — or none when ``out_scratch``
+    provides the output buffer (chain execution ping-pongs two arenas;
+    the returned array aliases ``out_scratch``'s storage).
+    """
+    kh, kw = kernel
+    if groups == 1:
+        cout, k = packed.shape
+        cin_w = k // (kh * kw)
+    else:
+        cout = packed.shape[0] * packed.shape[1]
+        cin_w = packed.shape[2] // (kh * kw)
+    _check_conv(x, cout, cin_w, groups)
+    cols, (ho, wo) = im2col(x, kernel, stride, pads, scratch)
+    n = ho * wo
+    if groups == 1:
+        if out_scratch is not None:
+            out = out_scratch.take((cout, n))
+            np.dot(packed, cols, out=out)
+        else:
+            out = np.dot(packed, cols)
+    else:
+        k_g = packed.shape[2]
+        if out_scratch is not None:
+            out3 = out_scratch.take((groups, cout // groups, n))
+            np.matmul(packed, cols.reshape(groups, k_g, n), out=out3)
+        else:
+            out3 = np.matmul(packed, cols.reshape(groups, k_g, n))
+        out = out3.reshape(cout, n)
+    _conv_epilogue_(out, bias, activation)
+    return out.reshape(cout, ho, wo)
+
+
+def _conv_epilogue_(out: np.ndarray, bias: Optional[np.ndarray], activation: str) -> None:
+    """In-place bias + activation over ``(Cout, N)`` in row blocks.
+
+    Blocks are sized to ~128 KiB so the activation pass reads the rows
+    the bias add just touched from cache instead of re-streaming the
+    whole output from memory.  Identical values to the two full passes —
+    both visit each element once, in the same order.
+    """
+    if bias is None and activation == "linear":
+        return
+    cout, n = out.shape
+    rows = max(1, 32768 // max(1, n))
+    for i in range(0, cout, rows):
+        block = out[i : i + rows]
+        if bias is not None:
+            block += bias[i : i + rows, None]
+        apply_activation_(block, activation)
+
+
 def conv2d(
     x: np.ndarray,
     weight: np.ndarray,
@@ -64,18 +305,34 @@ def conv2d(
     pads: _Pad4 = (0, 0, 0, 0),
     groups: int = 1,
 ) -> np.ndarray:
-    """2-D convolution (cross-correlation).
+    """2-D convolution (cross-correlation) via im2col + GEMM.
 
     ``weight`` is ``(Cout, Cin/groups, kh, kw)``; ``groups == Cin``
-    gives a depthwise convolution (MobileNet-style).
+    gives a depthwise convolution (MobileNet-style).  Packs the weight
+    on every call — steady-state callers (the engine) pre-pack once and
+    use :func:`conv2d_packed`.
     """
-    if groups < 1 or x.shape[0] % groups or weight.shape[0] % groups:
-        raise ValueError(f"invalid groups={groups} for shapes {x.shape}, {weight.shape}")
-    if x.shape[0] // groups != weight.shape[1]:
-        raise ValueError(
-            f"channel mismatch: input {x.shape[0]} / groups {groups} != "
-            f"weight in-channels {weight.shape[1]}"
-        )
+    _check_conv(x, weight.shape[0], weight.shape[1], groups)
+    packed = pack_conv_weight(weight, groups)
+    return conv2d_packed(
+        x, packed, bias, weight.shape[2:], stride, pads, groups
+    )
+
+
+def conv2d_reference(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    stride: _Size2 = (1, 1),
+    pads: _Pad4 = (0, 0, 0, 0),
+    groups: int = 1,
+) -> np.ndarray:
+    """The original sliding-window conv (tensordot / grouped einsum).
+
+    Kept verbatim as the oracle for the GEMM bit-exactness tests and as
+    the "before" kernel in the engine benchmarks.
+    """
+    _check_conv(x, weight.shape[0], weight.shape[1], groups)
     xp = pad2d(x, pads)
     win = _windows(xp, weight.shape[2:], stride)
     if groups == 1:
@@ -89,13 +346,52 @@ def conv2d(
         out = out.reshape(weight.shape[0], *out.shape[2:])
     if bias is not None:
         out = out + bias[:, None, None]
-    return np.ascontiguousarray(out, dtype=np.float32)
+    return ensure_f32c(out)
 
 
 def maxpool2d(
+    x: np.ndarray,
+    kernel: _Size2,
+    stride: _Size2,
+    pads: _Pad4 = (0, 0, 0, 0),
+    out_scratch: Optional[ScratchPad] = None,
+) -> np.ndarray:
+    """Max pooling; padded cells use -inf so they never win.
+
+    Accumulates the ``kh·kw`` kernel taps with vectorised ``np.maximum``
+    over strided slices — bit-exact with the windowed reference (max is
+    order-free) and much faster than reducing a 5-D strided view.  With
+    ``out_scratch`` the result lives in (and aliases) the arena.
+    """
+    top, bottom, left, right = pads
+    if any(pads):
+        if min(pads) < 0:
+            raise ValueError(f"negative padding {pads}")
+        xp = np.full(
+            (x.shape[0], x.shape[1] + top + bottom, x.shape[2] + left + right),
+            -np.inf,
+            dtype=x.dtype,
+        )
+        xp[:, top : top + x.shape[1], left : left + x.shape[2]] = x
+    else:
+        xp = x
+    kh, kw = kernel
+    out_hw = _out_hw(xp, kernel, stride)
+    shape = (x.shape[0], *out_hw)
+    out = out_scratch.take(shape) if out_scratch is not None else np.empty(shape, np.float32)
+    np.copyto(out, _tap(xp, 0, 0, stride, out_hw))
+    for i in range(kh):
+        for j in range(kw):
+            if i == 0 and j == 0:
+                continue
+            np.maximum(out, _tap(xp, i, j, stride, out_hw), out=out)
+    return out
+
+
+def maxpool2d_reference(
     x: np.ndarray, kernel: _Size2, stride: _Size2, pads: _Pad4 = (0, 0, 0, 0)
 ) -> np.ndarray:
-    """Max pooling; padded cells use -inf so they never win."""
+    """The original windowed max pooling (oracle / benchmark baseline)."""
     top, bottom, left, right = pads
     if any(pads):
         xp = np.full(
@@ -114,11 +410,17 @@ def avgpool2d(
     x: np.ndarray, kernel: _Size2, stride: _Size2, pads: _Pad4 = (0, 0, 0, 0)
 ) -> np.ndarray:
     """Average pooling with ``count_include_pad`` semantics (divisor is
-    always kh·kw), which keeps tiled execution bit-exact at borders."""
+    always kh·kw), which keeps tiled execution bit-exact at borders.
+
+    Stays on the windowed sum: tap-accumulation would change the float
+    summation order and break bitwise reproducibility against existing
+    traces.  Average pools are rare (one per classification model), so
+    the fast path gains nothing by touching this.
+    """
     xp = pad2d(x, pads)
     win = _windows(xp, kernel, stride)
     out = win.sum(axis=(3, 4)) / float(kernel[0] * kernel[1])
-    return np.ascontiguousarray(out, dtype=np.float32)
+    return ensure_f32c(out)
 
 
 def relu(x: np.ndarray) -> np.ndarray:
@@ -147,6 +449,27 @@ def apply_activation(x: np.ndarray, activation: str) -> np.ndarray:
     raise ValueError(f"unknown activation {activation!r}")
 
 
+def apply_activation_(x: np.ndarray, activation: str) -> np.ndarray:
+    """In-place activation for caller-owned arrays (fresh conv outputs).
+
+    Bitwise identical to :func:`apply_activation` for every supported
+    activation; leaky ReLU needs one temporary for the scaled branch but
+    still writes through ``x``.
+    """
+    if activation == "relu":
+        np.maximum(x, 0.0, out=x)
+        return x
+    if activation == "leaky_relu":
+        np.copyto(x, x * np.asarray(LEAKY_SLOPE, dtype=x.dtype), where=x < 0)
+        return x
+    if activation == "relu6":
+        np.clip(x, 0.0, 6.0, out=x)
+        return x
+    if activation == "linear":
+        return x
+    raise ValueError(f"unknown activation {activation!r}")
+
+
 def batch_norm(
     x: np.ndarray,
     gamma: np.ndarray,
@@ -162,8 +485,16 @@ def batch_norm(
 
 
 def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray) -> np.ndarray:
-    """Fully-connected layer: weight is (out_features, in_features)."""
-    return (weight @ x + bias).astype(np.float32)
+    """Fully-connected layer: weight is (out_features, in_features).
+
+    The matvec output is fresh, so the bias adds in place — one
+    allocation instead of three for the big VGG16 head layers.
+    """
+    out = weight @ x
+    if out.dtype != np.float32:
+        out = out.astype(np.float32)
+    out += bias
+    return out
 
 
 def softmax(x: np.ndarray) -> np.ndarray:

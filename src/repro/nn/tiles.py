@@ -7,17 +7,26 @@ C++ split/stitch that "directly operates the frame tensor data in
 memory".  Executing a program on the extracted input tile produces
 *bit-exact* the same values as slicing R out of a full-map inference;
 the property-based tests assert this across random architectures.
+
+Steady-state pipeline frames re-execute the *same* programs every task:
+:func:`compile_segment_cached` / :func:`compile_block_paths_cached`
+memoise compilation by ``(model, segment, region)`` so the region
+algebra runs once per configuration instead of once per frame or
+worker setup.  Specs and regions are immutable/hashable, so the cache
+key is the structural identity of the request.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.models.graph import BlockUnit, LayerUnit, Model
 from repro.models.layers import SpatialLayer
+from repro.nn import parallel
 from repro.nn.executor import Engine
 from repro.partition.fused import chain_backprop
 from repro.partition.regions import PaddedRegion, Region, receptive_region
@@ -28,7 +37,11 @@ __all__ = [
     "UnitProgram",
     "SegmentProgram",
     "compile_segment",
+    "compile_segment_cached",
     "compile_block_paths",
+    "compile_block_paths_cached",
+    "program_cache_info",
+    "clear_program_cache",
     "extract_tile",
     "run_segment",
 ]
@@ -243,23 +256,83 @@ def compile_block_paths(
     )
 
 
+@lru_cache(maxsize=512)
+def _compile_segment_cached(
+    model: Model, start: int, end: int, out_region: Region
+) -> SegmentProgram:
+    return compile_segment(model, start, end, out_region)
+
+
+def compile_segment_cached(
+    model: Model, start: int, end: int, out_region: Region
+) -> SegmentProgram:
+    """Memoised :func:`compile_segment`.
+
+    Keyed by ``(model, start, end, out_region)`` (structural equality —
+    model specs are immutable).  Steady-state pipeline execution hits
+    this cache on every frame, worker reconfiguration and local plan
+    run; only genuinely new (model, segment, region) combinations pay
+    for region-algebra compilation.
+    """
+    return _compile_segment_cached(model, start, end, out_region)
+
+
+@lru_cache(maxsize=256)
+def _compile_block_paths_cached(
+    model: Model, unit_index: int, path_indices: "Tuple[int, ...]"
+) -> SegmentProgram:
+    return compile_block_paths(model, unit_index, path_indices)
+
+
+def compile_block_paths_cached(
+    model: Model, unit_index: int, path_indices: "Tuple[int, ...]"
+) -> SegmentProgram:
+    """Memoised :func:`compile_block_paths` (branch-parallel programs)."""
+    return _compile_block_paths_cached(model, unit_index, tuple(path_indices))
+
+
+def program_cache_info() -> "Dict[str, object]":
+    """Hit/miss statistics for both program caches."""
+    return {
+        "segment": _compile_segment_cached.cache_info(),
+        "block_paths": _compile_block_paths_cached.cache_info(),
+    }
+
+
+def clear_program_cache() -> None:
+    """Drop all memoised programs (frees the model references too)."""
+    _compile_segment_cached.cache_clear()
+    _compile_block_paths_cached.cache_clear()
+
+
 def extract_tile(feature_map: np.ndarray, region: Region) -> np.ndarray:
-    """Slice a region out of a ``(C, H, W)`` feature map (copy)."""
-    return np.ascontiguousarray(
-        feature_map[
-            :, region.rows.start : region.rows.end, region.cols.start : region.cols.end
-        ]
-    )
+    """Slice a region out of a ``(C, H, W)`` feature map (copy).
+
+    Full-map regions of an already-contiguous float32 map are returned
+    as-is (no copy): the common case when a one-device stage or a local
+    executor feeds a whole feature map through ``run_segment``.
+    """
+    view = feature_map[
+        :, region.rows.start : region.rows.end, region.cols.start : region.cols.end
+    ]
+    from repro.nn import ops  # local import to avoid cycle at module load
+
+    return ops.ensure_f32c(view)
 
 
 def _run_steps(engine: Engine, steps: Tuple[LayerStep, ...], tile: np.ndarray) -> np.ndarray:
-    for step in steps:
-        tile = engine.run_layer(step.layer, tile, step.pads)
-        if tile.shape[1:] != (step.out_region.height, step.out_region.width):
-            raise AssertionError(
-                f"{step.layer.name}: produced {tile.shape[1:]}, expected "
-                f"{(step.out_region.height, step.out_region.width)}"
-            )
+    if not steps:
+        return tile
+    # run_chain keeps intermediate tiles in per-thread arenas and always
+    # returns a fresh final array, so the result is safe to stitch or
+    # merge from any thread.
+    tile = engine.run_chain(tuple((s.layer, s.pads) for s in steps), tile)
+    last = steps[-1]
+    if tile.shape[1:] != (last.out_region.height, last.out_region.width):
+        raise AssertionError(
+            f"{last.layer.name}: produced {tile.shape[1:]}, expected "
+            f"{(last.out_region.height, last.out_region.width)}"
+        )
     return tile
 
 
@@ -272,25 +345,60 @@ def run_segment(engine: Engine, program: SegmentProgram, tile: np.ndarray) -> np
     expected = (program.input_region.height, program.input_region.width)
     if tile.shape[1:] != expected:
         raise ValueError(f"tile spatial {tile.shape[1:]} != program input {expected}")
+    from repro.nn import ops  # local import to avoid cycle at module load
+
     current = tile
+    pending: "List[Tuple[SpatialLayer, _Pad4]]" = []
+    pending_region: Optional[Region] = None
+
+    def flush(x: np.ndarray) -> np.ndarray:
+        # Consecutive chain units run as one arena-backed chain (fresh
+        # final output); merging them amortises allocation across the
+        # whole segment, not just within a unit.
+        nonlocal pending, pending_region
+        if not pending:
+            return x
+        x = engine.run_chain(tuple(pending), x)
+        if x.shape[1:] != (pending_region.height, pending_region.width):
+            raise AssertionError(
+                f"chain produced {x.shape[1:]}, expected "
+                f"{(pending_region.height, pending_region.width)}"
+            )
+        pending, pending_region = [], None
+        return x
+
     for unit_prog in program.units:
         if unit_prog.merge is None:
-            current = _run_steps(engine, unit_prog.steps, current)
+            pending.extend((s.layer, s.pads) for s in unit_prog.steps)
+            pending_region = unit_prog.out_region
             continue
-        outputs = []
-        for path in unit_prog.paths:
+        current = flush(current)
+
+        def run_path(path: PathProgram, block_in: np.ndarray = current) -> np.ndarray:
             r_off, r_len, c_off, c_len = path.crop
-            sub = current[:, r_off : r_off + r_len, c_off : c_off + c_len]
-            outputs.append(_run_steps(engine, path.steps, np.ascontiguousarray(sub)))
+            sub = block_in[:, r_off : r_off + r_len, c_off : c_off + c_len]
+            return _run_steps(engine, path.steps, np.ascontiguousarray(sub))
+
+        # Block paths are independent given the union input tile: fan
+        # them out on the shared pool (serial fallback inside).
+        outputs = parallel.run_parallel(
+            [lambda path=path: run_path(path) for path in unit_prog.paths]
+        )
         if unit_prog.merge == "add":
-            merged = outputs[0]
-            for out in outputs[1:]:
-                merged = merged + out
+            # Same association order as the serial reference; the first
+            # sum allocates, the rest accumulate in place (every path
+            # output is a fresh array — identity paths return a copy).
+            if len(outputs) == 1:
+                merged = outputs[0]
+            else:
+                merged = outputs[0] + outputs[1]
+                for out in outputs[2:]:
+                    merged += out
         else:
             merged = np.concatenate(outputs, axis=0)
-        from repro.nn import ops  # local import to avoid cycle at module load
-
-        current = ops.apply_activation(
-            np.ascontiguousarray(merged, dtype=np.float32), unit_prog.post_activation
-        )
-    return current
+        merged = ops.ensure_f32c(merged)
+        if merged is current:  # lone identity path may alias the block input
+            current = ops.apply_activation(merged, unit_prog.post_activation)
+        else:
+            current = ops.apply_activation_(merged, unit_prog.post_activation)
+    return flush(current)

@@ -8,16 +8,46 @@ matters for the bit-exactness assertions in the tile tests.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.models.graph import Model
 from repro.models.layers import ConvSpec, DenseSpec, PoolSpec
 
-__all__ = ["Weights", "init_weights", "conv_params", "dense_params"]
+__all__ = [
+    "Weights",
+    "init_weights",
+    "conv_params",
+    "dense_params",
+    "fold_batch_norm",
+]
 
 Weights = Dict[str, Dict[str, np.ndarray]]
+
+
+def fold_batch_norm(
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    mean: np.ndarray,
+    var: np.ndarray,
+    eps: float = 1e-5,
+) -> "Tuple[np.ndarray, np.ndarray]":
+    """Fold inference-mode BN into the preceding conv's weight and bias.
+
+    ``BN(conv(x, W) + b) == conv(x, W·s) + (b − mean)·s + beta`` with
+    ``s = gamma / sqrt(var + eps)``.  The fold is computed in float64 and
+    cast back to float32 once, so the folded kernel agrees with the
+    unfused conv→BN pipeline to normal float32 rounding (a few ULPs per
+    layer — the engine's BN-folding tolerance test pins this down).
+    """
+    scale = gamma.astype(np.float64) / np.sqrt(var.astype(np.float64) + eps)
+    folded_w = weight.astype(np.float64) * scale[:, None, None, None]
+    b0 = bias.astype(np.float64) if bias is not None else 0.0
+    folded_b = (b0 - mean.astype(np.float64)) * scale + beta.astype(np.float64)
+    return folded_w.astype(np.float32), folded_b.astype(np.float32)
 
 
 def conv_params(layer: ConvSpec, rng: np.random.Generator) -> "Dict[str, np.ndarray]":

@@ -29,6 +29,7 @@ __all__ = [
     "is_branchable",
     "path_flops",
     "path_out_channels",
+    "concat_channel_blocks",
     "path_input_region",
     "assign_paths_lpt",
 ]
@@ -74,6 +75,31 @@ def path_out_channels(model: Model, unit_index: int) -> "List[int]":
         raise ValueError(f"unit {unit.name} is not a branchable concat block")
     cin = model.in_shape(unit_index)[0]
     return [path[-1].out_channels if path else cin for path in unit.paths]
+
+
+def concat_channel_blocks(
+    model: Model, unit_index: int, path_indices: "Sequence[int]"
+) -> "List[Tuple[int, int, int, int]]":
+    """Copy list mapping a branch worker's tile channels into the block's
+    global concat layout.
+
+    A worker executing paths ``path_indices`` (sorted ascending) emits
+    their output channels concatenated; entry ``(t_lo, t_hi, o_lo,
+    o_hi)`` says tile channels ``[t_lo, t_hi)`` land at output channels
+    ``[o_lo, o_hi)``.  Shared by the distributed coordinator and the
+    local multi-threaded plan executor.
+    """
+    per_path = path_out_channels(model, unit_index)
+    offsets = [0]
+    for c in per_path:
+        offsets.append(offsets[-1] + c)
+    blocks = []
+    tile_pos = 0
+    for idx in sorted(path_indices):
+        c = per_path[idx]
+        blocks.append((tile_pos, tile_pos + c, offsets[idx], offsets[idx + 1]))
+        tile_pos += c
+    return blocks
 
 
 def path_input_region(

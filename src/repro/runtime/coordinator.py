@@ -30,11 +30,12 @@ from repro.models.graph import Model
 from repro.nn.executor import Engine
 from repro.nn.tiles import (
     SegmentProgram,
-    compile_block_paths,
-    compile_segment,
+    compile_block_paths_cached,
+    compile_segment_cached,
     extract_tile,
 )
 from repro.nn.weights import Weights, init_weights
+from repro.partition.branches import concat_channel_blocks
 from repro.partition.regions import Region
 from repro.partition.strips import weighted_partition
 from repro.runtime.messages import (
@@ -103,26 +104,6 @@ class _WorkerHandle:
     #: mapping its tile's channel blocks into the concat output.
     paths: Optional[Tuple[int, ...]] = None
     channel_blocks: Optional[List[Tuple[int, int, int, int]]] = None
-
-
-def _channel_blocks_for(
-    model: Model, unit_index: int, paths: "Tuple[int, ...]"
-) -> "List[Tuple[int, int, int, int]]":
-    """Copy list mapping a branch worker's tile channels (its sorted
-    paths, concatenated) into the block's global concat layout."""
-    from repro.partition.branches import path_out_channels
-
-    per_path = path_out_channels(model, unit_index)
-    offsets = [0]
-    for c in per_path:
-        offsets.append(offsets[-1] + c)
-    blocks = []
-    tile_pos = 0
-    for idx in sorted(paths):
-        c = per_path[idx]
-        blocks.append((tile_pos, tile_pos + c, offsets[idx], offsets[idx + 1]))
-        tile_pos += c
-    return blocks
 
 
 class _StageRunner(threading.Thread):
@@ -248,11 +229,11 @@ class _StageRunner(threading.Thread):
                     worker.program = None
                     worker.alive = False
                     continue
-                worker.program = compile_block_paths(
+                worker.program = compile_block_paths_cached(
                     self.model, self.stage.start, group
                 )
                 worker.paths = tuple(sorted(group))
-                worker.channel_blocks = _channel_blocks_for(
+                worker.channel_blocks = concat_channel_blocks(
                     self.model, self.stage.start, group
                 )
                 worker.channel.send(Reconfigure(worker.program))
@@ -267,7 +248,7 @@ class _StageRunner(threading.Thread):
                 worker.program = None
                 worker.alive = False  # nothing left for it to do
                 continue
-            program = compile_segment(
+            program = compile_segment_cached(
                 self.model, self.stage.start, self.stage.end, region
             )
             worker.program = program
@@ -387,10 +368,12 @@ class DistributedPipeline:
                     if name in block_names
                 }
                 for group, handle in zip(live, handles):
-                    program = compile_block_paths(self.model, stage.start, group)
+                    program = compile_block_paths_cached(
+                        self.model, stage.start, tuple(sorted(group))
+                    )
                     handle.program = program
                     handle.paths = tuple(sorted(group))
-                    handle.channel_blocks = _channel_blocks_for(
+                    handle.channel_blocks = concat_channel_blocks(
                         self.model, stage.start, group
                     )
                     handle.channel.send(Setup(self.model, program, subset))
@@ -401,7 +384,7 @@ class DistributedPipeline:
                 if not region.empty
             ]
             for (device, region), handle in zip(live, handles):
-                program = compile_segment(self.model, stage.start, stage.end, region)
+                program = compile_segment_cached(self.model, stage.start, stage.end, region)
                 handle.program = program
                 names = _collect_weight_names(program)
                 subset = {

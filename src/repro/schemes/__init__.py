@@ -3,12 +3,14 @@
 from repro.schemes.base import PlanningError, Scheme, weighted_assignments
 from repro.schemes.early_fused import EarlyFusedScheme, default_fuse_count
 from repro.schemes.layer_wise import LayerWiseScheme
+from repro.schemes.local import LocalPlanExecutor
 from repro.schemes.optimal_fused import OptimalFusedScheme
 from repro.schemes.pico import PicoScheme
 
 __all__ = [
     "EarlyFusedScheme",
     "LayerWiseScheme",
+    "LocalPlanExecutor",
     "OptimalFusedScheme",
     "PicoScheme",
     "PlanningError",

@@ -1,0 +1,192 @@
+"""Multi-threaded local execution of a pipeline plan.
+
+:class:`LocalPlanExecutor` runs a :class:`~repro.core.plan.PipelinePlan`
+inside one process, standing in for the paper's device cluster: every
+device's tile of a stage becomes one task on the shared thread pool
+(:mod:`repro.nn.parallel`), so on a multi-core host the per-device
+tiles genuinely overlap — the local analogue of the distributed
+runtime's parallel workers.  On a single core (``REPRO_THREADS=1``)
+the tiles run serially and the stitched result is identical.
+
+Stage programs are compiled once at construction through the memoised
+compilers in :mod:`repro.nn.tiles`; steady-state frames only extract
+tiles, run GEMMs and stitch.  The stitched output of every stage is
+bit-exact against :meth:`Engine.forward_features` because tiles and
+full maps share the engine's layer kernels.
+
+:meth:`measure` times each stage over sample frames; the resulting
+per-stage wall-clock services feed straight into
+:func:`repro.cluster.simulator.simulate_plan` via its
+``measured_services`` parameter, replacing the analytic cost model
+with measured numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.plan import PipelinePlan, StagePlan
+from repro.nn import parallel
+from repro.nn.executor import Engine
+from repro.nn.tiles import (
+    SegmentProgram,
+    compile_block_paths_cached,
+    compile_segment_cached,
+    extract_tile,
+    run_segment,
+)
+from repro.partition.branches import concat_channel_blocks
+from repro.partition.regions import Region
+
+__all__ = ["LocalPlanExecutor"]
+
+
+@dataclass(frozen=True)
+class _TileTask:
+    """One device's share of a stage: a compiled program plus where its
+    output tile lands in the stage's full output map."""
+
+    program: SegmentProgram
+    #: Spatial placement for strip tiles (``None`` for branch tasks,
+    #: whose tiles span the full map).
+    region: Optional[Region]
+    #: Channel copy list for branch tasks (``None`` for strip tiles).
+    channel_blocks: Optional[Tuple[Tuple[int, int, int, int], ...]]
+
+
+class LocalPlanExecutor:
+    """Execute a pipeline plan locally with tile-level threading.
+
+    Parameters
+    ----------
+    engine:
+        The engine providing kernels and weights.  Its model must match
+        the plan's.
+    plan:
+        Any plan whose stages cover the whole model — PICO pipelines,
+        one-stage exclusive baselines, and branch-parallel stages all
+        work.
+    """
+
+    def __init__(self, engine: Engine, plan: PipelinePlan) -> None:
+        if plan.model_name != engine.model.name:
+            raise ValueError(
+                f"plan is for {plan.model_name!r}, engine runs "
+                f"{engine.model.name!r}"
+            )
+        if plan.stages[-1].end != engine.model.n_units:
+            raise ValueError(
+                f"plan covers units [0, {plan.stages[-1].end}) but the "
+                f"model has {engine.model.n_units}"
+            )
+        self.engine = engine
+        self.plan = plan
+        self._stages: "List[Tuple[StagePlan, Tuple[_TileTask, ...], Tuple[int, int, int]]]" = []
+        for stage in plan.stages:
+            out_shape = engine.model.out_shape(stage.end - 1)
+            self._stages.append((stage, self._compile_stage(stage), out_shape))
+
+    def _compile_stage(self, stage: StagePlan) -> "Tuple[_TileTask, ...]":
+        model = self.engine.model
+        tasks: "List[_TileTask]" = []
+        if stage.path_groups is not None:
+            for group in stage.path_groups:
+                if not group:
+                    continue  # device idles, like an empty strip
+                program = compile_block_paths_cached(
+                    model, stage.start, tuple(group)
+                )
+                blocks = tuple(
+                    concat_channel_blocks(model, stage.start, group)
+                )
+                tasks.append(_TileTask(program, None, blocks))
+        else:
+            for _, region in stage.assignments:
+                if region.empty:
+                    continue
+                program = compile_segment_cached(
+                    model, stage.start, stage.end, region
+                )
+                tasks.append(_TileTask(program, region, None))
+        if not tasks:
+            raise ValueError(
+                f"stage [{stage.start}, {stage.end}) has no non-empty work"
+            )
+        return tuple(tasks)
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def run_stage(self, stage_index: int, x: np.ndarray) -> np.ndarray:
+        """Run one stage on its full input map; returns the stitched
+        full output map."""
+        _, tasks, out_shape = self._stages[stage_index]
+        engine = self.engine
+
+        def run_task(task: _TileTask) -> np.ndarray:
+            tile = extract_tile(x, task.program.input_region)
+            return run_segment(engine, task.program, tile)
+
+        tiles = parallel.run_parallel(
+            [lambda task=task: run_task(task) for task in tasks]
+        )
+        if len(tasks) == 1 and tasks[0].region is not None:
+            region = tasks[0].region
+            if (region.height, region.width) == out_shape[1:]:
+                return tiles[0]  # one device produced the whole map
+        out = np.empty(out_shape, dtype=np.float32)
+        for task, tile in zip(tasks, tiles):
+            if task.channel_blocks is not None:
+                for t_lo, t_hi, o_lo, o_hi in task.channel_blocks:
+                    out[o_lo:o_hi] = tile[t_lo:t_hi]
+            else:
+                region = task.region
+                out[
+                    :,
+                    region.rows.start : region.rows.end,
+                    region.cols.start : region.cols.end,
+                ] = tile
+        return out
+
+    def forward_features(self, x: np.ndarray) -> np.ndarray:
+        """Run every stage; bit-exact vs ``engine.forward_features``."""
+        out = np.ascontiguousarray(x, dtype=np.float32)
+        for idx in range(len(self._stages)):
+            out = self.run_stage(idx, out)
+        return out
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """End-to-end inference: staged features then the dense head."""
+        return self.engine.run_head(self.forward_features(x))
+
+    # ------------------------------------------------------------------
+    # Measurement.
+    # ------------------------------------------------------------------
+    def measure(
+        self, frames: "Sequence[np.ndarray]", repeats: int = 1
+    ) -> "List[float]":
+        """Mean wall-clock seconds per stage over the given frames.
+
+        Feed the result to ``simulate_plan(..., measured_services=...)``
+        to drive the event simulator with measured numbers instead of
+        the analytic cost model.
+        """
+        if not frames:
+            raise ValueError("need at least one frame")
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        totals = [0.0] * len(self._stages)
+        runs = 0
+        for _ in range(repeats):
+            for frame in frames:
+                cur = np.ascontiguousarray(frame, dtype=np.float32)
+                for idx in range(len(self._stages)):
+                    t0 = time.perf_counter()
+                    cur = self.run_stage(idx, cur)
+                    totals[idx] += time.perf_counter() - t0
+                runs += 1
+        return [t / runs for t in totals]

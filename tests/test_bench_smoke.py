@@ -1,0 +1,43 @@
+"""Smoke test for the engine benchmark harness: a tiny configuration
+must produce a complete, JSON-serialisable report."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.engine import DEFAULT_MODELS, run_suite
+
+
+def test_run_suite_smoke():
+    report = run_suite(models=(("vgg16", 32),), repeats=1, seed=0)
+    assert report["benchmark"] == "engine_fast_path"
+    assert report["repeats"] == 1
+    assert "baseline_note" in report
+    for key in ("python", "numpy", "platform", "threads"):
+        assert key in report["meta"]
+    (entry,) = report["results"]
+    assert entry["model"] == "vgg16"
+    assert entry["input_hw"] == 32
+    for key in (
+        "ops_before_s",
+        "ops_after_s",
+        "features_before_s",
+        "features_after_s",
+        "end_to_end_before_s",
+        "end_to_end_after_s",
+        "speedup",
+        "features_speedup",
+    ):
+        assert key in entry
+    assert entry["end_to_end_before_s"] > 0
+    assert entry["end_to_end_after_s"] > 0
+    assert entry["speedup"] > 0
+    assert "conv" in entry["ops_before_s"]
+    assert entry["ops_before_s"]["conv"] > 0
+    # The whole report must round-trip through JSON (what main() writes).
+    assert json.loads(json.dumps(report)) == report
+
+
+def test_default_models_are_paper_models():
+    names = [name for name, _ in DEFAULT_MODELS]
+    assert names == ["vgg16", "resnet34", "inception_v3"]

@@ -1,0 +1,171 @@
+"""Fast-kernel exactness: packed-GEMM conv and tap-max pooling against
+the original reference kernels.
+
+The fast path's contract is *bitwise* equality for ``groups == 1``
+convolutions and max pooling — both lower to the identical float
+operation sequence — so these tests use ``assert_array_equal``, not
+allclose.  Grouped convolutions go through a batched matmul whose
+per-group accumulation order may differ from the reference einsum, so
+they get tolerance checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import ops
+
+
+def _rand(shape, seed):
+    return np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+
+
+class TestGemmBitExact:
+    @given(
+        cin=st.integers(1, 5),
+        cout=st.integers(1, 6),
+        kh=st.integers(1, 3),
+        kw=st.integers(1, 3),
+        sv=st.integers(1, 2),
+        sh=st.integers(1, 2),
+        top=st.integers(0, 2),
+        bottom=st.integers(0, 2),
+        left=st.integers(0, 2),
+        right=st.integers(0, 2),
+        size=st.integers(4, 10),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_gemm_equals_reference(
+        self, cin, cout, kh, kw, sv, sh, top, bottom, left, right, size, seed
+    ):
+        """GEMM conv is bit-identical to the tensordot reference across
+        kernels, strides and *asymmetric* padding (the virtual-padding
+        im2col fills border taps without materialising the padded map)."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((cin, size, size)).astype(np.float32)
+        w = rng.standard_normal((cout, cin, kh, kw)).astype(np.float32)
+        b = rng.standard_normal(cout).astype(np.float32)
+        pads = (top, bottom, left, right)
+        got = ops.conv2d(x, w, b, (sv, sh), pads)
+        want = ops.conv2d_reference(x, w, b, (sv, sh), pads)
+        np.testing.assert_array_equal(got, want)
+
+    def test_no_bias_and_activationless(self):
+        x, w = _rand((3, 12, 12), 0), _rand((8, 3, 3, 3), 1)
+        np.testing.assert_array_equal(
+            ops.conv2d(x, w, None, (1, 1), (1, 1, 1, 1)),
+            ops.conv2d_reference(x, w, None, (1, 1), (1, 1, 1, 1)),
+        )
+
+    def test_padding_wider_than_input(self):
+        """All-virtual rows/cols: taps that never touch the input."""
+        x, w = _rand((2, 3, 3), 2), _rand((4, 2, 3, 3), 3)
+        pads = (3, 3, 3, 3)
+        np.testing.assert_array_equal(
+            ops.conv2d(x, w, None, (2, 2), pads),
+            ops.conv2d_reference(x, w, None, (2, 2), pads),
+        )
+
+    def test_packed_matches_unpacked(self):
+        x, w, b = _rand((3, 10, 10), 4), _rand((5, 3, 3, 3), 5), _rand(5, 6)
+        packed = ops.pack_conv_weight(w)
+        got = ops.conv2d_packed(x, packed, b, (3, 3), (1, 1), (1, 1, 1, 1))
+        np.testing.assert_array_equal(got, ops.conv2d(x, w, b, (1, 1), (1, 1, 1, 1)))
+
+    def test_scratch_arenas_do_not_change_values(self):
+        x, w, b = _rand((4, 9, 9), 7), _rand((6, 4, 3, 3), 8), _rand(6, 9)
+        packed = ops.pack_conv_weight(w)
+        plain = ops.conv2d_packed(x, packed, b, (3, 3), (1, 1), (1, 1, 1, 1))
+        pad, out_pad = ops.ScratchPad(), ops.ScratchPad()
+        for _ in range(3):  # arena reuse across frames must be invisible
+            arena_out = ops.conv2d_packed(
+                x, packed, b, (3, 3), (1, 1), (1, 1, 1, 1),
+                scratch=pad, out_scratch=out_pad,
+            )
+            np.testing.assert_array_equal(arena_out, plain)
+
+    def test_fused_activation_matches_post_activation(self):
+        x, w, b = _rand((3, 8, 8), 10), _rand((4, 3, 3, 3), 11), _rand(4, 12)
+        packed = ops.pack_conv_weight(w)
+        fused = ops.conv2d_packed(
+            x, packed, b, (3, 3), (1, 1), (0, 0, 0, 0), activation="relu"
+        )
+        unfused = ops.apply_activation(
+            ops.conv2d_packed(x, packed, b, (3, 3), (1, 1), (0, 0, 0, 0)), "relu"
+        )
+        np.testing.assert_array_equal(fused, unfused)
+
+
+class TestGroupedConv:
+    @given(
+        groups=st.sampled_from([2, 4]),
+        mult=st.integers(1, 2),
+        size=st.integers(5, 9),
+        seed=st.integers(0, 20),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_grouped_close_to_reference(self, groups, mult, size, seed):
+        rng = np.random.default_rng(seed)
+        cin = groups * 2
+        cout = groups * mult
+        x = rng.standard_normal((cin, size, size)).astype(np.float32)
+        w = rng.standard_normal((cout, cin // groups, 3, 3)).astype(np.float32)
+        got = ops.conv2d(x, w, None, (1, 1), (1, 1, 1, 1), groups=groups)
+        want = ops.conv2d_reference(x, w, None, (1, 1), (1, 1, 1, 1), groups=groups)
+        np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-5)
+
+    def test_depthwise(self):
+        x = _rand((6, 8, 8), 13)
+        w = _rand((6, 1, 3, 3), 14)
+        got = ops.conv2d(x, w, None, (1, 1), (1, 1, 1, 1), groups=6)
+        want = ops.conv2d_reference(x, w, None, (1, 1), (1, 1, 1, 1), groups=6)
+        np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-5)
+
+
+class TestMaxPoolFast:
+    @given(
+        k=st.integers(2, 3),
+        s=st.integers(1, 3),
+        pad=st.integers(0, 1),
+        size=st.integers(4, 11),
+        seed=st.integers(0, 30),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_tap_max_equals_reference(self, k, s, pad, size, seed):
+        x = _rand((3, size, size), seed)
+        pads = (pad, pad, pad, pad)
+        got = ops.maxpool2d(x, (k, k), (s, s), pads)
+        want = ops.maxpool2d_reference(x, (k, k), (s, s), pads)
+        np.testing.assert_array_equal(got, want)
+
+    def test_arena_output(self):
+        x = _rand((4, 10, 10), 21)
+        arena = ops.ScratchPad()
+        got = ops.maxpool2d(x, (2, 2), (2, 2), out_scratch=arena)
+        np.testing.assert_array_equal(
+            got, ops.maxpool2d_reference(x, (2, 2), (2, 2))
+        )
+
+
+class TestInPlaceActivation:
+    @pytest.mark.parametrize(
+        "activation", ["relu", "leaky_relu", "relu6", "linear"]
+    )
+    def test_matches_out_of_place(self, activation):
+        x = _rand((5, 7, 7), 30)
+        want = ops.apply_activation(x.copy(), activation)
+        got = ops.apply_activation_(x.copy(), activation)
+        np.testing.assert_array_equal(got, want)
+
+    def test_writes_through(self):
+        x = _rand((4, 4), 31)
+        out = ops.apply_activation_(x, "relu")
+        assert out is x
+        assert x.min() >= 0.0
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            ops.apply_activation_(np.zeros(3, np.float32), "gelu")
