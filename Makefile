@@ -14,6 +14,7 @@ bench:
 
 bench-json:
 	python -m repro.bench.engine --out BENCH_engine.json
+	python -m repro.bench.planner --out BENCH_planner.json
 
 report:
 	python -m repro report --out report.md

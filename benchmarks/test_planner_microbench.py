@@ -1,17 +1,20 @@
 """Planner micro-benchmarks: raw wall-clock of the core algorithms.
 
 Not a paper table — engineering health checks for the library itself:
-Algorithm 1 on the real evaluation models, Algorithm 2 adaptation, and
+Algorithm 1 on the real evaluation models (vectorized cost tables, both
+cold and warm, plus the scalar reference), Algorithm 2 adaptation, and
 the Pareto-frontier ablation planner.
 """
 
 from __future__ import annotations
 
 from repro.cluster.device import heterogeneous_cluster, pi_cluster
-from repro.core.dp_planner import plan_homogeneous
+from repro.core.dp_planner import plan_homogeneous, plan_homogeneous_reference
 from repro.core.heterogeneous import adapt_to_cluster
 from repro.core.pareto import plan_pareto
 from repro.cost.comm import NetworkModel
+from repro.cost.flops import DEFAULT_OPTIONS
+from repro.cost.tables import SegmentCostTable, SegmentTable
 from repro.models.zoo import get_model
 
 NET = NetworkModel.from_mbps(50.0)
@@ -22,6 +25,52 @@ def test_dp_vgg16_8dev(benchmark):
     cluster = pi_cluster(8, 600)
     plan = benchmark(plan_homogeneous, model, cluster, NET)
     assert plan is not None and plan.n_stages >= 1
+
+
+def test_dp_vgg16_8dev_cold(benchmark):
+    """Vectorized planner including SegmentTable construction."""
+    model = get_model("vgg16")
+    cluster = pi_cluster(8, 600)
+    device = cluster.homogenized().devices[0]
+
+    def plan_cold():
+        table = SegmentCostTable(
+            model, device, NET, DEFAULT_OPTIONS,
+            segments=SegmentTable(model, DEFAULT_OPTIONS),
+        )
+        return plan_homogeneous(model, cluster, NET, table=table)
+
+    plan = benchmark(plan_cold)
+    assert plan is not None
+
+
+def test_dp_vgg16_8dev_warm(benchmark):
+    """Vectorized planner against a populated shared table (re-planning)."""
+    model = get_model("vgg16")
+    cluster = pi_cluster(8, 600)
+    device = cluster.homogenized().devices[0]
+    table = SegmentCostTable(
+        model, device, NET, DEFAULT_OPTIONS,
+        segments=SegmentTable(model, DEFAULT_OPTIONS),
+    )
+    plan_homogeneous(model, cluster, NET, table=table)  # populate
+    plan = benchmark(plan_homogeneous, model, cluster, NET, table=table)
+    assert plan is not None
+
+
+def test_dp_vgg16_8dev_reference(benchmark):
+    """The seed's scalar per-query cost model (the baseline)."""
+    model = get_model("vgg16")
+    cluster = pi_cluster(8, 600)
+    plan = benchmark(plan_homogeneous_reference, model, cluster, NET)
+    assert plan is not None
+
+
+def test_segment_table_build_vgg16(benchmark):
+    """Raw cost of the FLOP/boundary prefix-table construction."""
+    model = get_model("vgg16")
+    table = benchmark(SegmentTable, model, DEFAULT_OPTIONS)
+    assert table.exact(0, model.n_units)
 
 
 def test_dp_yolov2_8dev(benchmark):

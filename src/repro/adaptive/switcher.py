@@ -19,6 +19,7 @@ from repro.cluster.device import Cluster
 from repro.core.plan import PipelinePlan, plan_cost
 from repro.cost.comm import NetworkModel
 from repro.cost.flops import CostOptions, DEFAULT_OPTIONS
+from repro.cost.tables import get_segment_table
 from repro.models.graph import Model
 from repro.schemes.base import Scheme
 from repro.schemes.optimal_fused import OptimalFusedScheme
@@ -108,6 +109,11 @@ def build_apico_switcher(
     the one-stage scheme")."""
     if schemes is None:
         schemes = (PicoScheme(), OptimalFusedScheme())
+    # Prewarm the shared segment table: every candidate scheme (and any
+    # later online re-plan for the same model) draws its stage costs
+    # from this single vectorized table instead of rebuilding FLOP
+    # prefix maps per scheme.
+    get_segment_table(model, options)
     candidates = []
     for scheme in schemes:
         plan = scheme.plan(model, cluster, network, options)

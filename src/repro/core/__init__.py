@@ -1,7 +1,13 @@
 """PICO's planning core: DP planner, heterogeneous adaptation, optimal search."""
 
 from repro.core.bfs import BFSResult, bfs_optimal
-from repro.core.dp_planner import HomoPlan, HomoStage, StageTimeTable, plan_homogeneous
+from repro.core.dp_planner import (
+    HomoPlan,
+    HomoStage,
+    StageTimeTable,
+    plan_homogeneous,
+    plan_homogeneous_reference,
+)
 from repro.core.heterogeneous import adapt_to_cluster
 from repro.core.pareto import plan_pareto
 from repro.core.plan import PipelinePlan, PlanCost, StagePlan, plan_cost
@@ -23,5 +29,6 @@ __all__ = [
     "plan_from_dict",
     "plan_to_dict",
     "plan_homogeneous",
+    "plan_homogeneous_reference",
     "plan_pareto",
 ]

@@ -23,6 +23,7 @@ from repro.core.plan import PipelinePlan, StagePlan
 from repro.cost.comm import NetworkModel
 from repro.cost.flops import CostOptions, DEFAULT_OPTIONS
 from repro.cost.stage_cost import stage_time
+from repro.cost.tables import SegmentTable, get_segment_table
 from repro.models.graph import Model
 from repro.partition.regions import Region
 from repro.partition.strips import weighted_partition
@@ -59,14 +60,24 @@ def bfs_optimal(
     t_lim: float = math.inf,
     deadline_s: Optional[float] = None,
     max_stages: Optional[int] = None,
+    table: Optional[SegmentTable] = None,
+    stage_cache: "Optional[Dict[Tuple[int, int, Tuple[int, ...]], float]]" = None,
 ) -> BFSResult:
     """Find the minimum-period pipeline by exhaustive search.
 
     ``deadline_s`` bounds wall-clock; if hit, the best incumbent is
     returned with ``optimal=False``.  ``max_stages`` optionally caps the
     stage count (useful to keep tiny benchmark instances comparable).
+
+    Stage costs are answered by the shared vectorized
+    :class:`~repro.cost.tables.SegmentTable` (pass ``table`` to supply a
+    caller-managed one), which is bit-identical to ``stage_time``; pass
+    ``stage_cache`` to reuse evaluated (segment, allocation) costs
+    across repeated searches over the same deployment.
     """
     started = time.perf_counter()
+    if table is None:
+        table = get_segment_table(model, options)
     classes = _device_classes(cluster)
     n_classes = len(classes)
     n_units = model.n_units
@@ -75,7 +86,8 @@ def bfs_optimal(
         members = [d for d in cluster if (d.capacity, d.alpha) == (rep.capacity, rep.alpha)]
         class_devices.append(members)
 
-    stage_cache: "Dict[Tuple[int, int, Tuple[int, ...]], float]" = {}
+    if stage_cache is None:
+        stage_cache = {}
 
     def make_assignments(
         start: int, end: int, alloc: "Tuple[int, ...]", offsets: "Tuple[int, ...]"
@@ -101,13 +113,24 @@ def bfs_optimal(
         cached = stage_cache.get(key)
         if cached is not None:
             return cached
-        assignments = make_assignments(
-            start, end, alloc, tuple(0 for _ in alloc)
-        )
-        cost = stage_time(
-            model, start, end, assignments, network, options,
-            with_head=end == n_units,
-        ).total
+        if table is not None and table.exact(start, end):
+            devices: "List[Device]" = []
+            for cls_idx, count in enumerate(alloc):
+                devices.extend(class_devices[cls_idx][:count])
+            _, h, _ = model.out_shape(end - 1)
+            rows = weighted_partition(h, [d.capacity for d in devices])
+            cost = table.stage_total(
+                start, end, list(zip(devices, rows)), network,
+                with_head=end == n_units,
+            )
+        else:
+            assignments = make_assignments(
+                start, end, alloc, tuple(0 for _ in alloc)
+            )
+            cost = stage_time(
+                model, start, end, assignments, network, options,
+                with_head=end == n_units,
+            ).total
         stage_cache[key] = cost
         return cost
 

@@ -13,6 +13,20 @@ with ``Ts(s, j, p')`` the Eq. (9) cost of a single stage running units
 partition.  Solutions whose accumulated pipeline latency exceeds
 ``t_lim`` are pruned, as in the paper's Algorithm 1 (lines 11–16).
 
+Two implementations share the DP core:
+
+* :func:`plan_homogeneous` — the production planner.  ``Ts`` comes from
+  the vectorized :class:`~repro.cost.tables.SegmentCostTable` (shared
+  across calls through a registry), and dominated split points are
+  skipped: a split whose cheapest possible tail stage already exceeds
+  the incumbent period cannot improve the state, so its whole device
+  sub-loop is pruned.  Pruning only discards transitions that are
+  strictly worse in period, so the result is identical to the
+  unpruned DP.
+* :func:`plan_homogeneous_reference` — the per-query scalar baseline
+  (the exactness oracle and benchmark reference), backed by
+  :class:`StageTimeTable`.
+
 The returned :class:`HomoPlan` is abstract (device *counts*, not
 devices); Algorithm 2 (:mod:`repro.core.heterogeneous`) maps it onto
 the real cluster.
@@ -28,10 +42,17 @@ from repro.cluster.device import Cluster, Device
 from repro.cost.comm import NetworkModel
 from repro.cost.flops import CostOptions, DEFAULT_OPTIONS
 from repro.cost.stage_cost import branch_stage_time, homogeneous_stage_time
+from repro.cost.tables import get_cost_table
 from repro.partition.branches import assign_paths_lpt, is_branchable, path_flops
 from repro.models.graph import Model
 
-__all__ = ["HomoStage", "HomoPlan", "StageTimeTable", "plan_homogeneous"]
+__all__ = [
+    "HomoStage",
+    "HomoPlan",
+    "StageTimeTable",
+    "plan_homogeneous",
+    "plan_homogeneous_reference",
+]
 
 
 @dataclass(frozen=True)
@@ -67,6 +88,12 @@ class HomoPlan:
 
 class StageTimeTable:
     """Memoised ``Ts(start, end, p)`` single-stage costs (Eq. 9).
+
+    The *reference* implementation: every cache miss re-walks the
+    segment through the scalar cost model.  Kept as the exactness
+    oracle for the vectorized
+    :class:`~repro.cost.tables.SegmentCostTable`, which must agree
+    bit-for-bit (``tests/test_cost_tables.py``).
 
     With ``allow_branch=True`` a single-unit segment over a concat
     block also considers the branch-parallel layout (paths assigned to
@@ -133,66 +160,78 @@ class StageTimeTable:
         return self.best(start, end, p)[1]
 
 
-def plan_homogeneous(
+# A DP entry: (period, latency, n_stages, back-pointer); the back-pointer
+# is (prev_j, prev_p, stage) or None for a single-stage solution.
+_Entry = Tuple[float, float, int, Optional[Tuple[int, int, HomoStage]]]
+
+
+def _min_period_dp(
     model: Model,
-    cluster: Cluster,
-    network: NetworkModel,
-    options: CostOptions = DEFAULT_OPTIONS,
-    t_lim: float = math.inf,
-    allow_branch: bool = False,
+    n_devices: int,
+    ts,
+    t_lim: float,
+    prune: bool,
 ) -> Optional[HomoPlan]:
-    """Run Algorithm 1 on the homogenised cluster (Eq. 12).
+    """The Algorithm 1 DP over any ``Ts`` provider.
 
-    Returns the minimum-period plan whose pipeline latency stays within
-    ``t_lim``, or ``None`` when even the single-stage plan violates the
-    bound.  Ties in period break towards lower latency, then fewer
-    stages (less inter-stage traffic for equal analytic cost).
+    Entries order lexicographically by (period, latency, n_stages) —
+    ties in (period, latency) break towards fewer stages, which means
+    less inter-stage traffic for equal analytic cost.  With ``prune``
+    on, split points whose cheapest possible tail stage already exceeds
+    the incumbent period are skipped (their period would be strictly
+    worse, so they can never be selected); results are identical with
+    pruning on or off.
     """
-    homo = cluster.homogenized()
-    device = homo.devices[0]
-    n_devices = len(homo)
-    ts = StageTimeTable(model, device, network, options, allow_branch)
     n_units = model.n_units
-
-    # best[j][p]: (period, latency, back-pointer) for units [0, j) on p
-    # devices; back-pointer is (prev_j, prev_p, stage) or None for a
-    # single-stage solution.
-    Entry = Tuple[float, float, Optional[Tuple[int, int, HomoStage]]]
-    best: "Dict[Tuple[int, int], Optional[Entry]]" = {}
+    min_upto = getattr(ts, "min_cost_upto", None) if prune else None
+    best: "Dict[Tuple[int, int], Optional[_Entry]]" = {}
 
     for j in range(1, n_units + 1):
         for p in range(1, n_devices + 1):
             single = ts(0, j, p)
-            candidate: "Optional[Entry]" = (
-                (single, single, None) if single <= t_lim else None
+            candidate: "Optional[_Entry]" = (
+                (single, single, 1, None) if single <= t_lim else None
             )
             for s in range(1, j):
+                if (
+                    min_upto is not None
+                    and candidate is not None
+                    and p > 1
+                    and min_upto(s, j, p - 1) > candidate[0]
+                ):
+                    continue  # every tail stage from s exceeds the incumbent period
                 for p_tail in range(1, p):
                     prev = best.get((s, p - p_tail))
                     if prev is None:
                         continue
                     tail = ts(s, j, p_tail)
+                    if prune and candidate is not None and tail > candidate[0]:
+                        continue
                     latency = prev[1] + tail
                     if latency > t_lim:
                         continue
-                    period = max(prev[0], tail)
-                    entry: Entry = (
-                        period,
-                        latency,
-                        (s, p - p_tail, HomoStage(s, j, p_tail, ts.is_branch(s, j, p_tail))),
-                    )
-                    if candidate is None or (period, latency) < candidate[:2]:
-                        candidate = entry
+                    period = prev[0] if prev[0] >= tail else tail
+                    key = (period, latency, prev[2] + 1)
+                    if candidate is None or key < candidate[:3]:
+                        candidate = key + (
+                            (
+                                s,
+                                p - p_tail,
+                                HomoStage(
+                                    s, j, p_tail, ts.is_branch(s, j, p_tail)
+                                ),
+                            ),
+                        )
             best[(j, p)] = candidate
 
     # A plan may leave devices idle: take the best over p <= n_devices.
-    final: Optional[Entry] = None
+    final: Optional[_Entry] = None
     final_p = 0
     for p in range(1, n_devices + 1):
         entry = best.get((n_units, p))
         if entry is None:
             continue
-        if final is None or entry[:2] < final[:2]:
+        if final is None or entry[:3] < final[:3]:
             final = entry
             final_p = p
     if final is None:
@@ -200,8 +239,8 @@ def plan_homogeneous(
 
     stages: "List[HomoStage]" = []
     j, p, entry = n_units, final_p, final
-    while entry[2] is not None:
-        prev_j, prev_p, stage = entry[2]
+    while entry[3] is not None:
+        prev_j, prev_p, stage = entry[3]
         stages.append(stage)
         j, p = prev_j, prev_p
         entry = best[(j, p)]  # type: ignore[assignment]
@@ -209,3 +248,47 @@ def plan_homogeneous(
     stages.append(HomoStage(0, j, p, ts.is_branch(0, j, p)))
     stages.reverse()
     return HomoPlan(tuple(stages), final[0], final[1])
+
+
+def plan_homogeneous(
+    model: Model,
+    cluster: Cluster,
+    network: NetworkModel,
+    options: CostOptions = DEFAULT_OPTIONS,
+    t_lim: float = math.inf,
+    allow_branch: bool = False,
+    table=None,
+) -> Optional[HomoPlan]:
+    """Run Algorithm 1 on the homogenised cluster (Eq. 12).
+
+    Returns the minimum-period plan whose pipeline latency stays within
+    ``t_lim``, or ``None`` when even the single-stage plan violates the
+    bound.  Ties in period break towards lower latency, then fewer
+    stages (less inter-stage traffic for equal analytic cost).
+
+    ``Ts`` comes from the shared vectorized cost table for ``(model,
+    homogenised device, network, options)``; pass ``table`` (any object
+    with the :class:`StageTimeTable` protocol) to reuse a caller-managed
+    table across invocations, e.g. during online re-planning.
+    """
+    homo = cluster.homogenized()
+    device = homo.devices[0]
+    if table is None:
+        table = get_cost_table(model, device, network, options, allow_branch)
+    return _min_period_dp(model, len(homo), table, t_lim, prune=True)
+
+
+def plan_homogeneous_reference(
+    model: Model,
+    cluster: Cluster,
+    network: NetworkModel,
+    options: CostOptions = DEFAULT_OPTIONS,
+    t_lim: float = math.inf,
+    allow_branch: bool = False,
+) -> Optional[HomoPlan]:
+    """Algorithm 1 with the per-query scalar cost model (the seed
+    implementation) — the benchmark baseline and exactness oracle for
+    :func:`plan_homogeneous`.  Must return identical plans."""
+    homo = cluster.homogenized()
+    ts = StageTimeTable(model, homo.devices[0], network, options, allow_branch)
+    return _min_period_dp(model, len(homo), ts, t_lim, prune=False)

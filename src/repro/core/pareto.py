@@ -16,9 +16,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.device import Cluster
-from repro.core.dp_planner import HomoPlan, HomoStage, StageTimeTable
+from repro.core.dp_planner import HomoPlan, HomoStage
 from repro.cost.comm import NetworkModel
 from repro.cost.flops import CostOptions, DEFAULT_OPTIONS
+from repro.cost.tables import get_cost_table
 from repro.models.graph import Model
 
 __all__ = ["plan_pareto"]
@@ -49,14 +50,25 @@ def plan_pareto(
     network: NetworkModel,
     options: CostOptions = DEFAULT_OPTIONS,
     t_lim: float = math.inf,
+    table=None,
 ) -> Optional[HomoPlan]:
     """Exact minimum-period plan under a latency budget (homogenised
-    cluster, equal strips, contiguous segments)."""
+    cluster, equal strips, contiguous segments).
+
+    ``Ts`` values come from the shared vectorized cost table, so
+    repeated calls — e.g. a ``t_lim`` sweep over the same deployment —
+    reuse every memoised stage cost; pass ``table`` to supply a
+    caller-managed one (any :class:`~repro.core.dp_planner.StageTimeTable`
+    compatible object)."""
     homo = cluster.homogenized()
     device = homo.devices[0]
     n_devices = len(homo)
     n_units = model.n_units
-    ts = StageTimeTable(model, device, network, options)
+    ts = (
+        table
+        if table is not None
+        else get_cost_table(model, device, network, options)
+    )
 
     frontiers: "Dict[Tuple[int, int], List[_Entry]]" = {}
     for j in range(1, n_units + 1):

@@ -21,6 +21,12 @@ from repro.cost.stage_cost import (
     single_device_time,
     stage_time,
 )
+from repro.cost.tables import (
+    SegmentCostTable,
+    SegmentTable,
+    get_cost_table,
+    get_segment_table,
+)
 
 __all__ = [
     "CalibrationResult",
@@ -28,7 +34,11 @@ __all__ = [
     "DeviceCost",
     "LayerProfile",
     "NetworkModel",
+    "SegmentCostTable",
+    "SegmentTable",
     "StageCost",
+    "get_cost_table",
+    "get_segment_table",
     "calibrate_host",
     "fit_alpha",
     "full_unit_flops",

@@ -1,0 +1,274 @@
+"""Equivalence suite: vectorized cost tables vs the scalar oracle.
+
+The :mod:`repro.cost.tables` layer must be *bit-for-bit* identical to
+the reference cost model — ``SegmentCostTable`` vs
+``homogeneous_stage_time``, ``SegmentTable.stage_total`` vs
+``stage_time`` — and the vectorized planners must return exactly the
+same plans as the scalar-backed reference DP.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cluster.device import heterogeneous_cluster, pi_cluster
+from repro.core.bfs import bfs_optimal
+from repro.core.dp_planner import (
+    StageTimeTable,
+    plan_homogeneous,
+    plan_homogeneous_reference,
+)
+from repro.core.pareto import plan_pareto
+from repro.cost.comm import NetworkModel
+from repro.cost.flops import DEFAULT_OPTIONS
+from repro.cost.stage_cost import homogeneous_stage_time, stage_time
+from repro.cost.tables import (
+    SegmentCostTable,
+    SegmentTable,
+    get_cost_table,
+    get_segment_table,
+)
+from repro.models.graph import chain_model
+from repro.models.layers import ConvSpec, conv3x3
+from repro.models.toy import toy_chain
+from repro.models.zoo import get_model
+from repro.partition.regions import Interval, Region
+from repro.partition.strips import weighted_partition
+
+NET = NetworkModel.from_mbps(50.0)
+OPTIONS = DEFAULT_OPTIONS
+
+#: Model zoo at benchmark-friendly resolutions; every architecture kind
+#: (plain chain, residual, concat blocks, depthwise, non-square kernels).
+ZOO_CASES = [
+    ("toy", lambda: toy_chain(6, 2, input_hw=48)),
+    ("vgg16", lambda: get_model("vgg16", input_hw=64)),
+    ("resnet34", lambda: get_model("resnet34", input_hw=64)),
+    ("inception_v3", lambda: get_model("inception_v3", input_hw=96)),
+    ("mobilenet_v2", lambda: get_model("mobilenet_v2", input_hw=64)),
+    ("yolov2", lambda: get_model("yolov2", input_hw=64)),
+]
+ZOO_IDS = [name for name, _ in ZOO_CASES]
+
+
+@pytest.fixture(scope="module", params=[build for _, build in ZOO_CASES], ids=ZOO_IDS)
+def model(request):
+    return request.param()
+
+
+class TestBitForBitEquivalence:
+    def test_all_segments_exact(self, model):
+        """No real CNN here pads past its kernel, so the closed form
+        must cover every segment."""
+        table = SegmentTable(model, OPTIONS)
+        n = model.n_units
+        assert all(
+            table.exact(s, e) for s in range(n) for e in range(s + 1, n + 1)
+        )
+
+    def test_equal_strips_match_oracle(self, model):
+        """SegmentCostTable == homogeneous_stage_time(...).total, exact
+        float equality, across every segment and p in 1..8."""
+        device = pi_cluster(1, 600).devices[0]
+        vec = SegmentCostTable(model, device, NET, OPTIONS)
+        n = model.n_units
+        for start in range(n):
+            for end in range(start + 1, n + 1):
+                for p in (1, 2, 3, 8):
+                    expected = homogeneous_stage_time(
+                        model, start, end, p, device, NET, OPTIONS,
+                        with_head=end == n,
+                    ).total
+                    assert vec(start, end, p) == expected, (start, end, p)
+
+    def test_weighted_strips_match_oracle(self, model):
+        """stage_total on heterogeneous weighted strips == stage_time."""
+        cluster = heterogeneous_cluster([600.0, 800.0, 1200.0])
+        devices = list(cluster)
+        table = SegmentTable(model, OPTIONS)
+        n = model.n_units
+        segments = (
+            [(0, e) for e in range(1, n + 1)]
+            + [(s, n) for s in range(n)]
+            + [(s, s + 2) for s in range(n - 2)]
+        )
+        for start, end in segments:
+            _, h, w = table.out_shape(end)
+            rows = weighted_partition(h, [d.capacity for d in devices])
+            assignments = list(zip(devices, rows))
+            regions = [
+                (d, Region(iv, Interval(0, w))) for d, iv in assignments
+            ]
+            expected = stage_time(
+                model, start, end, regions, NET, OPTIONS,
+                with_head=end == n,
+            ).total
+            got = table.stage_total(
+                start, end, assignments, NET, with_head=end == n
+            )
+            assert got == expected, (start, end)
+
+
+class TestPlanEquivalence:
+    @pytest.mark.parametrize("n_devices", [1, 2, 3, 4, 5, 6, 7, 8])
+    def test_unbounded(self, model, n_devices):
+        cluster = pi_cluster(n_devices, 600)
+        ref = plan_homogeneous_reference(model, cluster, NET, OPTIONS)
+        vec = plan_homogeneous(model, cluster, NET, OPTIONS)
+        assert ref is not None and vec is not None
+        assert (vec.stages, vec.period, vec.latency) == (
+            ref.stages,
+            ref.period,
+            ref.latency,
+        )
+
+    def test_finite_t_lim(self, model):
+        """A budget strictly between the single-stage minimum latency
+        and the unconstrained optimum's latency binds for real."""
+        cluster = pi_cluster(6, 600)
+        free = plan_homogeneous_reference(model, cluster, NET, OPTIONS)
+        assert free is not None
+        ts = StageTimeTable(model, cluster.homogenized().devices[0], NET, OPTIONS)
+        min_latency = min(
+            ts(0, model.n_units, p) for p in range(1, len(cluster) + 1)
+        )
+        for t_lim in (
+            (min_latency + free.latency) / 2,
+            free.latency,
+            min_latency * 0.5,  # infeasible: both must return None
+        ):
+            ref = plan_homogeneous_reference(
+                model, cluster, NET, OPTIONS, t_lim=t_lim
+            )
+            vec = plan_homogeneous(model, cluster, NET, OPTIONS, t_lim=t_lim)
+            if ref is None:
+                assert vec is None
+            else:
+                assert vec is not None
+                assert (vec.stages, vec.period, vec.latency) == (
+                    ref.stages,
+                    ref.period,
+                    ref.latency,
+                )
+
+    def test_pareto(self, model):
+        cluster = pi_cluster(4, 600)
+        device = cluster.homogenized().devices[0]
+        reference_ts = StageTimeTable(model, device, NET, OPTIONS)
+        for t_lim in (math.inf, None):
+            kwargs = {} if t_lim is None else {"t_lim": t_lim}
+            ref = plan_pareto(
+                model, cluster, NET, OPTIONS, table=reference_ts, **kwargs
+            )
+            vec = plan_pareto(model, cluster, NET, OPTIONS, **kwargs)
+            assert ref is not None and vec is not None
+            assert (vec.stages, vec.period, vec.latency) == (
+                ref.stages,
+                ref.period,
+                ref.latency,
+            )
+
+
+class TestBranchParallel:
+    def test_branch_stages_match_reference(self):
+        model = get_model("inception_v3", input_hw=96)
+        cluster = pi_cluster(6, 600)
+        ref = plan_homogeneous_reference(
+            model, cluster, NET, OPTIONS, allow_branch=True
+        )
+        vec = plan_homogeneous(
+            model, cluster, NET, OPTIONS, allow_branch=True
+        )
+        assert ref is not None and vec is not None
+        assert (vec.stages, vec.period, vec.latency) == (
+            ref.stages,
+            ref.period,
+            ref.latency,
+        )
+
+
+class TestBfsTable:
+    def test_same_result_with_and_without_table(self):
+        model = toy_chain(4, 1, input_hw=32)
+        cluster = heterogeneous_cluster([600.0, 800.0, 1000.0])
+        with_table = bfs_optimal(
+            model, cluster, NET, OPTIONS,
+            table=get_segment_table(model, OPTIONS),
+        )
+        # Force the scalar path by handing over a table that claims no
+        # segment is exact.
+        class NeverExact(SegmentTable):
+            def exact(self, start, end):
+                return False
+
+        without = bfs_optimal(
+            model, cluster, NET, OPTIONS, table=NeverExact(model, OPTIONS)
+        )
+        assert with_table.optimal and without.optimal
+        assert with_table.period == without.period
+        assert with_table.latency == without.latency
+
+
+class TestScalarFallback:
+    def test_overpadded_layer_falls_back_to_oracle(self):
+        """padding >= kernel lets a strip's intermediate interval clip
+        to empty — the one case the closed form cannot express.  The
+        table must flag it and still answer through the oracle."""
+        layers = [
+            conv3x3("c1", 1, 8),
+            ConvSpec("overpad", 8, 8, kernel_size=1, stride=1, padding=1),
+            conv3x3("c2", 8, 8),
+        ]
+        model = chain_model("overpadded", (1, 16, 16), layers)
+        table = SegmentTable(model, OPTIONS)
+        n = model.n_units
+        # Segments *ending at* the over-padded layer see its clipped
+        # boundaries directly and collapse; a later conv's halo re-widens
+        # the intervals, so longer segments stay exact.
+        assert not table.exact(0, 2)
+        assert not table.exact(1, 2)
+        device = pi_cluster(1, 600).devices[0]
+        vec = SegmentCostTable(model, device, NET, OPTIONS, segments=table)
+        for start in range(n):
+            for end in range(start + 1, n + 1):
+                for p in (1, 2, 4):
+                    expected = homogeneous_stage_time(
+                        model, start, end, p, device, NET, OPTIONS,
+                        with_head=end == n,
+                    ).total
+                    assert vec(start, end, p) == expected, (start, end, p)
+        ref = plan_homogeneous_reference(model, pi_cluster(3, 600), NET, OPTIONS)
+        got = plan_homogeneous(model, pi_cluster(3, 600), NET, OPTIONS)
+        assert (got.stages, got.period, got.latency) == (
+            ref.stages,
+            ref.period,
+            ref.latency,
+        )
+
+
+class TestRegistry:
+    def test_tables_are_shared(self):
+        model = toy_chain(3, 0, input_hw=16)
+        assert get_segment_table(model, OPTIONS) is get_segment_table(
+            model, OPTIONS
+        )
+        device = pi_cluster(2, 600).devices[0]
+        a = get_cost_table(model, device, NET, OPTIONS)
+        b = get_cost_table(model, device, NET, OPTIONS)
+        assert a is b
+        assert a.segments is get_segment_table(model, OPTIONS)
+        # A different configuration gets its own cost table but shares
+        # the geometry.
+        c = get_cost_table(model, device, NET, OPTIONS, allow_branch=True)
+        assert c is not a and c.segments is a.segments
+
+    def test_min_cost_upto_is_running_minimum(self):
+        model = toy_chain(4, 1, input_hw=32)
+        device = pi_cluster(1, 600).devices[0]
+        table = SegmentCostTable(model, device, NET, OPTIONS)
+        n = model.n_units
+        for p_max in range(1, 6):
+            expected = min(table(1, n, p) for p in range(1, p_max + 1))
+            assert table.min_cost_upto(1, n, p_max) == expected

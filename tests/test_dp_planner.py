@@ -118,6 +118,48 @@ class TestPlanHomogeneous:
         assert p8.period <= p4.period + 1e-12
 
 
+class FakeTable:
+    """A Ts provider with hand-injected stage costs (default 10.0)."""
+
+    def __init__(self, costs):
+        self.costs = costs
+
+    def __call__(self, start, end, p):
+        return self.costs.get((start, end, p), 10.0)
+
+    def best(self, start, end, p):
+        return (self(start, end, p), False)
+
+    def is_branch(self, start, end, p):
+        return False
+
+
+class TestStageCountTieBreak:
+    def test_ties_break_towards_fewer_stages(self, net):
+        """Two plans tie at (period 2.0, latency 3.0) with 3 devices:
+        a 3-stage split and a 2-stage split.  The DP must return the
+        2-stage one — fewer stages means less inter-stage traffic for
+        equal analytic cost."""
+        model = toy_chain(4, 0, input_hw=16)  # 4 units
+        cluster = pi_cluster(3, 600)
+        table = FakeTable({
+            (0, 1, 1): 0.5,
+            (1, 2, 1): 0.5,
+            (2, 4, 1): 2.0,  # 3-stage plan: periods (.5, .5, 2.0)
+            (0, 3, 2): 2.0,
+            (3, 4, 1): 1.0,  # 2-stage plan: periods (2.0, 1.0)
+        })
+        plan = plan_homogeneous(model, cluster, net, table=table)
+        assert plan is not None
+        assert plan.period == 2.0
+        assert plan.latency == 3.0
+        assert plan.n_stages == 2
+        assert [(s.start, s.end, s.n_devices) for s in plan.stages] == [
+            (0, 3, 2),
+            (3, 4, 1),
+        ]
+
+
 class TestStageTimeTable:
     def test_caches(self, net):
         model = toy_chain(3, 0, input_hw=16)
