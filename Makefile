@@ -1,7 +1,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: install test bench bench-json report examples all
+.PHONY: install test bench bench-json trace-smoke report examples all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -15,6 +15,9 @@ bench:
 bench-json:
 	python -m repro.bench.engine --out BENCH_engine.json
 	python -m repro.bench.planner --out BENCH_planner.json
+
+trace-smoke:
+	python -m repro.bench.trace_smoke --hw 64 --frames 2 --devices 4
 
 report:
 	python -m repro report --out report.md

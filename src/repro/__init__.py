@@ -43,7 +43,14 @@ from repro.report import render_plan, render_timeline
 from repro.cost import CostOptions, NetworkModel, wifi_50mbps
 from repro.models import get_model
 from repro.nn import Engine, init_weights
-from repro.runtime import DistributedPipeline
+from repro.runtime import (
+    DistributedPipeline,
+    InProcTransport,
+    PipelineSession,
+    PlanProgram,
+    SimTransport,
+    compile_plan,
+)
 from repro.schemes import (
     EarlyFusedScheme,
     LayerWiseScheme,
@@ -61,14 +68,19 @@ __all__ = [
     "DistributedPipeline",
     "EarlyFusedScheme",
     "Engine",
+    "InProcTransport",
     "LayerWiseScheme",
     "NetworkModel",
     "OptimalFusedScheme",
     "PicoScheme",
     "PipelinePlan",
+    "PipelineSession",
     "PlanCost",
+    "PlanProgram",
+    "SimTransport",
     "StagePlan",
     "bfs_optimal",
+    "compile_plan",
     "dump_plan",
     "build_apico_switcher",
     "evaluate",

@@ -74,6 +74,25 @@ class AdaptiveSwitcher:
             key=lambda c: (c.estimated_latency(arrival_rate), c.period),
         )
 
+    def plan_timings(
+        self,
+        model: Model,
+        network: NetworkModel,
+        options: CostOptions = DEFAULT_OPTIONS,
+    ) -> "dict":
+        """Per-candidate runtime timing tables from the shared core.
+
+        The event simulator replays a switcher with these; building
+        them here keeps every candidate's service model in the same
+        tables the frame-level backends stamp their traces with.
+        """
+        from repro.runtime.timing import plan_timing
+
+        return {
+            c.name: plan_timing(model, c.plan, network, options, name=c.name)
+            for c in self.candidates
+        }
+
     def on_arrival(self, now: float) -> CandidatePlan:
         """Record an arrival; switch the active plan if another candidate
         beats the current one by more than the hysteresis margin.

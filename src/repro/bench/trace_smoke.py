@@ -1,0 +1,122 @@
+"""Trace-smoke gate: InProc and Sim backends must agree exactly.
+
+Runs VGG16 frames through the same compiled :class:`PlanProgram` on two
+transports — the threaded in-process backend (wall clock) and the
+virtual-clock simulated backend — and checks the exactness gate the
+runtime core promises:
+
+* bit-identical outputs (both backends call the same stage kernels on
+  the same split/stitch tiles), and
+* identical *canonical* traces — the timestamp-free projection
+  ``(frame, stage, kind, device, nbytes)`` of every emitted event.
+
+Exit status is non-zero on any mismatch, so CI can run this as a gate::
+
+    make trace-smoke
+    python -m repro.bench.trace_smoke --hw 64 --frames 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.device import pi_cluster
+from repro.cost.comm import NetworkModel
+from repro.models.zoo import get_model
+from repro.nn.executor import Engine
+from repro.runtime.core import InProcTransport, PipelineSession, SimTransport
+from repro.runtime.program import compile_plan
+from repro.runtime.trace import Tracer, canonical_trace, diff_traces
+from repro.schemes.pico import PicoScheme
+
+__all__ = ["run", "main"]
+
+
+def run(
+    model_name: str = "vgg16",
+    input_hw: int = 64,
+    n_frames: int = 2,
+    n_devices: int = 4,
+    freq_mhz: float = 600.0,
+    mbps: float = 50.0,
+    seed: int = 0,
+) -> int:
+    """Run the gate; returns the number of mismatches (0 = pass)."""
+    model = get_model(model_name, input_hw=input_hw)
+    cluster = pi_cluster(n_devices, freq_mhz)
+    network = NetworkModel.from_mbps(mbps)
+    plan = PicoScheme().plan(model, cluster, network)
+    program = compile_plan(model, plan)
+    engine = Engine(model, seed=seed)
+    rng = np.random.default_rng(seed)
+    frames = [
+        rng.standard_normal(model.input_shape).astype(np.float32)
+        for _ in range(n_frames)
+    ]
+
+    print(
+        f"{model.name} @ {input_hw}px on {n_devices}x{freq_mhz:.0f}MHz: "
+        f"{program.n_stages} stages, {n_frames} frames"
+    )
+
+    tracer_live = Tracer()
+    t0 = time.perf_counter()
+    with PipelineSession(program, InProcTransport(engine), tracer_live) as s:
+        live = s.run_batch(frames)
+    wall = time.perf_counter() - t0
+
+    tracer_sim = Tracer()
+    sim_transport = SimTransport(engine, network)
+    with PipelineSession(program, sim_transport, tracer_sim) as s:
+        simulated = s.run_batch(frames)
+    virtual = sim_transport.now
+
+    failures = 0
+    for i, (a, b) in enumerate(zip(live, simulated)):
+        if not np.array_equal(a, b):
+            print(f"FAIL: frame {i} outputs differ between backends")
+            failures += 1
+    mismatch = diff_traces(tracer_live.events, tracer_sim.events)
+    if mismatch:
+        print(f"FAIL: canonical traces differ ({len(mismatch)} lines shown)")
+        for line in mismatch:
+            print(f"  {line}")
+        failures += 1
+
+    n_events = len(canonical_trace(tracer_live.events))
+    print(
+        f"inproc wall {wall * 1000:.1f} ms, sim virtual {virtual * 1000:.1f} ms, "
+        f"{n_events} trace events per backend"
+    )
+    if failures == 0:
+        print("PASS: identical outputs and identical canonical traces")
+    return failures
+
+
+def main(argv: "Optional[Sequence[str]]" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="InProc-vs-Sim trace exactness gate"
+    )
+    parser.add_argument("--model", type=str, default="vgg16")
+    parser.add_argument("--hw", type=int, default=64,
+                        help="input resolution (reduced for CI speed)")
+    parser.add_argument("--frames", type=int, default=2)
+    parser.add_argument("--devices", type=int, default=4)
+    parser.add_argument("--freq", type=float, default=600.0)
+    parser.add_argument("--mbps", type=float, default=50.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    failures = run(
+        args.model, args.hw, args.frames, args.devices, args.freq,
+        args.mbps, args.seed,
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -8,6 +8,7 @@ Subcommands::
     python -m repro compare yolov2 --devices 8 --freq 600
     python -m repro simulate vgg16 --load 1.2 --horizon 600
     python -m repro timeline vgg16 --devices 8
+    python -m repro trace vgg16 --devices 4 --frames 2 --backend both
 
 Frequencies are per-device MHz; ``--freqs`` takes a comma list for a
 heterogeneous cluster and overrides ``--devices/--freq``.
@@ -91,6 +92,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("model")
     _add_cluster_args(p)
     p.add_argument("--tasks", type=int, default=6)
+
+    p = sub.add_parser(
+        "trace", help="run frames through the runtime core and print traces"
+    )
+    p.add_argument("model")
+    _add_cluster_args(p)
+    p.add_argument("--frames", type=int, default=2, help="frames to run")
+    p.add_argument(
+        "--backend", choices=["inproc", "sim", "both"], default="both",
+        help="transport backend (both = run each and diff canonical traces)",
+    )
+    p.add_argument("--hw", type=int, default=0,
+                   help="override input resolution (0 = model default)")
+    p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser(
         "experiment", help="run a paper experiment harness (fast config)"
@@ -247,6 +262,62 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.nn.executor import Engine
+    from repro.runtime.core import (
+        InProcTransport,
+        PipelineSession,
+        SimTransport,
+    )
+    from repro.runtime.trace import Tracer, diff_traces, format_timeline
+
+    model = (
+        get_model(args.model, input_hw=args.hw) if args.hw
+        else get_model(args.model)
+    )
+    cluster = _cluster_from_args(args)
+    network = NetworkModel.from_mbps(args.mbps)
+    plan = PicoScheme().plan(model, cluster, network)
+    engine = Engine(model, seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    frames = [
+        rng.standard_normal(model.input_shape).astype(np.float32)
+        for _ in range(args.frames)
+    ]
+
+    backends = []
+    if args.backend in ("inproc", "both"):
+        backends.append(("inproc", InProcTransport(engine)))
+    if args.backend in ("sim", "both"):
+        backends.append(("sim", SimTransport(engine, network)))
+
+    runs = {}
+    for name, transport in backends:
+        tracer = Tracer()
+        session = PipelineSession.from_plan(model, plan, transport, tracer)
+        outputs = session.run_batch(frames)
+        session.close()
+        runs[name] = (outputs, tracer.events)
+        print(f"--- {name} backend ({len(tracer.events)} events) ---")
+        print(format_timeline(tracer.events))
+        print()
+
+    if args.backend == "both":
+        (out_a, ev_a), (out_b, ev_b) = runs["inproc"], runs["sim"]
+        mismatch = diff_traces(ev_a, ev_b)
+        exact = all(
+            np.array_equal(a, b) for a, b in zip(out_a, out_b)
+        )
+        if mismatch or not exact:
+            for line in mismatch:
+                print(line)
+            if not exact:
+                print("outputs differ between backends")
+            return 1
+        print("backends agree: identical outputs, identical canonical traces")
+    return 0
+
+
 def _cmd_timeline(args: argparse.Namespace) -> int:
     model = get_model(args.model)
     cluster = _cluster_from_args(args)
@@ -270,6 +341,8 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
         return _cmd_simulate(args)
     if args.command == "timeline":
         return _cmd_timeline(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "report":

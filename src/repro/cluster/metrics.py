@@ -10,13 +10,14 @@ a neighbouring device.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.simulator import SimResult
 from repro.core.plan import PipelinePlan, plan_cost
 from repro.cost.comm import NetworkModel
 from repro.cost.flops import CostOptions, DEFAULT_OPTIONS
 from repro.models.graph import Model
+from repro.runtime.trace import TraceEvent, device_busy, trace_makespan
 
 __all__ = ["DeviceReport", "UtilizationTable", "utilization_table"]
 
@@ -85,12 +86,20 @@ def utilization_table(
     sim: Optional[SimResult] = None,
     options: CostOptions = DEFAULT_OPTIONS,
     scheme_name: str = "?",
+    trace: "Optional[Sequence[TraceEvent]]" = None,
 ) -> UtilizationTable:
     """Build the Table I metrics for one plan.
 
-    ``sim`` provides measured busy times; without it, utilisation falls
-    back to the analytic steady-state estimate (busy share per period).
+    ``sim`` provides measured busy times from the event simulator;
+    ``trace`` computes them from runtime-core trace events instead
+    (any backend — live or virtual-clock — emits the same schema).
+    Without either, utilisation falls back to the analytic
+    steady-state estimate (busy share per period).
     """
+    if sim is not None and trace is not None:
+        raise ValueError("pass at most one of sim= and trace=")
+    trace_window = trace_makespan(trace) if trace is not None else 0.0
+    trace_busy = device_busy(trace) if trace is not None else {}
     cost = plan_cost(model, plan, network, options)
     flops: "Dict[str, float]" = {}
     owned: "Dict[str, float]" = {}
@@ -111,6 +120,12 @@ def utilization_table(
     for name in capacity:
         if sim is not None:
             util = sim.utilization(name)
+        elif trace is not None:
+            util = (
+                trace_busy.get(name, 0.0) / trace_window
+                if trace_window > 0
+                else 0.0
+            )
         else:
             # Steady state: each device works busy_per_task seconds out
             # of every pipeline period.

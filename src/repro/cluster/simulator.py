@@ -1,11 +1,16 @@
 """Discrete-event simulation of a plan executing on the cluster.
 
 Substitutes the paper's physical 8×Raspberry-Pi testbed: stages are
-deterministic-service FIFO servers (service time = the Eq. 9 stage
-cost), tasks flow stage to stage, and per-device busy time accrues from
-each stage's compute share.  *Exclusive* plans (the one-stage baseline
-schemes) collapse into a single server whose service time is the full
-phase sequence.  The adaptive entry point replays an
+deterministic-service FIFO servers, tasks flow stage to stage, and
+per-device busy time accrues from each stage's compute share.  The
+per-plan service times, transfer/compute splits and busy shares come
+from the shared runtime core's timing tables
+(:func:`repro.runtime.timing.plan_timing`) — the same tables the
+frame-level :class:`~repro.runtime.core.SimTransport` stamps its trace
+events with, so an event-loop simulation and a frame-level simulated
+run of the same plan agree by construction.  *Exclusive* plans (the
+one-stage baseline schemes) collapse into a single server whose service
+time is the full phase sequence.  The adaptive entry point replays an
 :class:`~repro.adaptive.switcher.AdaptiveSwitcher`, swapping the active
 plan at service boundaries: tasks already inside the pipeline finish
 under the plan that started them (model segments must be re-shipped
@@ -21,13 +26,14 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.plan import PipelinePlan, plan_cost
+from repro.core.plan import PipelinePlan
 
 if TYPE_CHECKING:  # avoid a circular import; only needed for typing
     from repro.adaptive.switcher import AdaptiveSwitcher
 from repro.cost.comm import NetworkModel
 from repro.cost.flops import CostOptions, DEFAULT_OPTIONS
 from repro.models.graph import Model
+from repro.runtime.timing import PlanTiming, plan_timing
 
 __all__ = ["TaskRecord", "SimResult", "simulate_plan", "simulate_adaptive"]
 
@@ -122,91 +128,18 @@ class SimResult:
         )
 
 
-class _PlanRuntime:
-    """Pre-computed service times and busy shares for one plan."""
-
-    def __init__(
-        self,
-        name: str,
-        plan: PipelinePlan,
-        model: Model,
-        network: NetworkModel,
-        options: CostOptions,
-        measured_services: "Optional[Sequence[float]]" = None,
-    ) -> None:
-        self.name = name
-        self.plan = plan
-        cost = plan_cost(model, plan, network, options)
-        self.period = cost.period
-        self.latency = cost.latency
-        # A device is "busy" for its compute time plus its own transfer
-        # time: on the paper's single-core Pis, socket I/O and tile
-        # split/stitch consume the CPU just like convolutions, and the
-        # paper's Table I reports measured CPU usage.
-        if plan.mode == "pipelined":
-            self.services = [sc.total for sc in cost.stage_costs]
-            self.comm = [sc.t_comm for sc in cost.stage_costs]
-            self.comp = [sc.t_comp + sc.t_head for sc in cost.stage_costs]
-            self.busy_shares: "List[List[Tuple[str, float]]]" = [
-                [(dc.device.name, dc.t_comp + dc.t_comm) for dc in sc.devices]
-                for sc in cost.stage_costs
-            ]
-            # The head runs serially on one stage device; bill it there.
-            for sc, shares in zip(cost.stage_costs, self.busy_shares):
-                if sc.t_head > 0 and shares:
-                    fastest = max(
-                        range(len(sc.devices)),
-                        key=lambda i: sc.devices[i].device.capacity,
-                    )
-                    name_, t = shares[fastest]
-                    shares[fastest] = (name_, t + sc.t_head)
-        else:
-            self.services = [cost.latency]
-            merged: "Dict[str, float]" = {}
-            for sc in cost.stage_costs:
-                for dc in sc.devices:
-                    merged[dc.device.name] = (
-                        merged.get(dc.device.name, 0.0) + dc.t_comp + dc.t_comm
-                    )
-                if sc.t_head > 0:
-                    fastest = max(sc.devices, key=lambda dc: dc.device.capacity)
-                    merged[fastest.device.name] = (
-                        merged.get(fastest.device.name, 0.0) + sc.t_head
-                    )
-            self.busy_shares = [sorted(merged.items())]
-            total_comm = sum(sc.t_comm for sc in cost.stage_costs)
-            self.comm = [total_comm]
-            self.comp = [cost.latency - total_comm]
-        if measured_services is not None:
-            # Replace the analytic per-stage service times with measured
-            # wall-clock ones (e.g. LocalPlanExecutor.measure); the comm
-            # component keeps its analytic estimate and compute absorbs
-            # the rest, so shared-medium contention still works.
-            if len(measured_services) != len(self.services):
-                raise ValueError(
-                    f"measured_services has {len(measured_services)} entries "
-                    f"for a {len(self.services)}-stage plan"
-                )
-            self.services = [float(s) for s in measured_services]
-            self.comm = [min(c, s) for c, s in zip(self.comm, self.services)]
-            self.comp = [
-                max(0.0, s - c) for s, c in zip(self.services, self.comm)
-            ]
-        self.n_stages = len(self.services)
-
-
 @dataclass
 class _InFlight:
     task_id: int
     arrival: float
     started: float
-    runtime: _PlanRuntime
+    timing: PlanTiming
 
 
 def _run_event_loop(
     arrivals: "Sequence[float]",
-    initial_runtime: _PlanRuntime,
-    pick_runtime,  # (now) -> desired _PlanRuntime
+    initial_timing: PlanTiming,
+    pick_timing,  # (now) -> desired PlanTiming
     shared_medium: bool = False,
 ) -> SimResult:
     """Shared event loop for plain and adaptive simulations.
@@ -230,8 +163,8 @@ def _run_event_loop(
     for task_id, t in enumerate(sorted(arrivals)):
         heapq.heappush(heap, (float(t), next(counter), "arrival", task_id))
 
-    current = initial_runtime
-    desired = initial_runtime
+    current = initial_timing
+    desired = initial_timing
     queues: "List[Deque[_InFlight]]" = [deque() for _ in range(current.n_stages)]
     busy: "List[bool]" = [False] * current.n_stages
     device_busy: "Dict[str, float]" = {}
@@ -252,7 +185,7 @@ def _run_event_loop(
         queues = [deque() for _ in range(current.n_stages)]
         busy = [False] * current.n_stages
         for task in backlog:
-            task.runtime = current
+            task.timing = current
             queues[0].append(task)
 
     net_busy = False
@@ -267,7 +200,7 @@ def _run_event_loop(
         heapq.heappush(
             heap,
             (
-                now + task.runtime.comm[stage_idx],
+                now + task.timing.stages[stage_idx].comm,
                 next(counter),
                 "net_done",
                 (stage_idx, task),
@@ -276,21 +209,21 @@ def _run_event_loop(
 
     def try_start(stage_idx: int, now: float) -> None:
         nonlocal makespan
-        runtime = current
+        timing = current
         if busy[stage_idx] or not queues[stage_idx]:
             return
         task = queues[stage_idx].popleft()
-        assert task.runtime is runtime, "task queued under a stale runtime"
+        assert task.timing is timing, "task queued under a stale timing"
         busy[stage_idx] = True
         if stage_idx == 0 and task.started < 0:
             task.started = now
-        for name, t_comp in runtime.busy_shares[stage_idx]:
+        for name, t_comp in timing.stages[stage_idx].busy_shares:
             device_busy[name] = device_busy.get(name, 0.0) + t_comp
         if shared_medium:
             net_queue.append((stage_idx, task))
             try_net(now)
             return
-        service = runtime.services[stage_idx]
+        service = timing.stages[stage_idx].service
         heapq.heappush(
             heap, (now + service, next(counter), "done", (stage_idx, task))
         )
@@ -300,7 +233,7 @@ def _run_event_loop(
         makespan = max(makespan, now)
         if kind == "arrival":
             task_id = payload
-            desired = pick_runtime(now)
+            desired = pick_timing(now)
             maybe_swap()
             task = _InFlight(task_id, now, -1.0, current)
             queues[0].append(task)
@@ -311,7 +244,7 @@ def _run_event_loop(
             heapq.heappush(
                 heap,
                 (
-                    now + task.runtime.comp[stage_idx],
+                    now + task.timing.stages[stage_idx].comp,
                     next(counter),
                     "done",
                     (stage_idx, task),
@@ -321,14 +254,14 @@ def _run_event_loop(
         else:
             stage_idx, task = payload  # type: ignore[misc]
             busy[stage_idx] = False
-            if stage_idx == task.runtime.n_stages - 1:
-                plan_usage[task.runtime.name] = (
-                    plan_usage.get(task.runtime.name, 0) + 1
+            if stage_idx == task.timing.n_stages - 1:
+                plan_usage[task.timing.name] = (
+                    plan_usage.get(task.timing.name, 0) + 1
                 )
                 records.append(
                     TaskRecord(
                         task.task_id, task.arrival, task.started, now,
-                        task.runtime.name,
+                        task.timing.name,
                     )
                 )
             else:
@@ -363,12 +296,13 @@ def simulate_plan(
     (one entry per stage, seconds) — the bridge from
     :meth:`repro.schemes.local.LocalPlanExecutor.measure` to the event
     simulator."""
-    runtime = _PlanRuntime(
-        plan_name or plan.mode, plan, model, network, options,
+    timing = plan_timing(
+        model, plan, network, options,
+        name=plan_name or plan.mode,
         measured_services=measured_services,
     )
     return _run_event_loop(
-        arrivals, runtime, lambda now: runtime, shared_medium=shared_medium
+        arrivals, timing, lambda now: timing, shared_medium=shared_medium
     )
 
 
@@ -381,14 +315,11 @@ def simulate_adaptive(
     shared_medium: bool = False,
 ) -> SimResult:
     """Replay ``arrivals`` with APICO switching (drain-before-switch)."""
-    runtimes = {
-        c.name: _PlanRuntime(c.name, c.plan, model, network, options)
-        for c in switcher.candidates
-    }
-    initial = runtimes[switcher.active.name]
+    timings = switcher.plan_timings(model, network, options)
+    initial = timings[switcher.active.name]
 
-    def pick(now: float) -> _PlanRuntime:
+    def pick(now: float) -> PlanTiming:
         active = switcher.on_arrival(now)
-        return runtimes[active.name]
+        return timings[active.name]
 
     return _run_event_loop(arrivals, initial, pick, shared_medium=shared_medium)

@@ -26,6 +26,7 @@ from repro.models.toy import toy_chain
 from repro.nn.executor import Engine
 from repro.nn.weights import init_weights
 from repro.runtime.coordinator import DistributedPipeline
+from repro.runtime.core import PipelineSession, SimTransport
 from repro.schemes.pico import PicoScheme
 
 __all__ = ["ValidationResult", "run"]
@@ -37,6 +38,12 @@ class ValidationResult:
     predicted_period_s: float
     measured_period_s: float
     max_output_error: float
+    #: Max |live - simulated| over all frames: the two backends run the
+    #: same compiled PlanProgram through the same stage kernels, so this
+    #: must be exactly zero.
+    sim_output_error: float = 0.0
+    #: Steady-state period of the SimTransport's virtual clock.
+    sim_period_s: float = 0.0
 
     @property
     def ratio(self) -> float:
@@ -45,12 +52,19 @@ class ValidationResult:
             return float("inf")
         return self.measured_period_s / self.predicted_period_s
 
+    @property
+    def sim_exact(self) -> bool:
+        """Whether the simulated backend reproduced live outputs bit-exactly."""
+        return self.sim_output_error == 0.0
+
     def format(self) -> str:
         return (
             f"host {self.host_gflops:.2f} GFLOP/s | period predicted "
             f"{self.predicted_period_s * 1000:.1f} ms, measured "
             f"{self.measured_period_s * 1000:.1f} ms (x{self.ratio:.2f}) | "
-            f"max output error {self.max_output_error:.2e}"
+            f"max output error {self.max_output_error:.2e} | "
+            f"sim {'exact' if self.sim_exact else 'MISMATCH'} "
+            f"(period {self.sim_period_s * 1000:.1f} ms)"
         )
 
 
@@ -84,6 +98,24 @@ def run(n_workers: int = 2, n_tasks: int = 12, seed: int = 0) -> ValidationResul
         float(np.abs(out - ref).max()) for out, ref in zip(outputs, references)
     )
     measured_period = stats.makespan / max(1, len(frames) - 1)
+
+    # Sim-vs-live exactness: replay the same frames through the
+    # virtual-clock backend.  Same PlanProgram, same kernels — the
+    # outputs must match the live pipeline bit for bit.
+    sim_session = PipelineSession.from_plan(
+        model, plan, SimTransport(engine, network)
+    )
+    sim_outputs = sim_session.run_batch(frames)
+    sim_err = max(
+        float(np.abs(out - sim).max())
+        for out, sim in zip(outputs, sim_outputs)
+    )
+    sim_period = sim_session.transport.now / max(1, len(frames) - 1)
     return ValidationResult(
-        calibration.flops_per_second / 1e9, predicted, measured_period, max_err
+        calibration.flops_per_second / 1e9,
+        predicted,
+        measured_period,
+        max_err,
+        sim_output_error=sim_err,
+        sim_period_s=sim_period,
     )

@@ -1,6 +1,26 @@
-"""Real multiprocess pipeline runtime (processes + TCP, paper Fig. 6)."""
+"""The runtime core: one PlanProgram IR, pluggable transports, tracing.
 
-from repro.runtime.coordinator import DistributedPipeline, RuntimeStats, StageFailure
+Every executor — the in-process threaded runner, the multiprocess TCP
+pipeline (paper Fig. 6), and the virtual-clock simulator — drives the
+same compiled :class:`PlanProgram` through the same
+:func:`~repro.runtime.core.execute_stage` path over a swappable
+:class:`~repro.runtime.core.Transport`, emitting one shared per-frame
+trace schema.
+"""
+
+from repro.runtime.coordinator import (
+    DistributedPipeline,
+    RuntimeStats,
+    StageFailure,
+    TcpTransport,
+)
+from repro.runtime.core import (
+    InProcTransport,
+    PipelineSession,
+    SimTransport,
+    Transport,
+    execute_stage,
+)
 from repro.runtime.messages import (
     Hello,
     Reconfigure,
@@ -10,23 +30,72 @@ from repro.runtime.messages import (
     TileTask,
     WorkerError,
 )
-from repro.runtime.transport import Channel, TransportClosed, recv_message, send_message
+from repro.runtime.program import (
+    PlanProgram,
+    StageProgram,
+    TaskSpec,
+    compile_plan,
+    split_stage,
+    stitch_stage,
+)
+from repro.runtime.timing import PlanTiming, StageTiming, plan_timing
+from repro.runtime.trace import (
+    TraceEvent,
+    Tracer,
+    canonical_trace,
+    device_busy,
+    diff_traces,
+    format_timeline,
+    trace_makespan,
+)
+from repro.runtime.transport import (
+    Channel,
+    TransportClosed,
+    decode_message,
+    encode_message,
+    recv_message,
+    send_message,
+)
 from repro.runtime.worker import worker_main
 
 __all__ = [
     "Channel",
     "DistributedPipeline",
     "Hello",
+    "InProcTransport",
+    "PipelineSession",
+    "PlanProgram",
+    "PlanTiming",
     "Reconfigure",
     "RuntimeStats",
     "Setup",
     "Shutdown",
+    "SimTransport",
     "StageFailure",
+    "StageProgram",
+    "StageTiming",
+    "TaskSpec",
+    "TcpTransport",
     "TileResult",
     "TileTask",
+    "TraceEvent",
+    "Tracer",
+    "Transport",
     "TransportClosed",
     "WorkerError",
+    "canonical_trace",
+    "compile_plan",
+    "decode_message",
+    "device_busy",
+    "diff_traces",
+    "encode_message",
+    "execute_stage",
+    "format_timeline",
+    "plan_timing",
     "recv_message",
     "send_message",
+    "split_stage",
+    "stitch_stage",
+    "trace_makespan",
     "worker_main",
 ]

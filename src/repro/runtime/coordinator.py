@@ -1,16 +1,18 @@
 """Coordinator: drives a plan on real worker processes.
 
-Implements the paper's Fig. 6 workflow.  Each stage runs as a thread:
-it takes a feature map from its input queue, splits it into the
-pre-compiled per-device tiles, scatters them to the stage's worker
-processes over TCP, gathers and stitches the results, and forwards the
-stitched map to the next stage's queue.  Stages overlap on different
-tasks — a real inference pipeline, not a simulation.
+Implements the paper's Fig. 6 workflow over the shared runtime core:
+the plan is compiled once into a :class:`~repro.runtime.program.PlanProgram`,
+a :class:`TcpTransport` carries each stage's tiles to its worker
+processes over framed TCP sockets, and each stage runs as a thread
+calling the same :func:`~repro.runtime.core.execute_stage` path the
+in-process and simulated backends use — so the distributed output is
+bit-identical to theirs.  Stages overlap on different tasks — a real
+inference pipeline, not a simulation.
 
 Worker failure recovery (extension): if a worker dies mid-task, the
-stage redistributes its strip among the survivors (capacity-weighted),
-ships them new tile programs via :class:`Reconfigure`, and replays the
-task.
+transport redistributes its strip among the survivors
+(capacity-weighted), ships them new tile programs via
+:class:`Reconfigure`, and the stage replays the task.
 """
 
 from __future__ import annotations
@@ -25,19 +27,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.plan import PipelinePlan, StagePlan
+from repro.core.plan import PipelinePlan
 from repro.models.graph import Model
 from repro.nn.executor import Engine
-from repro.nn.tiles import (
-    SegmentProgram,
-    compile_block_paths_cached,
-    compile_segment_cached,
-    extract_tile,
-)
+from repro.nn.tiles import compile_block_paths_cached, compile_segment_cached
 from repro.nn.weights import Weights, init_weights
 from repro.partition.branches import concat_channel_blocks
 from repro.partition.regions import Region
 from repro.partition.strips import weighted_partition
+from repro.runtime.core import StageTrace, TaskTiming, Transport, execute_stage
 from repro.runtime.messages import (
     Hello,
     Reconfigure,
@@ -47,10 +45,17 @@ from repro.runtime.messages import (
     TileTask,
     WorkerError,
 )
+from repro.runtime.program import (
+    PlanProgram,
+    TaskSpec,
+    compile_plan,
+    task_weight_names,
+)
+from repro.runtime.trace import Tracer
 from repro.runtime.transport import Channel, TransportClosed
 from repro.runtime.worker import worker_main
 
-__all__ = ["DistributedPipeline", "RuntimeStats", "StageFailure"]
+__all__ = ["DistributedPipeline", "RuntimeStats", "StageFailure", "TcpTransport"]
 
 _SENTINEL = object()
 
@@ -79,61 +84,213 @@ class RuntimeStats:
         return len(self.latencies) / self.makespan
 
 
-def _collect_weight_names(program: SegmentProgram) -> "set[str]":
-    names = set()
-    for unit in program.units:
-        for step in unit.steps:
-            names.add(step.layer.name)
-        for path in unit.paths:
-            for step in path.steps:
-                names.add(step.layer.name)
-    return names
-
-
 @dataclass
 class _WorkerHandle:
     worker_id: int
-    device_name: str
-    capacity: float
     process: mp.Process
+    task: TaskSpec
     channel: Optional[Channel] = None
-    program: Optional[SegmentProgram] = None
     alive: bool = True
-    #: Branch-parallel stages: the block paths this worker executes and
-    #: the channel copy list [(tile_lo, tile_hi, out_lo, out_hi), ...]
-    #: mapping its tile's channel blocks into the concat output.
-    paths: Optional[Tuple[int, ...]] = None
-    channel_blocks: Optional[List[Tuple[int, int, int, int]]] = None
+
+
+class TcpTransport(Transport):
+    """The framed-socket backend: one worker process per task.
+
+    Conforms to the core :class:`~repro.runtime.core.Transport`
+    protocol — :meth:`run_tasks` scatters :class:`TileTask` frames to
+    the stage's workers and gathers :class:`TileResult` frames — and
+    owns the failure-recovery state (per-stage epochs, survivor
+    repartitioning).
+    """
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        model: Model,
+        stats: RuntimeStats,
+        stats_lock: threading.Lock,
+    ) -> None:
+        self.model = model
+        self.stats = stats
+        self.stats_lock = stats_lock
+        self._handles: "List[List[_WorkerHandle]]" = []
+        self._epochs: "List[int]" = []
+        self._clock_epoch = time.perf_counter()
+
+    def open(self, program: PlanProgram) -> None:
+        super().open(program)
+        self._epochs = [0] * program.n_stages
+        self._clock_epoch = time.perf_counter()
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._clock_epoch
+
+    def bind_stage(self, stage_index: int, handles: "List[_WorkerHandle]") -> None:
+        while len(self._handles) <= stage_index:
+            self._handles.append([])
+        self._handles[stage_index] = handles
+
+    def alive_handles(self, stage_index: int) -> "List[_WorkerHandle]":
+        return [h for h in self._handles[stage_index] if h.alive]
+
+    def stage_tasks(self, stage_index: int) -> "Tuple[TaskSpec, ...]":
+        handles = self.alive_handles(stage_index)
+        if not handles:
+            raise StageFailure(f"stage {stage_index}: no workers left")
+        return tuple(h.task for h in handles)
+
+    def run_tasks(
+        self,
+        stage_index: int,
+        tiles: "Sequence[np.ndarray]",
+        frame: int,
+    ) -> "Tuple[List[np.ndarray], StageTrace]":
+        handles = self.alive_handles(stage_index)
+        epoch = self._epochs[stage_index]
+        entry = self._now()
+        send_spans = []
+        for handle, tile in zip(handles, tiles):
+            t0 = self._now()
+            try:
+                handle.channel.send(TileTask(frame, tile, epoch))
+            except OSError:  # includes TransportClosed / broken pipes
+                handle.alive = False
+                raise TransportClosed(
+                    f"worker {handle.worker_id} unreachable"
+                ) from None
+            send_spans.append((t0, self._now()))
+        outs: "List[np.ndarray]" = []
+        timings: "List[TaskTiming]" = []
+        for handle, span in zip(handles, send_spans):
+            while True:
+                try:
+                    message = handle.channel.recv()
+                except TransportClosed:
+                    handle.alive = False
+                    raise
+                if getattr(message, "epoch", epoch) < epoch:
+                    continue  # stale result from before a repartition
+                break
+            recv_end = self._now()
+            if isinstance(message, WorkerError):
+                raise RuntimeError(
+                    f"worker {message.worker_id} failed task "
+                    f"{message.task_id}: {message.message}"
+                )
+            assert isinstance(message, TileResult)
+            outs.append(message.tile)
+            timings.append(
+                TaskTiming(
+                    send=span,
+                    compute=(
+                        max(span[1], recv_end - message.compute_s),
+                        recv_end,
+                    ),
+                    recv=(recv_end, recv_end),
+                )
+            )
+            with self.stats_lock:
+                self.stats.worker_compute_s[handle.worker_id] = (
+                    self.stats.worker_compute_s.get(handle.worker_id, 0.0)
+                    + message.compute_s
+                )
+        return outs, StageTrace(entry, entry, self._now(), tuple(timings))
+
+    # ------------------------------------------------------------------
+    def repartition(self, stage_index: int) -> None:
+        """Redistribute the stage partition over surviving workers."""
+        survivors = self.alive_handles(stage_index)
+        if not survivors:
+            raise StageFailure(f"stage {stage_index}: no workers left")
+        self._epochs[stage_index] += 1
+        stage = self._program.stages[stage_index]
+        if stage.branch:
+            from repro.partition.branches import assign_paths_lpt, path_flops
+
+            weights = path_flops(self.model, stage.start)
+            groups = assign_paths_lpt(
+                weights, [h.task.capacity for h in survivors]
+            )
+            for handle, group in zip(survivors, groups):
+                if not group:
+                    handle.alive = False
+                    continue
+                program = compile_block_paths_cached(
+                    self.model, stage.start, tuple(sorted(group))
+                )
+                handle.task = TaskSpec(
+                    handle.task.device_name,
+                    handle.task.capacity,
+                    program,
+                    None,
+                    tuple(concat_channel_blocks(self.model, stage.start, group)),
+                    tuple(sorted(group)),
+                )
+                handle.channel.send(Reconfigure(program))
+            with self.stats_lock:
+                self.stats.recoveries += 1
+            return
+        _, h, w = stage.out_shape
+        rows = weighted_partition(h, [hd.task.capacity for hd in survivors])
+        for handle, iv in zip(survivors, rows):
+            region = Region.from_bounds(iv.start, iv.end, 0, w)
+            if region.empty:
+                handle.alive = False  # nothing left for it to do
+                continue
+            program = compile_segment_cached(
+                self.model, stage.start, stage.end, region
+            )
+            handle.task = TaskSpec(
+                handle.task.device_name,
+                handle.task.capacity,
+                program,
+                region,
+                None,
+            )
+            handle.channel.send(Reconfigure(program))
+        with self.stats_lock:
+            self.stats.recoveries += 1
+
+    def all_handles(self) -> "List[_WorkerHandle]":
+        return [h for handles in self._handles for h in handles]
+
+    def close(self) -> None:
+        for handle in self.all_handles():
+            if handle.channel is not None:
+                try:
+                    handle.channel.send(Shutdown())
+                except (TransportClosed, OSError):
+                    pass
+                handle.channel.close()
+        for handle in self.all_handles():
+            handle.process.join(timeout=10.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
 
 
 class _StageRunner(threading.Thread):
-    """One pipeline stage: split → scatter → gather → stitch → forward."""
+    """One pipeline stage: queue → shared core stage path → queue."""
 
     def __init__(
         self,
         index: int,
-        stage: StagePlan,
-        model: Model,
-        workers: "List[_WorkerHandle]",
+        program: PlanProgram,
+        transport: TcpTransport,
         in_queue: "queue.Queue",
         out_queue: "queue.Queue",
-        stats: RuntimeStats,
-        stats_lock: threading.Lock,
         recover: bool,
+        tracer: Optional[Tracer],
     ) -> None:
         super().__init__(name=f"stage-{index}", daemon=True)
         self.index = index
-        self.stage = stage
-        self.model = model
-        self.workers = workers
+        self.program = program
+        self.transport = transport
         self.in_queue = in_queue
         self.out_queue = out_queue
-        self.stats = stats
-        self.stats_lock = stats_lock
         self.recover = recover
-        self.out_shape = model.out_shape(stage.end - 1)
+        self.tracer = tracer
         self.error: Optional[BaseException] = None
-        self._epoch = 0
 
     def run(self) -> None:
         try:
@@ -149,112 +306,23 @@ class _StageRunner(threading.Thread):
             self.error = exc
             self.out_queue.put(_SENTINEL)
 
-    # ------------------------------------------------------------------
-    def _alive_workers(self) -> "List[_WorkerHandle]":
-        return [w for w in self.workers if w.alive]
-
     def _process(self, task_id: int, feature_map: np.ndarray) -> np.ndarray:
         while True:
-            workers = self._alive_workers()
-            if not workers:
-                raise StageFailure(f"stage {self.index}: no workers left")
             try:
-                return self._scatter_gather(task_id, feature_map, workers)
+                return execute_stage(
+                    self.transport,
+                    self.program,
+                    self.index,
+                    feature_map,
+                    task_id,
+                    self.tracer,
+                )
             except TransportClosed:
                 if not self.recover:
                     raise StageFailure(
                         f"stage {self.index}: worker connection lost"
                     ) from None
-                self._repartition()
-
-    def _scatter_gather(
-        self,
-        task_id: int,
-        feature_map: np.ndarray,
-        workers: "List[_WorkerHandle]",
-    ) -> np.ndarray:
-        for worker in workers:
-            assert worker.program is not None
-            tile = extract_tile(feature_map, worker.program.input_region)
-            worker.channel.send(TileTask(task_id, tile, self._epoch))
-        output = np.empty(self.out_shape, dtype=np.float32)
-        for worker in workers:
-            while True:
-                try:
-                    message = worker.channel.recv()
-                except TransportClosed:
-                    worker.alive = False
-                    raise
-                if getattr(message, "epoch", self._epoch) < self._epoch:
-                    continue  # stale result from before a repartition
-                break
-            if isinstance(message, WorkerError):
-                raise RuntimeError(
-                    f"worker {message.worker_id} failed task "
-                    f"{message.task_id}: {message.message}"
-                )
-            assert isinstance(message, TileResult)
-            if worker.channel_blocks is not None:
-                for t_lo, t_hi, o_lo, o_hi in worker.channel_blocks:
-                    output[o_lo:o_hi] = message.tile[t_lo:t_hi]
-            else:
-                region = worker.program.out_region
-                output[
-                    :,
-                    region.rows.start : region.rows.end,
-                    region.cols.start : region.cols.end,
-                ] = message.tile
-            with self.stats_lock:
-                self.stats.worker_compute_s[worker.worker_id] = (
-                    self.stats.worker_compute_s.get(worker.worker_id, 0.0)
-                    + message.compute_s
-                )
-        return output
-
-    def _repartition(self) -> None:
-        """Redistribute the stage partition over surviving workers."""
-        survivors = self._alive_workers()
-        if not survivors:
-            raise StageFailure(f"stage {self.index}: no workers left")
-        self._epoch += 1
-        if self.stage.path_groups is not None:
-            from repro.partition.branches import assign_paths_lpt, path_flops
-
-            weights = path_flops(self.model, self.stage.start)
-            groups = assign_paths_lpt(
-                weights, [wk.capacity for wk in survivors]
-            )
-            for worker, group in zip(survivors, groups):
-                if not group:
-                    worker.program = None
-                    worker.alive = False
-                    continue
-                worker.program = compile_block_paths_cached(
-                    self.model, self.stage.start, group
-                )
-                worker.paths = tuple(sorted(group))
-                worker.channel_blocks = concat_channel_blocks(
-                    self.model, self.stage.start, group
-                )
-                worker.channel.send(Reconfigure(worker.program))
-            with self.stats_lock:
-                self.stats.recoveries += 1
-            return
-        _, h, w = self.out_shape
-        rows = weighted_partition(h, [wk.capacity for wk in survivors])
-        for worker, iv in zip(survivors, rows):
-            region = Region.from_bounds(iv.start, iv.end, 0, w)
-            if region.empty:
-                worker.program = None
-                worker.alive = False  # nothing left for it to do
-                continue
-            program = compile_segment_cached(
-                self.model, self.stage.start, self.stage.end, region
-            )
-            worker.program = program
-            worker.channel.send(Reconfigure(program))
-        with self.stats_lock:
-            self.stats.recoveries += 1
+                self.transport.repartition(self.index)
 
 
 class DistributedPipeline:
@@ -264,6 +332,11 @@ class DistributedPipeline:
 
         with DistributedPipeline(model, plan) as pipe:
             outputs, stats = pipe.run_batch(inputs)
+
+    ``trace=True`` collects per-frame
+    :class:`~repro.runtime.trace.TraceEvent` records (available as
+    ``pipe.trace`` after the run) on the same schema the in-process and
+    simulated backends emit.
     """
 
     def __init__(
@@ -275,11 +348,11 @@ class DistributedPipeline:
         recover: bool = False,
         fail_after: "Optional[Dict[str, int]]" = None,
         connect_timeout_s: float = 30.0,
+        trace: bool = False,
     ) -> None:
-        if plan.stages[-1].end != model.n_units:
-            raise ValueError("plan does not cover the whole model")
         self.model = model
         self.plan = plan
+        self.program = compile_plan(model, plan)
         self.weights = weights if weights is not None else init_weights(model, seed)
         self.recover = recover
         self.fail_after = fail_after or {}
@@ -287,8 +360,9 @@ class DistributedPipeline:
         self.stats = RuntimeStats()
         self._stats_lock = threading.Lock()
         self._engine = Engine(model, self.weights)
+        self._tracer = Tracer() if trace else None
+        self.transport = TcpTransport(model, self.stats, self._stats_lock)
         self._stages: "List[_StageRunner]" = []
-        self._workers: "List[_WorkerHandle]" = []
         self._queues: "List[queue.Queue]" = []
         self._submit_times: "Dict[int, float]" = {}
         self._next_task = 0
@@ -296,10 +370,16 @@ class DistributedPipeline:
         self._closed = False
         self._first_submit: Optional[float] = None
 
+    @property
+    def trace(self):
+        """Collected trace events (empty unless ``trace=True``)."""
+        return self._tracer.events if self._tracer is not None else ()
+
     # ------------------------------------------------------------------
     def start(self) -> "DistributedPipeline":
         if self._started:
             return self
+        self.transport.open(self.program)
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind(("127.0.0.1", 0))
@@ -307,37 +387,25 @@ class DistributedPipeline:
         listener.listen(64)
         listener.settimeout(self.connect_timeout_s)
 
-        # Spawn one worker process per non-empty assignment.
-        stage_workers: "List[List[_WorkerHandle]]" = []
+        # Spawn one worker process per compiled task.
         worker_id = 0
         ctx = mp.get_context("fork")
-        for stage in self.plan.stages:
+        for stage in self.program.stages:
             handles = []
-            for slot, (device, region) in enumerate(stage.assignments):
-                if region.empty:
-                    continue
-                if stage.path_groups is not None and not stage.path_groups[slot]:
-                    continue  # idle device in a branch stage
-                fail_after = self.fail_after.get(device.name)
+            for task in stage.tasks:
+                fail_after = self.fail_after.get(task.device_name)
                 process = ctx.Process(
                     target=worker_main,
                     args=(host, port, worker_id, fail_after),
                     daemon=True,
                 )
                 process.start()
-                handles.append(
-                    _WorkerHandle(worker_id, device.name, device.capacity, process)
-                )
+                handles.append(_WorkerHandle(worker_id, process, task))
                 worker_id += 1
-            if not handles:
-                listener.close()
-                raise ValueError("a stage has no non-empty assignments")
-            stage_workers.append(handles)
+            self.transport.bind_stage(stage.index, handles)
 
         # Accept connections and match them to handles via Hello.
-        by_id = {
-            h.worker_id: h for handles in stage_workers for h in handles
-        }
+        by_id = {h.worker_id: h for h in self.transport.all_handles()}
         try:
             for _ in range(len(by_id)):
                 conn, _addr = listener.accept()
@@ -349,16 +417,14 @@ class DistributedPipeline:
         finally:
             listener.close()
 
-        # Compile programs and ship setups.
-        for stage, handles in zip(self.plan.stages, stage_workers):
-            if stage.path_groups is not None:
-                live = [
-                    group for group in stage.path_groups if group
-                ]
-                unit = self.model.units[stage.start]
+        # Ship setups: each worker gets its compiled program plus the
+        # weights its segment touches.
+        for stage in self.program.stages:
+            if stage.branch:
                 # Ship the whole block's weights: a failure may later
                 # reassign any path to any surviving worker, and
                 # Reconfigure does not carry parameters.
+                unit = self.model.units[stage.start]
                 block_names = {
                     layer.name for p in unit.paths for layer in p
                 }
@@ -367,50 +433,36 @@ class DistributedPipeline:
                     for name, params in self.weights.items()
                     if name in block_names
                 }
-                for group, handle in zip(live, handles):
-                    program = compile_block_paths_cached(
-                        self.model, stage.start, tuple(sorted(group))
+                for handle in self.transport.alive_handles(stage.index):
+                    handle.channel.send(
+                        Setup(self.model, handle.task.program, subset)
                     )
-                    handle.program = program
-                    handle.paths = tuple(sorted(group))
-                    handle.channel_blocks = concat_channel_blocks(
-                        self.model, stage.start, group
-                    )
-                    handle.channel.send(Setup(self.model, program, subset))
                 continue
-            live = [
-                (device, region)
-                for device, region in stage.assignments
-                if not region.empty
-            ]
-            for (device, region), handle in zip(live, handles):
-                program = compile_segment_cached(self.model, stage.start, stage.end, region)
-                handle.program = program
-                names = _collect_weight_names(program)
+            for handle in self.transport.alive_handles(stage.index):
+                names = task_weight_names(handle.task.program)
                 subset = {
                     name: params
                     for name, params in self.weights.items()
                     if name in names
                 }
-                handle.channel.send(Setup(self.model, program, subset))
+                handle.channel.send(
+                    Setup(self.model, handle.task.program, subset)
+                )
 
         # Wire queues and stage threads.
-        self._queues = [queue.Queue() for _ in range(len(self.plan.stages) + 1)]
-        for index, (stage, handles) in enumerate(zip(self.plan.stages, stage_workers)):
+        self._queues = [queue.Queue() for _ in range(self.program.n_stages + 1)]
+        for index in range(self.program.n_stages):
             runner = _StageRunner(
                 index,
-                stage,
-                self.model,
-                handles,
+                self.program,
+                self.transport,
                 self._queues[index],
                 self._queues[index + 1],
-                self.stats,
-                self._stats_lock,
                 self.recover,
+                self._tracer,
             )
             runner.start()
             self._stages.append(runner)
-            self._workers.extend(handles)
         self._started = True
         return self
 
@@ -469,17 +521,7 @@ class DistributedPipeline:
             self._queues[0].put(_SENTINEL)
             for stage in self._stages:
                 stage.join(timeout=10.0)
-            for worker in self._workers:
-                if worker.channel is not None:
-                    try:
-                        worker.channel.send(Shutdown())
-                    except (TransportClosed, OSError):
-                        pass
-                    worker.channel.close()
-            for worker in self._workers:
-                worker.process.join(timeout=10.0)
-                if worker.process.is_alive():
-                    worker.process.terminate()
+            self.transport.close()
 
     def __enter__(self) -> "DistributedPipeline":
         return self.start()

@@ -1,0 +1,380 @@
+"""The shared runtime core: one stage-execution path, pluggable transports.
+
+Every executor in the repo drives frames through the same three steps —
+split the stage input into per-device tiles, run each task's compiled
+segment, stitch the output map — and differ only in *where* tasks run
+and *what clock* stamps the trace.  :func:`execute_stage` owns the
+split/stitch and trace emission; a :class:`Transport` supplies task
+execution and timestamps:
+
+========================  =========================  ====================
+backend                   tasks run on               clock
+========================  =========================  ====================
+:class:`InProcTransport`  the shared thread pool     wall (perf_counter)
+``TcpTransport``          worker processes over TCP  wall (perf_counter)
+:class:`SimTransport`     inline, serially           virtual (Eq. 9 cost)
+========================  =========================  ====================
+
+Because tiles, kernels and stitching are shared, all three produce
+bit-identical frame outputs, and their canonical traces (timestamp-free
+event sequences) are equal — the exactness gate that lets simulated
+timelines stand in for live ones.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn import parallel
+from repro.nn.executor import Engine
+from repro.nn.tiles import run_segment
+from repro.runtime.program import (
+    PlanProgram,
+    StageProgram,
+    TaskSpec,
+    compile_plan,
+    split_stage,
+    stitch_stage,
+)
+from repro.runtime.timing import PlanTiming, plan_timing
+from repro.runtime.trace import TraceEvent, Tracer
+
+__all__ = [
+    "TaskTiming",
+    "StageTrace",
+    "Transport",
+    "InProcTransport",
+    "SimTransport",
+    "execute_stage",
+    "PipelineSession",
+]
+
+
+@dataclass(frozen=True)
+class TaskTiming:
+    """Transport-reported ``(start, end)`` spans for one task's phases."""
+
+    send: Tuple[float, float]
+    compute: Tuple[float, float]
+    recv: Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class StageTrace:
+    """Transport-reported timing of one stage serving one frame."""
+
+    entry: float  # frame arrived at the stage
+    start: float  # stage began serving it (entry + queueing)
+    exit: float  # stage finished
+    tasks: Tuple[TaskTiming, ...]
+
+
+class Transport(ABC):
+    """Carries one stage's tiles to compute sites and back.
+
+    A transport is bound to a :class:`PlanProgram` via :meth:`open`.
+    :meth:`run_tasks` receives the per-task input tiles (split by the
+    core, in task order) and returns the per-task output tiles plus the
+    stage's :class:`StageTrace` under this backend's clock.
+    """
+
+    name: str = "?"
+
+    def open(self, program: PlanProgram) -> None:
+        self._program = program
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def begin_frame(self, frame: int, at: Optional[float] = None) -> None:
+        """Announce a new frame; ``at`` is its (virtual) submit time."""
+
+    def stage_tasks(self, stage_index: int) -> "Tuple[TaskSpec, ...]":
+        """The stage's *current* task set (overridden after recovery)."""
+        return self._program.stages[stage_index].tasks
+
+    @abstractmethod
+    def run_tasks(
+        self,
+        stage_index: int,
+        tiles: "Sequence[np.ndarray]",
+        frame: int,
+    ) -> "Tuple[List[np.ndarray], StageTrace]":
+        """Execute the stage's tasks on their input tiles."""
+
+
+def execute_stage(
+    transport: Transport,
+    program: PlanProgram,
+    stage_index: int,
+    x: np.ndarray,
+    frame: int,
+    tracer: Optional[Tracer] = None,
+) -> np.ndarray:
+    """Run one stage of one frame through a transport.
+
+    The single split → compute → stitch path shared by every backend.
+    Trace events are emitted in canonical order — enqueue, then per
+    task (in task order) send/compute/recv — so event *ordering* is
+    deterministic for any backend; only timestamps differ.
+    """
+    stage = program.stages[stage_index]
+    tasks = transport.stage_tasks(stage_index)
+    tiles = split_stage(tasks, x)
+    outs, st = transport.run_tasks(stage_index, tiles, frame)
+    if tracer is not None:
+        events = [
+            TraceEvent("enqueue", frame, stage_index, "", st.entry, st.start)
+        ]
+        for task, tile, out, tt in zip(tasks, tiles, outs, st.tasks):
+            events.append(
+                TraceEvent(
+                    "send", frame, stage_index, task.device_name,
+                    tt.send[0], tt.send[1], tile.nbytes,
+                )
+            )
+            events.append(
+                TraceEvent(
+                    "compute", frame, stage_index, task.device_name,
+                    tt.compute[0], tt.compute[1],
+                )
+            )
+            events.append(
+                TraceEvent(
+                    "recv", frame, stage_index, task.device_name,
+                    tt.recv[0], tt.recv[1], out.nbytes,
+                )
+            )
+        tracer.extend(events)
+    return stitch_stage(stage, tasks, outs)
+
+
+class InProcTransport(Transport):
+    """Tasks on the shared thread pool, wall clock — the local executor.
+
+    Per-device tiles genuinely overlap on a multi-core host (numpy's
+    kernels release the GIL); with ``REPRO_THREADS=1`` they run
+    serially and bit-identically.
+    """
+
+    name = "inproc"
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._epoch = time.perf_counter()
+
+    def open(self, program: PlanProgram) -> None:
+        if program.model_name != self.engine.model.name:
+            raise ValueError(
+                f"program is for {program.model_name!r}, engine runs "
+                f"{self.engine.model.name!r}"
+            )
+        super().open(program)
+        self._epoch = time.perf_counter()
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def run_tasks(
+        self,
+        stage_index: int,
+        tiles: "Sequence[np.ndarray]",
+        frame: int,
+    ) -> "Tuple[List[np.ndarray], StageTrace]":
+        tasks = self.stage_tasks(stage_index)
+        entry = self._now()
+        spans: "List[Optional[Tuple[float, float]]]" = [None] * len(tasks)
+
+        def run_task(i: int, task: TaskSpec, tile: np.ndarray) -> np.ndarray:
+            t0 = self._now()
+            out = run_segment(self.engine, task.program, tile)
+            spans[i] = (t0, self._now())
+            return out
+
+        outs = parallel.run_parallel(
+            [
+                lambda i=i, task=task, tile=tile: run_task(i, task, tile)
+                for i, (task, tile) in enumerate(zip(tasks, tiles))
+            ]
+        )
+        exit_ = self._now()
+        timings = tuple(
+            TaskTiming(send=(entry, entry), compute=spans[i], recv=(exit_, exit_))
+            for i in range(len(tasks))
+        )
+        return outs, StageTrace(entry, entry, exit_, timings)
+
+
+class SimTransport(Transport):
+    """Tasks inline with a virtual clock — real tensors, analytic time.
+
+    Replaces the physical testbed: frames are actually computed (so
+    outputs are bit-identical to the live backends), but every
+    timestamp comes from the Eq. 9 stage-cost model through the shared
+    :func:`~repro.runtime.timing.plan_timing` tables.  Stages are FIFO
+    servers: stage ``s`` starts a frame at
+    ``max(frame ready, stage free)``, exactly the event simulator's
+    deterministic-service recurrence, so a trace from here is the
+    frame-level expansion of a :func:`simulate_plan` run.  Exclusive
+    plans serialise every stage through one server token.
+    """
+
+    name = "sim"
+
+    def __init__(
+        self,
+        engine: Engine,
+        network,
+        options=None,
+    ) -> None:
+        self.engine = engine
+        self.network = network
+        self.options = options
+        self.timing: Optional[PlanTiming] = None
+        self._stage_free: "List[float]" = []
+        self._exclusive_free = 0.0
+        self._frame_ready = 0.0
+        self._last_submit = 0.0
+        self._virtual_now = 0.0
+
+    def open(self, program: PlanProgram) -> None:
+        if program.model_name != self.engine.model.name:
+            raise ValueError(
+                f"program is for {program.model_name!r}, engine runs "
+                f"{self.engine.model.name!r}"
+            )
+        super().open(program)
+        self.timing = plan_timing(
+            self.engine.model, program.plan, self.network, self.options
+        )
+        self._stage_free = [0.0] * program.n_stages
+        self._exclusive_free = 0.0
+        self._frame_ready = 0.0
+        self._last_submit = 0.0
+        self._virtual_now = 0.0
+
+    @property
+    def now(self) -> float:
+        """The virtual clock: completion time of the latest work."""
+        return self._virtual_now
+
+    def begin_frame(self, frame: int, at: Optional[float] = None) -> None:
+        if at is None:
+            at = self._last_submit  # back-to-back submission
+        if at < self._last_submit:
+            raise ValueError("frames must be submitted in time order")
+        self._last_submit = at
+        self._frame_ready = at
+
+    def run_tasks(
+        self,
+        stage_index: int,
+        tiles: "Sequence[np.ndarray]",
+        frame: int,
+    ) -> "Tuple[List[np.ndarray], StageTrace]":
+        assert self.timing is not None, "transport not opened"
+        tasks = self.stage_tasks(stage_index)
+        sc = self.timing.cost.stage_costs[stage_index]
+        by_device = {dc.device.name: dc for dc in sc.devices}
+        entry = self._frame_ready
+        if self._program.mode == "exclusive":
+            start = max(entry, self._exclusive_free)
+        else:
+            start = max(entry, self._stage_free[stage_index])
+        outs = [
+            run_segment(self.engine, task.program, tile)
+            for task, tile in zip(tasks, tiles)
+        ]
+        timings = []
+        for task in tasks:
+            dc = by_device.get(task.device_name)
+            t_comm = dc.t_comm if dc is not None else 0.0
+            t_comp = dc.t_comp if dc is not None else 0.0
+            send_end = start + t_comm
+            timings.append(
+                TaskTiming(
+                    send=(start, send_end),
+                    compute=(send_end, send_end + t_comp),
+                    recv=(start + sc.total, start + sc.total),
+                )
+            )
+        exit_ = start + sc.total
+        if self._program.mode == "exclusive":
+            self._exclusive_free = exit_
+        else:
+            self._stage_free[stage_index] = exit_
+        self._frame_ready = exit_
+        self._virtual_now = max(self._virtual_now, exit_)
+        return outs, StageTrace(entry, start, exit_, tuple(timings))
+
+
+class PipelineSession:
+    """Drives frames through a :class:`PlanProgram` over any transport.
+
+    The one plan-walking loop: stages in order, each via
+    :func:`execute_stage`.  Construct from a compiled program or let
+    :meth:`from_plan` compile one.
+    """
+
+    def __init__(
+        self,
+        program: PlanProgram,
+        transport: Transport,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.program = program
+        self.transport = transport
+        self.tracer = tracer
+        transport.open(program)
+        self._next_frame = 0
+
+    @classmethod
+    def from_plan(
+        cls,
+        model,
+        plan,
+        transport: Transport,
+        tracer: Optional[Tracer] = None,
+    ) -> "PipelineSession":
+        return cls(compile_plan(model, plan), transport, tracer)
+
+    def run_frame(
+        self, x: np.ndarray, at: Optional[float] = None
+    ) -> np.ndarray:
+        """Run one frame through every stage; returns the feature map."""
+        frame = self._next_frame
+        self._next_frame += 1
+        self.transport.begin_frame(frame, at)
+        out = np.ascontiguousarray(x, dtype=np.float32)
+        for index in range(self.program.n_stages):
+            out = execute_stage(
+                self.transport, self.program, index, out, frame, self.tracer
+            )
+        return out
+
+    def run_batch(
+        self,
+        frames: "Sequence[np.ndarray]",
+        arrivals: "Optional[Sequence[float]]" = None,
+    ) -> "List[np.ndarray]":
+        """Run frames in order; ``arrivals`` gives virtual submit times."""
+        if arrivals is not None and len(arrivals) != len(frames):
+            raise ValueError("arrivals must align one-to-one with frames")
+        return [
+            self.run_frame(x, arrivals[i] if arrivals is not None else None)
+            for i, x in enumerate(frames)
+        ]
+
+    def close(self) -> None:
+        self.transport.close()
+
+    def __enter__(self) -> "PipelineSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,203 @@
+"""The plan-agnostic execution IR every runtime backend consumes.
+
+A :class:`PlanProgram` is a :class:`~repro.core.plan.PipelinePlan`
+compiled once into per-stage :class:`TaskSpec` work items: the compiled
+:class:`~repro.nn.tiles.SegmentProgram`, where each device's tile lands
+in the stage output (strip region or branch channel blocks), and the
+stage's tensor hand-off shape.  The in-process executor, the TCP
+coordinator and the virtual-clock simulator all walk this one IR —
+compilation, splitting and stitching live here instead of being
+re-implemented per backend, which is what makes their frame outputs
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.plan import PipelinePlan, StagePlan
+from repro.models.graph import Model
+from repro.nn.tiles import (
+    SegmentProgram,
+    compile_block_paths_cached,
+    compile_segment_cached,
+    extract_tile,
+)
+from repro.partition.branches import concat_channel_blocks
+from repro.partition.regions import Region
+
+__all__ = [
+    "TaskSpec",
+    "StageProgram",
+    "PlanProgram",
+    "compile_plan",
+    "compile_stage",
+    "split_stage",
+    "stitch_stage",
+    "task_weight_names",
+]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One device's share of one stage."""
+
+    device_name: str
+    capacity: float
+    program: SegmentProgram
+    #: Spatial placement of the output tile for strip tasks (``None``
+    #: for branch tasks, whose tiles span the full map).
+    region: Optional[Region]
+    #: Channel copy list ``(tile_lo, tile_hi, out_lo, out_hi)`` for
+    #: branch tasks (``None`` for strip tasks).
+    channel_blocks: Optional[Tuple[Tuple[int, int, int, int], ...]]
+    #: Block paths this task executes (branch stages only).
+    paths: Optional[Tuple[int, ...]] = None
+
+
+@dataclass(frozen=True)
+class StageProgram:
+    """One compiled stage: the unit segment, its output map shape and
+    the per-device task set (empty assignments already dropped)."""
+
+    index: int
+    start: int
+    end: int
+    out_shape: Tuple[int, int, int]
+    tasks: Tuple[TaskSpec, ...]
+
+    @property
+    def branch(self) -> bool:
+        return any(task.paths is not None for task in self.tasks)
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+
+@dataclass(frozen=True)
+class PlanProgram:
+    """A fully compiled plan, ready for any Transport backend."""
+
+    model_name: str
+    mode: str  # "pipelined" | "exclusive"
+    n_units: int
+    stages: Tuple[StageProgram, ...]
+    #: The source plan — kept for the analytic cost model (timing
+    #: tables, simulated clocks) and for reporting.
+    plan: PipelinePlan
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stages)
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.model_name} program ({self.mode}, {self.n_stages} stages)"
+        ]
+        for stage in self.stages:
+            names = ", ".join(t.device_name for t in stage.tasks)
+            kind = " [branch]" if stage.branch else ""
+            lines.append(
+                f"  stage {stage.index}: units [{stage.start}, {stage.end}) "
+                f"-> {stage.out_shape}, {stage.n_tasks} task(s): {names}{kind}"
+            )
+        return "\n".join(lines)
+
+
+def compile_stage(model: Model, stage: StagePlan, index: int) -> StageProgram:
+    """Compile one plan stage into its task set (memoised compilers)."""
+    out_shape = model.out_shape(stage.end - 1)
+    tasks: "List[TaskSpec]" = []
+    if stage.path_groups is not None:
+        for (device, _), group in zip(stage.assignments, stage.path_groups):
+            if not group:
+                continue  # idle device in a branch stage
+            group = tuple(group)
+            program = compile_block_paths_cached(model, stage.start, group)
+            blocks = tuple(concat_channel_blocks(model, stage.start, group))
+            tasks.append(
+                TaskSpec(device.name, device.capacity, program, None, blocks, group)
+            )
+    else:
+        for device, region in stage.assignments:
+            if region.empty:
+                continue
+            program = compile_segment_cached(model, stage.start, stage.end, region)
+            tasks.append(
+                TaskSpec(device.name, device.capacity, program, region, None)
+            )
+    if not tasks:
+        raise ValueError(
+            f"stage [{stage.start}, {stage.end}) has no non-empty work"
+        )
+    return StageProgram(index, stage.start, stage.end, out_shape, tuple(tasks))
+
+
+def compile_plan(model: Model, plan: PipelinePlan) -> PlanProgram:
+    """Compile a plan (any scheme, pipelined or exclusive) into the IR.
+
+    Raises ``ValueError`` when the plan does not belong to ``model`` or
+    does not cover it — the single validation point for every backend.
+    """
+    if plan.model_name != model.name:
+        raise ValueError(
+            f"plan is for {plan.model_name!r}, model is {model.name!r}"
+        )
+    if plan.stages[-1].end != model.n_units:
+        raise ValueError(
+            f"plan covers units [0, {plan.stages[-1].end}) but the model "
+            f"has {model.n_units}"
+        )
+    stages = tuple(
+        compile_stage(model, stage, index)
+        for index, stage in enumerate(plan.stages)
+    )
+    return PlanProgram(model.name, plan.mode, model.n_units, stages, plan)
+
+
+def split_stage(
+    tasks: "Sequence[TaskSpec]", feature_map: np.ndarray
+) -> "List[np.ndarray]":
+    """Extract each task's (halo-padded) input tile, in task order."""
+    return [extract_tile(feature_map, t.program.input_region) for t in tasks]
+
+
+def stitch_stage(
+    stage: StageProgram,
+    tasks: "Sequence[TaskSpec]",
+    tiles: "Sequence[np.ndarray]",
+) -> np.ndarray:
+    """Reassemble the stage's full output map from per-task tiles."""
+    if len(tasks) == 1 and tasks[0].region is not None:
+        region = tasks[0].region
+        if (region.height, region.width) == stage.out_shape[1:]:
+            return tiles[0]  # one device produced the whole map
+    out = np.empty(stage.out_shape, dtype=np.float32)
+    for task, tile in zip(tasks, tiles):
+        if task.channel_blocks is not None:
+            for t_lo, t_hi, o_lo, o_hi in task.channel_blocks:
+                out[o_lo:o_hi] = tile[t_lo:t_hi]
+        else:
+            region = task.region
+            out[
+                :,
+                region.rows.start : region.rows.end,
+                region.cols.start : region.cols.end,
+            ] = tile
+    return out
+
+
+def task_weight_names(program: SegmentProgram) -> "Set[str]":
+    """Layer names a compiled segment touches (for weight shipping)."""
+    names: "Set[str]" = set()
+    for unit in program.units:
+        for step in unit.steps:
+            names.add(step.layer.name)
+        for path in unit.paths:
+            for step in path.steps:
+                names.add(step.layer.name)
+    return names

@@ -1,55 +1,218 @@
-"""Length-prefixed framed transport over TCP sockets.
+"""Length-prefixed framed transport with a restricted, numpy-aware codec.
 
 Mirrors the paper's implementation ("a distributed framework …
 using C++ extension and TCP/IP with socket"): each frame is an 8-byte
-big-endian length followed by a pickled message.  Numpy arrays ride
-along in the pickle — adequate on loopback, and the framing is what a
-production serialisation swap (flatbuffers, etc.) would keep.
+big-endian length followed by the encoded message.  The payload is no
+longer a raw pickle:
+
+* numpy arrays are lifted out of the object graph and carried as
+  header-tagged ``(dtype, shape, raw bytes)`` segments — no pickle
+  round-trip for tensor payloads, and the receiver reconstructs them
+  with :func:`numpy.frombuffer` straight off the receive buffer;
+* the remaining object skeleton is pickled, but decoded through a
+  restricted ``Unpickler`` whose ``find_class`` only resolves this
+  package's dataclasses plus a small closed set of safe builtins — a
+  frame from a hostile peer cannot name arbitrary callables.
+
+Frame layout (after the 8-byte length)::
+
+    u8 codec version | u32 n_arrays
+    n_arrays × [u8 len | dtype descr | u8 ndim | u64×ndim shape |
+                u64 nbytes | raw data]
+    pickled skeleton (arrays replaced by persistent ids)
+
+Oversized frames are rejected from the length header *before* any
+payload allocation, and receives fill one preallocated buffer via
+``socket.recv_into`` — large feature maps don't pay a per-chunk
+``bytes`` join.
 """
 
 from __future__ import annotations
 
+import io
 import pickle
 import socket
 import struct
-from typing import Any
+from typing import Any, Dict, List, Set
 
-__all__ = ["TransportClosed", "send_message", "recv_message", "Channel"]
+import numpy as np
+
+__all__ = [
+    "TransportClosed",
+    "MAX_FRAME_BYTES",
+    "encode_message",
+    "decode_message",
+    "send_message",
+    "recv_message",
+    "Channel",
+]
 
 _HEADER = struct.Struct(">Q")
-#: Refuse absurd frames (corrupt header, protocol desync).
+_PREAMBLE = struct.Struct(">BI")  # codec version, array count
+_ARR_FIXED = struct.Struct(">B")  # dtype descr length (then descr, ndim, …)
+_U8 = struct.Struct(">B")
+_U64 = struct.Struct(">Q")
+_CODEC_VERSION = 1
+
+#: Refuse absurd frames (corrupt header, protocol desync) before any
+#: allocation happens.
 MAX_FRAME_BYTES = 1 << 31
+
+#: Globals the restricted unpickler resolves outside this package.
+#: Data containers only — nothing callable into the OS.
+_SAFE_GLOBALS: "Dict[str, Set[str]]" = {
+    "builtins": {"bytearray", "bytes", "complex", "frozenset", "range",
+                 "set", "slice"},
+    "collections": {"OrderedDict", "deque"},
+    "numpy": {"dtype", "ndarray"},
+    "numpy.core.multiarray": {"_reconstruct", "scalar"},
+    "numpy._core.multiarray": {"_reconstruct", "scalar"},
+}
 
 
 class TransportClosed(ConnectionError):
     """The peer closed the connection."""
 
 
+class _ArrayPickler(pickle.Pickler):
+    """Pickles the skeleton; arrays leave via persistent ids."""
+
+    def __init__(self, file: io.BytesIO, arrays: "List[np.ndarray]") -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._arrays = arrays
+
+    def persistent_id(self, obj: Any):  # noqa: D102 - pickle hook
+        if isinstance(obj, np.ndarray):
+            self._arrays.append(obj)
+            return len(self._arrays) - 1
+        return None
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    """Resolves persistent ids to decoded arrays; gates ``find_class``."""
+
+    def __init__(self, file, arrays: "List[np.ndarray]") -> None:
+        super().__init__(file)
+        self._arrays = arrays
+
+    def persistent_load(self, pid: Any) -> np.ndarray:  # noqa: D102
+        if not isinstance(pid, int) or not 0 <= pid < len(self._arrays):
+            raise pickle.UnpicklingError(f"bad array reference {pid!r}")
+        return self._arrays[pid]
+
+    def find_class(self, module: str, name: str) -> Any:  # noqa: D102
+        if module == "repro" or module.startswith("repro."):
+            return super().find_class(module, name)
+        allowed = _SAFE_GLOBALS.get(module)
+        if allowed is not None and name in allowed:
+            return super().find_class(module, name)
+        raise pickle.UnpicklingError(
+            f"frame references forbidden global {module}.{name}"
+        )
+
+
+def encode_message(message: Any) -> bytes:
+    """Serialise one message into a frame payload (no length prefix)."""
+    arrays: "List[np.ndarray]" = []
+    skeleton = io.BytesIO()
+    _ArrayPickler(skeleton, arrays).dump(message)
+    parts: "List[bytes]" = [_PREAMBLE.pack(_CODEC_VERSION, len(arrays))]
+    for arr in arrays:
+        if arr.dtype.hasobject or arr.dtype.names is not None:
+            raise TypeError(
+                f"cannot encode array of dtype {arr.dtype} (object/"
+                "structured dtypes are not wire-safe)"
+            )
+        # ascontiguousarray promotes 0-d to 1-d; keep the true shape.
+        contiguous = np.ascontiguousarray(arr)
+        descr = contiguous.dtype.str.encode("ascii")
+        parts.append(_ARR_FIXED.pack(len(descr)))
+        parts.append(descr)
+        parts.append(_U8.pack(arr.ndim))
+        for dim in arr.shape:
+            parts.append(_U64.pack(dim))
+        parts.append(_U64.pack(contiguous.nbytes))
+        parts.append(contiguous.tobytes())
+    parts.append(skeleton.getvalue())
+    return b"".join(parts)
+
+
+def decode_message(payload: memoryview) -> Any:
+    """Decode one frame payload produced by :func:`encode_message`."""
+    if len(payload) < _PREAMBLE.size:
+        raise ValueError(f"truncated frame: {len(payload)} byte payload")
+    version, n_arrays = _PREAMBLE.unpack_from(payload, 0)
+    if version != _CODEC_VERSION:
+        raise ValueError(f"unsupported codec version {version}")
+    offset = _PREAMBLE.size
+    arrays: "List[np.ndarray]" = []
+    try:
+        for _ in range(n_arrays):
+            (descr_len,) = _ARR_FIXED.unpack_from(payload, offset)
+            offset += _ARR_FIXED.size
+            descr = bytes(payload[offset : offset + descr_len]).decode("ascii")
+            offset += descr_len
+            (ndim,) = _U8.unpack_from(payload, offset)
+            offset += _U8.size
+            shape = []
+            for _ in range(ndim):
+                (dim,) = _U64.unpack_from(payload, offset)
+                offset += _U64.size
+                shape.append(dim)
+            (nbytes,) = _U64.unpack_from(payload, offset)
+            offset += _U64.size
+            if offset + nbytes > len(payload):
+                raise ValueError("array segment overruns the frame")
+            dtype = np.dtype(descr)
+            arr = np.frombuffer(
+                payload[offset : offset + nbytes], dtype=dtype
+            ).reshape(shape)
+            offset += nbytes
+            arrays.append(arr)
+    except struct.error as exc:
+        raise ValueError("truncated frame: bad array header") from exc
+    return _RestrictedUnpickler(
+        io.BytesIO(bytes(payload[offset:])), arrays
+    ).load()
+
+
 def send_message(sock: socket.socket, message: Any) -> None:
     """Serialise and send one framed message."""
-    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-    sock.sendall(_HEADER.pack(len(payload)) + payload)
+    payload = encode_message(message)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"message of {len(payload)} bytes exceeds MAX_FRAME_BYTES"
+        )
+    header = _HEADER.pack(len(payload))
+    if len(payload) < (1 << 20):
+        sock.sendall(header + payload)
+    else:  # avoid re-copying multi-megabyte tensor frames
+        sock.sendall(header)
+        sock.sendall(payload)
 
 
-def _recv_exact(sock: socket.socket, n: int) -> bytes:
-    chunks = []
-    remaining = n
-    while remaining > 0:
-        chunk = sock.recv(min(remaining, 1 << 20))
-        if not chunk:
+def _recv_exact_into(sock: socket.socket, buf: memoryview) -> None:
+    """Fill ``buf`` from the socket (no per-chunk ``bytes`` join)."""
+    view = buf
+    while view.nbytes > 0:
+        received = sock.recv_into(view)
+        if received == 0:
             raise TransportClosed("peer closed the connection")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+        view = view[received:]
 
 
 def recv_message(sock: socket.socket) -> Any:
     """Receive one framed message (blocking)."""
-    header = _recv_exact(sock, _HEADER.size)
+    header = bytearray(_HEADER.size)
+    _recv_exact_into(sock, memoryview(header))
     (length,) = _HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise ValueError(f"frame of {length} bytes exceeds limit")
-    return pickle.loads(_recv_exact(sock, length))
+    if length < _PREAMBLE.size:
+        raise ValueError(f"truncated frame: {length} byte payload")
+    payload = bytearray(length)
+    _recv_exact_into(sock, memoryview(payload))
+    return decode_message(memoryview(payload))
 
 
 class Channel:

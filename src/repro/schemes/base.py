@@ -57,5 +57,20 @@ class Scheme(ABC):
     ) -> PipelinePlan:
         """Produce an execution plan for ``model`` on ``cluster``."""
 
+    def compile(
+        self,
+        model: Model,
+        cluster: Cluster,
+        network: NetworkModel,
+        options: CostOptions = DEFAULT_OPTIONS,
+    ):
+        """Plan and compile in one step: the scheme's plan lowered to
+        the runtime-core :class:`~repro.runtime.program.PlanProgram`,
+        ready for any Transport backend (in-process, TCP, simulated).
+        """
+        from repro.runtime.program import compile_plan
+
+        return compile_plan(model, self.plan(model, cluster, network, options))
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}(name={self.name!r})"

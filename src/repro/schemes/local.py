@@ -1,18 +1,20 @@
 """Multi-threaded local execution of a pipeline plan.
 
-:class:`LocalPlanExecutor` runs a :class:`~repro.core.plan.PipelinePlan`
-inside one process, standing in for the paper's device cluster: every
-device's tile of a stage becomes one task on the shared thread pool
+:class:`LocalPlanExecutor` is now a thin adapter over the shared
+runtime core: the plan is compiled once into a
+:class:`~repro.runtime.program.PlanProgram` and driven by a
+:class:`~repro.runtime.core.PipelineSession` over the
+:class:`~repro.runtime.core.InProcTransport` — every device's tile of a
+stage becomes one task on the shared thread pool
 (:mod:`repro.nn.parallel`), so on a multi-core host the per-device
-tiles genuinely overlap — the local analogue of the distributed
-runtime's parallel workers.  On a single core (``REPRO_THREADS=1``)
-the tiles run serially and the stitched result is identical.
+tiles genuinely overlap.  On a single core (``REPRO_THREADS=1``) the
+tiles run serially and the stitched result is identical.
 
-Stage programs are compiled once at construction through the memoised
-compilers in :mod:`repro.nn.tiles`; steady-state frames only extract
-tiles, run GEMMs and stitch.  The stitched output of every stage is
-bit-exact against :meth:`Engine.forward_features` because tiles and
-full maps share the engine's layer kernels.
+The stitched output of every stage is bit-exact against
+:meth:`Engine.forward_features` because the core's split/compute/stitch
+path shares the engine's layer kernels — and because the TCP and
+simulated backends run the very same path, it is bit-exact against
+those too.
 
 :meth:`measure` times each stage over sample frames; the resulting
 per-stage wall-clock services feed straight into
@@ -24,38 +26,17 @@ with measured numbers.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.plan import PipelinePlan, StagePlan
-from repro.nn import parallel
+from repro.core.plan import PipelinePlan
 from repro.nn.executor import Engine
-from repro.nn.tiles import (
-    SegmentProgram,
-    compile_block_paths_cached,
-    compile_segment_cached,
-    extract_tile,
-    run_segment,
-)
-from repro.partition.branches import concat_channel_blocks
-from repro.partition.regions import Region
+from repro.runtime.core import InProcTransport, PipelineSession, execute_stage
+from repro.runtime.program import compile_plan
+from repro.runtime.trace import Tracer
 
 __all__ = ["LocalPlanExecutor"]
-
-
-@dataclass(frozen=True)
-class _TileTask:
-    """One device's share of a stage: a compiled program plus where its
-    output tile lands in the stage's full output map."""
-
-    program: SegmentProgram
-    #: Spatial placement for strip tiles (``None`` for branch tasks,
-    #: whose tiles span the full map).
-    region: Optional[Region]
-    #: Channel copy list for branch tasks (``None`` for strip tiles).
-    channel_blocks: Optional[Tuple[Tuple[int, int, int, int], ...]]
 
 
 class LocalPlanExecutor:
@@ -70,53 +51,30 @@ class LocalPlanExecutor:
         Any plan whose stages cover the whole model — PICO pipelines,
         one-stage exclusive baselines, and branch-parallel stages all
         work.
+    trace:
+        Collect per-frame trace events (``.trace`` after running).
     """
 
-    def __init__(self, engine: Engine, plan: PipelinePlan) -> None:
+    def __init__(
+        self, engine: Engine, plan: PipelinePlan, trace: bool = False
+    ) -> None:
         if plan.model_name != engine.model.name:
             raise ValueError(
                 f"plan is for {plan.model_name!r}, engine runs "
                 f"{engine.model.name!r}"
             )
-        if plan.stages[-1].end != engine.model.n_units:
-            raise ValueError(
-                f"plan covers units [0, {plan.stages[-1].end}) but the "
-                f"model has {engine.model.n_units}"
-            )
         self.engine = engine
         self.plan = plan
-        self._stages: "List[Tuple[StagePlan, Tuple[_TileTask, ...], Tuple[int, int, int]]]" = []
-        for stage in plan.stages:
-            out_shape = engine.model.out_shape(stage.end - 1)
-            self._stages.append((stage, self._compile_stage(stage), out_shape))
+        self.program = compile_plan(engine.model, plan)
+        self._tracer = Tracer() if trace else None
+        self._session = PipelineSession(
+            self.program, InProcTransport(engine), self._tracer
+        )
 
-    def _compile_stage(self, stage: StagePlan) -> "Tuple[_TileTask, ...]":
-        model = self.engine.model
-        tasks: "List[_TileTask]" = []
-        if stage.path_groups is not None:
-            for group in stage.path_groups:
-                if not group:
-                    continue  # device idles, like an empty strip
-                program = compile_block_paths_cached(
-                    model, stage.start, tuple(group)
-                )
-                blocks = tuple(
-                    concat_channel_blocks(model, stage.start, group)
-                )
-                tasks.append(_TileTask(program, None, blocks))
-        else:
-            for _, region in stage.assignments:
-                if region.empty:
-                    continue
-                program = compile_segment_cached(
-                    model, stage.start, stage.end, region
-                )
-                tasks.append(_TileTask(program, region, None))
-        if not tasks:
-            raise ValueError(
-                f"stage [{stage.start}, {stage.end}) has no non-empty work"
-            )
-        return tuple(tasks)
+    @property
+    def trace(self):
+        """Collected trace events (empty unless ``trace=True``)."""
+        return self._tracer.events if self._tracer is not None else ()
 
     # ------------------------------------------------------------------
     # Execution.
@@ -124,40 +82,19 @@ class LocalPlanExecutor:
     def run_stage(self, stage_index: int, x: np.ndarray) -> np.ndarray:
         """Run one stage on its full input map; returns the stitched
         full output map."""
-        _, tasks, out_shape = self._stages[stage_index]
-        engine = self.engine
-
-        def run_task(task: _TileTask) -> np.ndarray:
-            tile = extract_tile(x, task.program.input_region)
-            return run_segment(engine, task.program, tile)
-
-        tiles = parallel.run_parallel(
-            [lambda task=task: run_task(task) for task in tasks]
+        return execute_stage(
+            self._session.transport,
+            self.program,
+            stage_index,
+            np.ascontiguousarray(x, dtype=np.float32),
+            frame=-1,
         )
-        if len(tasks) == 1 and tasks[0].region is not None:
-            region = tasks[0].region
-            if (region.height, region.width) == out_shape[1:]:
-                return tiles[0]  # one device produced the whole map
-        out = np.empty(out_shape, dtype=np.float32)
-        for task, tile in zip(tasks, tiles):
-            if task.channel_blocks is not None:
-                for t_lo, t_hi, o_lo, o_hi in task.channel_blocks:
-                    out[o_lo:o_hi] = tile[t_lo:t_hi]
-            else:
-                region = task.region
-                out[
-                    :,
-                    region.rows.start : region.rows.end,
-                    region.cols.start : region.cols.end,
-                ] = tile
-        return out
 
-    def forward_features(self, x: np.ndarray) -> np.ndarray:
+    def forward_features(
+        self, x: np.ndarray, at: Optional[float] = None
+    ) -> np.ndarray:
         """Run every stage; bit-exact vs ``engine.forward_features``."""
-        out = np.ascontiguousarray(x, dtype=np.float32)
-        for idx in range(len(self._stages)):
-            out = self.run_stage(idx, out)
-        return out
+        return self._session.run_frame(x, at)
 
     def run(self, x: np.ndarray) -> np.ndarray:
         """End-to-end inference: staged features then the dense head."""
@@ -179,12 +116,12 @@ class LocalPlanExecutor:
             raise ValueError("need at least one frame")
         if repeats < 1:
             raise ValueError("repeats must be >= 1")
-        totals = [0.0] * len(self._stages)
+        totals = [0.0] * self.program.n_stages
         runs = 0
         for _ in range(repeats):
             for frame in frames:
                 cur = np.ascontiguousarray(frame, dtype=np.float32)
-                for idx in range(len(self._stages)):
+                for idx in range(self.program.n_stages):
                     t0 = time.perf_counter()
                     cur = self.run_stage(idx, cur)
                     totals[idx] += time.perf_counter() - t0

@@ -1,17 +1,26 @@
-"""Tests for the framed TCP transport."""
+"""Tests for the framed TCP transport and its restricted codec."""
 
 from __future__ import annotations
 
+import io
+import pickle
+import pickletools
 import socket
+import struct
 import threading
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.runtime.messages import Hello, TileResult, TileTask
 from repro.runtime.transport import (
+    MAX_FRAME_BYTES,
     Channel,
     TransportClosed,
+    decode_message,
+    encode_message,
     recv_message,
     send_message,
 )
@@ -78,6 +87,118 @@ class TestFraming:
         a.sendall((1 << 40).to_bytes(8, "big"))
         with pytest.raises(ValueError):
             recv_message(b)
+
+    def test_oversized_frame_rejected_before_allocation(self, sock_pair):
+        # A corrupt length header must be refused from the header alone:
+        # only 8 bytes are on the wire, so if recv_message tried to
+        # allocate/receive the announced payload it would block forever.
+        a, b = sock_pair
+        b.settimeout(5.0)
+        a.sendall((MAX_FRAME_BYTES + 1).to_bytes(8, "big"))
+        with pytest.raises(ValueError, match="exceeds limit"):
+            recv_message(b)
+
+    def test_zero_length_frame_rejected(self, sock_pair):
+        a, b = sock_pair
+        a.sendall((0).to_bytes(8, "big"))
+        with pytest.raises(ValueError, match="truncated"):
+            recv_message(b)
+
+    def test_truncated_header_raises_closed(self, sock_pair):
+        a, b = sock_pair
+        a.sendall(b"\x00\x00\x00")  # 3 of 8 length bytes
+        a.close()
+        with pytest.raises(TransportClosed):
+            recv_message(b)
+
+    def test_peer_close_mid_payload(self, sock_pair):
+        a, b = sock_pair
+        payload = encode_message({"k": np.zeros((4, 4), dtype=np.float32)})
+        a.sendall(len(payload).to_bytes(8, "big"))
+        a.sendall(payload[: len(payload) // 2])
+        a.close()
+        with pytest.raises(TransportClosed):
+            recv_message(b)
+
+
+class TestCodec:
+    def test_roundtrip_nested_structure(self):
+        msg = {
+            "arrays": [np.arange(6, dtype=np.int64).reshape(2, 3)],
+            "tuple": (1, "two", 3.0),
+            "none": None,
+        }
+        got = decode_message(memoryview(encode_message(msg)))
+        np.testing.assert_array_equal(got["arrays"][0], msg["arrays"][0])
+        assert got["tuple"] == msg["tuple"] and got["none"] is None
+
+    def test_zero_size_array(self):
+        arr = np.empty((0, 3), dtype=np.float32)
+        got = decode_message(memoryview(encode_message(arr)))
+        assert got.shape == (0, 3) and got.dtype == np.float32
+
+    def test_noncontiguous_array(self):
+        arr = np.arange(24, dtype=np.float64).reshape(4, 6)[::2, ::3]
+        got = decode_message(memoryview(encode_message(arr)))
+        np.testing.assert_array_equal(got, arr)
+
+    def test_object_dtype_rejected_on_encode(self):
+        with pytest.raises(TypeError, match="wire-safe"):
+            encode_message(np.array([object()], dtype=object))
+
+    def test_truncated_payload_rejected(self):
+        payload = encode_message(np.ones((8, 8), dtype=np.float32))
+        with pytest.raises(ValueError):
+            decode_message(memoryview(payload[: len(payload) // 2]))
+
+    def test_bad_codec_version_rejected(self):
+        payload = bytearray(encode_message({"x": 1}))
+        payload[0] = 99
+        with pytest.raises(ValueError, match="codec version"):
+            decode_message(memoryview(payload))
+
+    def test_forbidden_global_rejected(self):
+        # Hand-craft a frame whose skeleton pickle names os.system: the
+        # restricted unpickler must refuse to resolve it.
+        skeleton = pickletools.optimize(
+            b"\x80\x04cos\nsystem\n."  # GLOBAL os.system
+        )
+        payload = struct.pack(">BI", 1, 0) + skeleton
+        with pytest.raises(pickle.UnpicklingError, match="forbidden"):
+            decode_message(memoryview(payload))
+
+    def test_builtin_eval_rejected(self):
+        skeleton = b"\x80\x04cbuiltins\neval\n."
+        payload = struct.pack(">BI", 1, 0) + skeleton
+        with pytest.raises(pickle.UnpicklingError, match="forbidden"):
+            decode_message(memoryview(payload))
+
+    def test_bad_array_reference_rejected(self):
+        # A persistent id past the array table must not index random memory.
+        buf = io.BytesIO()
+        pickler = pickle.Pickler(buf, protocol=pickle.HIGHEST_PROTOCOL)
+        pickler.persistent_id = lambda obj: 5 if obj == "marker" else None
+        pickler.dump("marker")
+        payload = struct.pack(">BI", 1, 0) + buf.getvalue()
+        with pytest.raises(pickle.UnpicklingError, match="bad array reference"):
+            decode_message(memoryview(payload))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        dtype=st.sampled_from(
+            ["f4", "f8", "i1", "i4", "i8", "u2", "u8", "c8", "?"]
+        ),
+        shape=st.lists(st.integers(0, 5), min_size=0, max_size=4),
+    )
+    def test_roundtrip_random_dtypes_shapes(self, dtype, shape):
+        rng = np.random.default_rng(0)
+        n = int(np.prod(shape)) if shape else 1
+        arr = (rng.integers(0, 2, size=n) * rng.standard_normal(n)).astype(
+            dtype
+        ).reshape(shape)
+        got = decode_message(memoryview(encode_message(arr)))
+        assert got.dtype == arr.dtype and got.shape == arr.shape
+        np.testing.assert_array_equal(got, arr)
 
 
 class TestChannel:
