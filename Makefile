@@ -1,7 +1,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: install test bench bench-json trace-smoke report examples all
+.PHONY: install test bench bench-json trace-smoke fault-smoke report examples all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -18,6 +18,9 @@ bench-json:
 
 trace-smoke:
 	python -m repro.bench.trace_smoke --hw 64 --frames 2 --devices 4
+
+fault-smoke:
+	python -m repro.bench.fault_smoke --frames 4 --devices 4
 
 report:
 	python -m repro report --out report.md

@@ -13,7 +13,7 @@ Run:  python examples/heterogeneous_cluster.py
 from repro import (
     NetworkModel,
     heterogeneous_cluster,
-    simulate_plan,
+    simulate,
     utilization_table,
     wifi_50mbps,
 )
@@ -41,8 +41,8 @@ def main() -> None:
         PicoScheme(),
     ):
         plan = scheme.plan(model, cluster, network)
-        sim = simulate_plan(
-            model, plan, network, saturation_arrivals(40), plan_name=scheme.name
+        sim = simulate(
+            model, plan, network=network, arrivals=saturation_arrivals(40)
         )
         table = utilization_table(model, plan, network, sim, scheme_name=scheme.name)
         print()

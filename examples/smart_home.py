@@ -16,8 +16,7 @@ import numpy as np
 from repro import (
     build_apico_switcher,
     pi_cluster,
-    simulate_adaptive,
-    simulate_plan,
+    simulate,
     wifi_50mbps,
 )
 from repro.core.plan import plan_cost
@@ -51,15 +50,15 @@ def main() -> None:
         ("OFL", OptimalFusedScheme()),
         ("PICO", PicoScheme()),
     ):
-        p = scheme.plan(model, cluster, network)
-        sim = simulate_plan(model, p, network, arrivals, plan_name=name)
+        sim = simulate(model, scheme, cluster, network=network,
+                       arrivals=arrivals)
         print(
             f"{name:>7s} {sim.avg_latency:>8.2f}s "
             f"{sim.percentile_latency(95):>8.2f}s {sim.completed:>10d}"
         )
 
     switcher = build_apico_switcher(model, cluster, network)
-    sim = simulate_adaptive(model, switcher, network, arrivals)
+    sim = simulate(model, switcher, network=network, arrivals=arrivals)
     usage = ", ".join(f"{k}: {v}" for k, v in sorted(sim.plan_usage.items()))
     print(
         f"{'APICO':>7s} {sim.avg_latency:>8.2f}s "

@@ -5,19 +5,24 @@ A full reproduction of "Towards Efficient Inference: Adaptively
 Cooperate in Heterogeneous IoT Edge Cluster" (ICDCS 2021): the PICO
 planner (DP + greedy heterogeneous adaptation), the LW/EFL/OFL
 baselines, the APICO adaptive switcher, a numpy CNN engine with
-bit-exact tiled execution, a discrete-event cluster simulator, and a
-real multiprocess pipeline runtime.
+bit-exact tiled execution, a discrete-event cluster simulator, a real
+multiprocess pipeline runtime, and a fault-tolerance layer (failure
+detection, retry/backoff, churn-driven re-planning).
 
 Quick start::
 
-    from repro import plan, evaluate
+    import repro
     from repro.models import vgg16
-    from repro.cluster import pi_cluster
 
-    p = plan(vgg16(), pi_cluster(8, 600))
-    print(p.describe())
-    print(evaluate(vgg16(), p))
+    cluster = repro.pi_cluster(8, 600)
+    result = repro.simulate(
+        vgg16(), repro.get_scheme("pico"), cluster,
+        arrivals=[i * 0.5 for i in range(20)],
+    )
+    print(result.avg_latency, result.throughput)
 """
+
+import warnings
 
 from repro.adaptive import AdaptiveSwitcher, build_apico_switcher
 from repro.cluster import (
@@ -26,10 +31,10 @@ from repro.cluster import (
     heterogeneous_cluster,
     pi_cluster,
     raspberry_pi,
-    simulate_adaptive,
-    simulate_plan,
     utilization_table,
 )
+from repro.cluster.simulator import simulate_adaptive as _simulate_adaptive
+from repro.cluster.simulator import simulate_plan as _simulate_plan
 from repro.core import (
     PipelinePlan,
     PlanCost,
@@ -45,10 +50,14 @@ from repro.models import get_model
 from repro.nn import Engine, init_weights
 from repro.runtime import (
     DistributedPipeline,
+    FaultSchedule,
     InProcTransport,
     PipelineSession,
     PlanProgram,
+    RuntimeConfig,
     SimTransport,
+    Tracer,
+    churn_replanner,
     compile_plan,
 )
 from repro.schemes import (
@@ -56,7 +65,11 @@ from repro.schemes import (
     LayerWiseScheme,
     OptimalFusedScheme,
     PicoScheme,
+    Scheme,
+    available_schemes,
+    get_scheme,
 )
+from repro.workload import poisson_arrivals, uniform_arrivals
 
 __version__ = "1.0.0"
 
@@ -68,6 +81,7 @@ __all__ = [
     "DistributedPipeline",
     "EarlyFusedScheme",
     "Engine",
+    "FaultSchedule",
     "InProcTransport",
     "LayerWiseScheme",
     "NetworkModel",
@@ -77,25 +91,34 @@ __all__ = [
     "PipelineSession",
     "PlanCost",
     "PlanProgram",
+    "RuntimeConfig",
+    "Scheme",
     "SimTransport",
     "StagePlan",
+    "Tracer",
+    "available_schemes",
     "bfs_optimal",
+    "build_apico_switcher",
+    "churn_replanner",
     "compile_plan",
     "dump_plan",
-    "build_apico_switcher",
     "evaluate",
     "get_model",
+    "get_scheme",
     "heterogeneous_cluster",
     "init_weights",
     "load_plan",
     "pi_cluster",
     "plan",
     "plan_cost",
+    "poisson_arrivals",
     "raspberry_pi",
     "render_plan",
     "render_timeline",
+    "simulate",
     "simulate_adaptive",
     "simulate_plan",
+    "uniform_arrivals",
     "utilization_table",
     "wifi_50mbps",
 ]
@@ -116,3 +139,109 @@ def evaluate(model, pipeline_plan, network=None, options=None) -> PlanCost:
     network = network or wifi_50mbps()
     options = options or CostOptions()
     return plan_cost(model, pipeline_plan, network, options)
+
+
+def simulate(
+    model,
+    plan_or_scheme,
+    cluster=None,
+    *,
+    network=None,
+    arrivals=None,
+    options=None,
+    faults=None,
+    trace=None,
+    shared_medium=False,
+    measured_services=None,
+):
+    """The one simulation entry point: plan, scheme, name or switcher.
+
+    ``plan_or_scheme`` may be
+
+    * a scheme *name* from :func:`get_scheme` (``"pico"``, ``"lw"``,
+      ``"efl"``, ``"ofl"``),
+    * a :class:`~repro.schemes.Scheme` instance,
+    * a ready :class:`PipelinePlan`, or
+    * an :class:`AdaptiveSwitcher` (APICO switching replay).
+
+    Schemes (and names) are planned over ``cluster`` first; ``network``
+    defaults to the paper's 50 Mbps WiFi.  ``arrivals`` gives the task
+    submit times in seconds.  ``faults`` — a :class:`FaultSchedule` —
+    injects cluster churn (crash-at-frame); it needs a scheme (not a
+    bare plan) so the survivors can be re-planned, and emits
+    ``device_dead`` / ``replan`` / ``degraded`` events into ``trace``
+    (the shared ``Tracer | bool | None`` contract).  Returns a
+    :class:`~repro.cluster.simulator.SimResult`.
+
+    Subsumes the deprecated :func:`simulate_plan` /
+    :func:`simulate_adaptive` split.
+    """
+    network = network or wifi_50mbps()
+    options = options or CostOptions()
+    if arrivals is None:
+        raise ValueError(
+            "simulate() needs arrivals= (task submit times, in seconds)"
+        )
+    if isinstance(plan_or_scheme, AdaptiveSwitcher):
+        if faults is not None and not faults.empty:
+            raise ValueError(
+                "faults= is not supported with an AdaptiveSwitcher replay; "
+                "pass a scheme so the survivors can be re-planned"
+            )
+        return _simulate_adaptive(
+            model, plan_or_scheme, network, arrivals, options,
+            shared_medium, trace=trace,
+        )
+    scheme = None
+    if isinstance(plan_or_scheme, str):
+        scheme = get_scheme(plan_or_scheme)
+    elif isinstance(plan_or_scheme, Scheme):
+        scheme = plan_or_scheme
+    if scheme is not None:
+        if cluster is None:
+            raise ValueError("a scheme needs cluster= to plan over")
+        planned = scheme.plan(model, cluster, network, options)
+        return _simulate_plan(
+            model, planned, network, arrivals, options,
+            plan_name=scheme.name, shared_medium=shared_medium,
+            measured_services=measured_services,
+            faults=faults, cluster=cluster, scheme=scheme, trace=trace,
+        )
+    if isinstance(plan_or_scheme, PipelinePlan):
+        if faults is not None and faults.crashes:
+            raise ValueError(
+                "simulating crash churn needs a scheme (or scheme name) "
+                "to re-plan the survivors — a bare plan cannot be rebuilt"
+            )
+        return _simulate_plan(
+            model, plan_or_scheme, network, arrivals, options,
+            shared_medium=shared_medium,
+            measured_services=measured_services,
+            faults=faults, trace=trace,
+        )
+    raise TypeError(
+        "plan_or_scheme must be a PipelinePlan, Scheme, scheme name or "
+        f"AdaptiveSwitcher, not {type(plan_or_scheme).__name__}"
+    )
+
+
+def simulate_plan(*args, **kwargs):
+    """Deprecated alias — use :func:`repro.simulate`."""
+    warnings.warn(
+        "repro.simulate_plan is deprecated; use repro.simulate(model, "
+        "plan_or_scheme, cluster, arrivals=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _simulate_plan(*args, **kwargs)
+
+
+def simulate_adaptive(*args, **kwargs):
+    """Deprecated alias — use :func:`repro.simulate`."""
+    warnings.warn(
+        "repro.simulate_adaptive is deprecated; use repro.simulate(model, "
+        "switcher, arrivals=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _simulate_adaptive(*args, **kwargs)

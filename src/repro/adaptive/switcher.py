@@ -49,6 +49,7 @@ class AdaptiveSwitcher:
         candidates: "Sequence[CandidatePlan]",
         tracker: Optional[ArrivalRateTracker] = None,
         hysteresis: float = 0.0,
+        schemes: "Optional[Tuple[Scheme, ...]]" = None,
     ) -> None:
         if not candidates:
             raise ValueError("need at least one candidate plan")
@@ -57,6 +58,9 @@ class AdaptiveSwitcher:
         self.candidates = tuple(candidates)
         self.tracker = tracker or ArrivalRateTracker()
         self.hysteresis = hysteresis
+        #: The planners that produced the candidates — kept so the
+        #: switcher can rebuild its candidate set after cluster churn.
+        self.schemes = tuple(schemes) if schemes is not None else None
         self._active = self.choose(self.tracker.rate)
 
     @property
@@ -92,6 +96,50 @@ class AdaptiveSwitcher:
             c.name: plan_timing(model, c.plan, network, options, name=c.name)
             for c in self.candidates
         }
+
+    def replan(
+        self,
+        model: Model,
+        cluster: Cluster,
+        network: NetworkModel,
+        options: CostOptions = DEFAULT_OPTIONS,
+    ) -> "AdaptiveSwitcher":
+        """A fresh switcher with every candidate re-planned on ``cluster``.
+
+        The churn response (paper §IV-C: re-run the planner when the
+        cluster changes): each stored scheme plans the model over the
+        *current* device set, keeping the arrival-rate tracker so the
+        new switcher starts from the observed load, not from cold.
+        Raises :class:`~repro.schemes.base.PlanningError` when no
+        candidate fits the surviving cluster.
+        """
+        if self.schemes is None:
+            raise ValueError(
+                "this switcher was built without schemes; re-plan needs "
+                "the planners that produced its candidates"
+            )
+        from repro.schemes.base import PlanningError
+
+        candidates = []
+        errors = []
+        for scheme in self.schemes:
+            try:
+                plan = scheme.plan(model, cluster, network, options)
+            except PlanningError as exc:
+                errors.append(f"{scheme.name}: {exc}")
+                continue
+            cost = plan_cost(model, plan, network, options)
+            candidates.append(
+                CandidatePlan(scheme.name, plan, cost.period, cost.latency)
+            )
+        if not candidates:
+            raise PlanningError(
+                "no candidate scheme fits the surviving cluster "
+                f"({'; '.join(errors)})"
+            )
+        return AdaptiveSwitcher(
+            candidates, self.tracker, self.hysteresis, schemes=self.schemes
+        )
 
     def on_arrival(self, now: float) -> CandidatePlan:
         """Record an arrival; switch the active plan if another candidate
@@ -140,4 +188,4 @@ def build_apico_switcher(
         candidates.append(
             CandidatePlan(scheme.name, plan, cost.period, cost.latency)
         )
-    return AdaptiveSwitcher(candidates, tracker, hysteresis)
+    return AdaptiveSwitcher(candidates, tracker, hysteresis, schemes=schemes)

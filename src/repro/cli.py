@@ -67,11 +67,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("describe", help="print a model's architecture")
     p.add_argument("model")
 
-    p = sub.add_parser("plan", help="plan a PICO pipeline")
+    p = sub.add_parser("plan", help="plan a pipeline")
     p.add_argument("model")
     _add_cluster_args(p)
+    p.add_argument("--scheme", type=str, default="pico",
+                   help="scheme name from the registry (pico, lw, efl, ofl)")
     p.add_argument("--t-lim", type=float, default=0.0,
-                   help="pipeline latency bound in seconds (0 = none)")
+                   help="pipeline latency bound in seconds (0 = none, "
+                        "pico only)")
     p.add_argument("--save", type=str, default="", help="write plan JSON here")
     p.add_argument("--memory", action="store_true",
                    help="print per-device peak memory")
@@ -106,6 +109,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hw", type=int, default=0,
                    help="override input resolution (0 = model default)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scheme", type=str, default="pico",
+                   help="scheme name from the registry (pico, lw, efl, ofl)")
+    p.add_argument(
+        "--crash", action="append", default=[], metavar="DEVICE:FRAME",
+        help="inject a crash: kill DEVICE from frame FRAME on "
+             "(repeatable); recovery events land in the printed trace",
+    )
 
     p = sub.add_parser(
         "experiment", help="run a paper experiment harness (fast config)"
@@ -140,10 +150,15 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.schemes import get_scheme
+
     model = get_model(args.model)
     cluster = _cluster_from_args(args)
     network = NetworkModel.from_mbps(args.mbps)
-    scheme = PicoScheme(t_lim=args.t_lim) if args.t_lim > 0 else PicoScheme()
+    kwargs = {}
+    if args.t_lim > 0 and args.scheme.lower() == "pico":
+        kwargs["t_lim"] = args.t_lim
+    scheme = get_scheme(args.scheme, **kwargs)
     plan = scheme.plan(model, cluster, network)
     print(render_plan(model, plan, network))
     if args.memory:
@@ -262,6 +277,26 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_crashes(specs: "Sequence[str]"):
+    """``DEVICE:FRAME`` specs → a FaultSchedule (None when empty)."""
+    from repro.runtime.faults import FaultSchedule
+
+    if not specs:
+        return None
+    schedule = FaultSchedule()
+    for spec in specs:
+        device, sep, frame = spec.rpartition(":")
+        if not sep or not device:
+            raise SystemExit(
+                f"--crash expects DEVICE:FRAME, got {spec!r}"
+            )
+        try:
+            schedule = schedule.crash(device, int(frame))
+        except ValueError as exc:
+            raise SystemExit(f"--crash {spec!r}: {exc}") from None
+    return schedule
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.nn.executor import Engine
     from repro.runtime.core import (
@@ -269,7 +304,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         PipelineSession,
         SimTransport,
     )
+    from repro.runtime.faults import RuntimeConfig
     from repro.runtime.trace import Tracer, diff_traces, format_timeline
+    from repro.schemes import get_scheme
 
     model = (
         get_model(args.model, input_hw=args.hw) if args.hw
@@ -277,24 +314,28 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     )
     cluster = _cluster_from_args(args)
     network = NetworkModel.from_mbps(args.mbps)
-    plan = PicoScheme().plan(model, cluster, network)
+    plan = get_scheme(args.scheme).plan(model, cluster, network)
     engine = Engine(model, seed=args.seed)
     rng = np.random.default_rng(args.seed)
     frames = [
         rng.standard_normal(model.input_shape).astype(np.float32)
         for _ in range(args.frames)
     ]
+    faults = _parse_crashes(args.crash)
+    config = RuntimeConfig() if faults is not None else None
 
     backends = []
     if args.backend in ("inproc", "both"):
-        backends.append(("inproc", InProcTransport(engine)))
+        backends.append(("inproc", InProcTransport(engine, faults=faults)))
     if args.backend in ("sim", "both"):
-        backends.append(("sim", SimTransport(engine, network)))
+        backends.append(("sim", SimTransport(engine, network, faults=faults)))
 
     runs = {}
     for name, transport in backends:
         tracer = Tracer()
-        session = PipelineSession.from_plan(model, plan, transport, tracer)
+        session = PipelineSession.from_plan(
+            model, plan, transport, tracer, config
+        )
         outputs = session.run_batch(frames)
         session.close()
         runs[name] = (outputs, tracer.events)

@@ -34,6 +34,7 @@ from repro.cost.comm import NetworkModel
 from repro.cost.flops import CostOptions, DEFAULT_OPTIONS
 from repro.models.graph import Model
 from repro.runtime.timing import PlanTiming, plan_timing
+from repro.runtime.trace import TraceEvent, Tracer, coerce_tracer
 
 __all__ = ["TaskRecord", "SimResult", "simulate_plan", "simulate_adaptive"]
 
@@ -65,6 +66,8 @@ class SimResult:
     makespan: float
     device_busy: Dict[str, float]
     plan_usage: Dict[str, int] = field(default_factory=dict)
+    #: Collected trace events (empty unless the run passed ``trace=``).
+    trace: Tuple[TraceEvent, ...] = ()
 
     @property
     def completed(self) -> int:
@@ -125,6 +128,7 @@ class SimResult:
             makespan=self.makespan - window_start,
             device_busy={k: v * fraction for k, v in self.device_busy.items()},
             plan_usage=dict(self.plan_usage),
+            trace=self.trace,
         )
 
 
@@ -134,6 +138,7 @@ class _InFlight:
     arrival: float
     started: float
     timing: PlanTiming
+    entry: float = 0.0  # when the task joined its current stage queue
 
 
 def _run_event_loop(
@@ -141,6 +146,7 @@ def _run_event_loop(
     initial_timing: PlanTiming,
     pick_timing,  # (now) -> desired PlanTiming
     shared_medium: bool = False,
+    tracer: Optional[Tracer] = None,
 ) -> SimResult:
     """Shared event loop for plain and adaptive simulations.
 
@@ -217,8 +223,21 @@ def _run_event_loop(
         busy[stage_idx] = True
         if stage_idx == 0 and task.started < 0:
             task.started = now
+        if tracer is not None:
+            tracer.emit(
+                TraceEvent(
+                    "enqueue", task.task_id, stage_idx, "", task.entry, now
+                )
+            )
         for name, t_comp in timing.stages[stage_idx].busy_shares:
             device_busy[name] = device_busy.get(name, 0.0) + t_comp
+            if tracer is not None:
+                tracer.emit(
+                    TraceEvent(
+                        "compute", task.task_id, stage_idx, name,
+                        now, now + t_comp,
+                    )
+                )
         if shared_medium:
             net_queue.append((stage_idx, task))
             try_net(now)
@@ -235,7 +254,7 @@ def _run_event_loop(
             task_id = payload
             desired = pick_timing(now)
             maybe_swap()
-            task = _InFlight(task_id, now, -1.0, current)
+            task = _InFlight(task_id, now, -1.0, current, entry=now)
             queues[0].append(task)
             try_start(0, now)
         elif kind == "net_done":
@@ -265,6 +284,7 @@ def _run_event_loop(
                     )
                 )
             else:
+                task.entry = now
                 queues[stage_idx + 1].append(task)
                 try_start(stage_idx + 1, now)
             maybe_swap()
@@ -275,7 +295,8 @@ def _run_event_loop(
             try_start(0, now)
 
     records.sort(key=lambda r: r.task_id)
-    return SimResult(records, makespan, device_busy, plan_usage)
+    trace = tracer.events if tracer is not None else ()
+    return SimResult(records, makespan, device_busy, plan_usage, trace)
 
 
 def simulate_plan(
@@ -287,6 +308,10 @@ def simulate_plan(
     plan_name: Optional[str] = None,
     shared_medium: bool = False,
     measured_services: "Optional[Sequence[float]]" = None,
+    faults=None,
+    cluster=None,
+    scheme=None,
+    trace=None,
 ) -> SimResult:
     """Replay ``arrivals`` through a fixed plan.
 
@@ -295,14 +320,86 @@ def simulate_plan(
     the analytic per-stage service times with measured wall-clock ones
     (one entry per stage, seconds) — the bridge from
     :meth:`repro.schemes.local.LocalPlanExecutor.measure` to the event
-    simulator."""
+    simulator.
+
+    ``faults`` — a :class:`~repro.runtime.faults.FaultSchedule` — models
+    cluster churn: each ``crash(device, at_frame)`` kills its device
+    once ``at_frame`` arrivals have entered the system, and the plan is
+    rebuilt over the survivors with ``scheme`` over ``cluster`` (both
+    then required), emitting ``device_dead`` and ``replan`` /
+    ``degraded`` events into ``trace``; the re-planned pipeline takes
+    over at the next service boundary (drain-before-switch), exactly
+    like an adaptive plan switch.  Frame-level faults (delay, drop,
+    flaky link) have no event-level counterpart here — use the
+    frame-accurate :class:`~repro.runtime.core.SimTransport` for those.
+
+    ``trace`` is the shared ``Tracer | bool | None`` contract; events
+    land in ``SimResult.trace``.
+    """
+    tracer = coerce_tracer(trace)
     timing = plan_timing(
         model, plan, network, options,
         name=plan_name or plan.mode,
         measured_services=measured_services,
     )
+    crashes = tuple(faults.crashes) if faults is not None else ()
+    if not crashes:
+        return _run_event_loop(
+            arrivals, timing, lambda now: timing,
+            shared_medium=shared_medium, tracer=tracer,
+        )
+    if cluster is None or scheme is None:
+        raise ValueError(
+            "simulating crash churn needs cluster= and scheme= to "
+            "re-plan over the survivors"
+        )
+    crash_at: "Dict[str, int]" = {}
+    for c in crashes:
+        prev = crash_at.get(c.device)
+        crash_at[c.device] = c.at_frame if prev is None else min(prev, c.at_frame)
+    state = {"count": 0, "dead": set(), "timing": timing}
+
+    def pick(now: float) -> PlanTiming:
+        from repro.cluster.device import Cluster
+        from repro.runtime.faults import StageFailure
+        from repro.schemes.base import PlanningError
+        from repro.schemes.local import local_fallback_plan
+
+        index = state["count"]
+        state["count"] += 1
+        dead: "set" = state["dead"]
+        newly = sorted(
+            d for d, at in crash_at.items() if index >= at and d not in dead
+        )
+        if not newly:
+            return state["timing"]
+        for device in newly:
+            dead.add(device)
+            if tracer is not None:
+                tracer.emit(
+                    TraceEvent("device_dead", index, 0, device, now, now)
+                )
+        survivors = tuple(d for d in cluster if d.name not in dead)
+        if not survivors:
+            raise StageFailure("every device in the cluster is dead")
+        try:
+            fresh = scheme.plan(model, Cluster(survivors), network, options)
+            kind = "replan"
+        except PlanningError:
+            best = max(survivors, key=lambda d: d.capacity)
+            fresh = local_fallback_plan(model, best)
+            kind = "degraded"
+        state["timing"] = plan_timing(
+            model, fresh, network, options, name=f"{timing.name}+{kind}"
+        )
+        if tracer is not None:
+            tracer.emit(
+                TraceEvent(kind, index, 0, ",".join(sorted(dead)), now, now)
+            )
+        return state["timing"]
+
     return _run_event_loop(
-        arrivals, timing, lambda now: timing, shared_medium=shared_medium
+        arrivals, timing, pick, shared_medium=shared_medium, tracer=tracer
     )
 
 
@@ -313,8 +410,10 @@ def simulate_adaptive(
     arrivals: "Sequence[float]",
     options: CostOptions = DEFAULT_OPTIONS,
     shared_medium: bool = False,
+    trace=None,
 ) -> SimResult:
     """Replay ``arrivals`` with APICO switching (drain-before-switch)."""
+    tracer = coerce_tracer(trace)
     timings = switcher.plan_timings(model, network, options)
     initial = timings[switcher.active.name]
 
@@ -322,4 +421,6 @@ def simulate_adaptive(
         active = switcher.on_arrival(now)
         return timings[active.name]
 
-    return _run_event_loop(arrivals, initial, pick, shared_medium=shared_medium)
+    return _run_event_loop(
+        arrivals, initial, pick, shared_medium=shared_medium, tracer=tracer
+    )

@@ -21,6 +21,15 @@ from repro.runtime.core import (
     Transport,
     execute_stage,
 )
+from repro.runtime.faults import (
+    DEFAULT_RUNTIME_CONFIG,
+    DeviceDead,
+    FaultInjector,
+    FaultSchedule,
+    RuntimeConfig,
+    TransientTaskError,
+    churn_replanner,
+)
 from repro.runtime.messages import (
     Hello,
     Reconfigure,
@@ -35,14 +44,18 @@ from repro.runtime.program import (
     StageProgram,
     TaskSpec,
     compile_plan,
+    repartition_stage,
     split_stage,
     stitch_stage,
 )
 from repro.runtime.timing import PlanTiming, StageTiming, plan_timing
 from repro.runtime.trace import (
+    EVENT_KINDS,
+    RECOVERY_KINDS,
     TraceEvent,
     Tracer,
     canonical_trace,
+    coerce_tracer,
     device_busy,
     diff_traces,
     format_timeline,
@@ -60,13 +73,20 @@ from repro.runtime.worker import worker_main
 
 __all__ = [
     "Channel",
+    "DEFAULT_RUNTIME_CONFIG",
+    "DeviceDead",
     "DistributedPipeline",
+    "EVENT_KINDS",
+    "FaultInjector",
+    "FaultSchedule",
     "Hello",
     "InProcTransport",
     "PipelineSession",
     "PlanProgram",
     "PlanTiming",
+    "RECOVERY_KINDS",
     "Reconfigure",
+    "RuntimeConfig",
     "RuntimeStats",
     "Setup",
     "Shutdown",
@@ -80,10 +100,13 @@ __all__ = [
     "TileTask",
     "TraceEvent",
     "Tracer",
+    "TransientTaskError",
     "Transport",
     "TransportClosed",
     "WorkerError",
     "canonical_trace",
+    "churn_replanner",
+    "coerce_tracer",
     "compile_plan",
     "decode_message",
     "device_busy",
@@ -93,6 +116,7 @@ __all__ = [
     "format_timeline",
     "plan_timing",
     "recv_message",
+    "repartition_stage",
     "send_message",
     "split_stage",
     "stitch_stage",

@@ -36,6 +36,7 @@ from repro.partition.branches import concat_channel_blocks
 from repro.partition.regions import Region
 from repro.partition.strips import weighted_partition
 from repro.runtime.core import StageTrace, TaskTiming, Transport, execute_stage
+from repro.runtime.faults import RuntimeConfig, StageFailure
 from repro.runtime.messages import (
     Hello,
     Reconfigure,
@@ -51,17 +52,15 @@ from repro.runtime.program import (
     compile_plan,
     task_weight_names,
 )
-from repro.runtime.trace import Tracer
+from repro.runtime.trace import Tracer, coerce_tracer
 from repro.runtime.transport import Channel, TransportClosed
 from repro.runtime.worker import worker_main
 
+# StageFailure moved to repro.runtime.faults; re-exported here for the
+# existing import sites.
 __all__ = ["DistributedPipeline", "RuntimeStats", "StageFailure", "TcpTransport"]
 
 _SENTINEL = object()
-
-
-class StageFailure(RuntimeError):
-    """A stage lost all of its workers."""
 
 
 @dataclass
@@ -117,6 +116,10 @@ class TcpTransport(Transport):
         self._handles: "List[List[_WorkerHandle]]" = []
         self._epochs: "List[int]" = []
         self._clock_epoch = time.perf_counter()
+        self._pending_dead: "set" = set()
+        self._pending_lock = threading.Lock()
+        self._monitor: Optional[threading.Thread] = None
+        self._monitor_stop = threading.Event()
 
     def open(self, program: PlanProgram) -> None:
         super().open(program)
@@ -125,6 +128,56 @@ class TcpTransport(Transport):
 
     def _now(self) -> float:
         return time.perf_counter() - self._clock_epoch
+
+    def clock(self) -> float:
+        return self._now()
+
+    # -- heartbeats ----------------------------------------------------
+    def start_heartbeat(self, interval_s: float) -> None:
+        """Probe worker-process liveness every ``interval_s`` seconds.
+
+        The monitor never mutates handles directly — it only flags
+        worker ids in a pending set, which each stage thread applies
+        (mark dead + repartition) at its next frame boundary.  That
+        keeps channel use and repartitioning on the stage threads,
+        where the epoch protocol already makes them safe.
+        """
+        if self._monitor is not None:
+            return
+        self._monitor_stop.clear()
+
+        def probe() -> None:
+            while not self._monitor_stop.wait(interval_s):
+                with self._pending_lock:
+                    for handle in self.all_handles():
+                        if handle.alive and not handle.process.is_alive():
+                            self._pending_dead.add(handle.worker_id)
+
+        self._monitor = threading.Thread(
+            target=probe, name="heartbeat", daemon=True
+        )
+        self._monitor.start()
+
+    def stop_heartbeat(self) -> None:
+        if self._monitor is not None:
+            self._monitor_stop.set()
+            self._monitor.join(timeout=5.0)
+            self._monitor = None
+
+    def apply_heartbeats(self, stage_index: int) -> bool:
+        """Mark this stage's monitor-flagged workers dead; True if any."""
+        with self._pending_lock:
+            if not self._pending_dead:
+                return False
+            flagged = [
+                h
+                for h in self._handles[stage_index]
+                if h.alive and h.worker_id in self._pending_dead
+            ]
+            for h in flagged:
+                h.alive = False
+                self._pending_dead.discard(h.worker_id)
+        return bool(flagged)
 
     def bind_stage(self, stage_index: int, handles: "List[_WorkerHandle]") -> None:
         while len(self._handles) <= stage_index:
@@ -256,6 +309,7 @@ class TcpTransport(Transport):
         return [h for handles in self._handles for h in handles]
 
     def close(self) -> None:
+        self.stop_heartbeat()
         for handle in self.all_handles():
             if handle.channel is not None:
                 try:
@@ -308,6 +362,14 @@ class _StageRunner(threading.Thread):
 
     def _process(self, task_id: int, feature_map: np.ndarray) -> np.ndarray:
         while True:
+            # Apply deaths flagged by the heartbeat monitor before the
+            # send would discover them the hard way (and desync a frame).
+            if self.transport.apply_heartbeats(self.index):
+                if not self.recover:
+                    raise StageFailure(
+                        f"stage {self.index}: worker died (heartbeat)"
+                    )
+                self.transport.repartition(self.index)
             try:
                 return execute_stage(
                     self.transport,
@@ -333,10 +395,16 @@ class DistributedPipeline:
         with DistributedPipeline(model, plan) as pipe:
             outputs, stats = pipe.run_batch(inputs)
 
-    ``trace=True`` collects per-frame
-    :class:`~repro.runtime.trace.TraceEvent` records (available as
-    ``pipe.trace`` after the run) on the same schema the in-process and
+    ``trace`` follows the shared contract (``Tracer | bool | None``,
+    see :func:`~repro.runtime.trace.coerce_tracer`): per-frame
+    :class:`~repro.runtime.trace.TraceEvent` records are available as
+    ``pipe.trace`` after the run, on the same schema the in-process and
     simulated backends emit.
+
+    A :class:`~repro.runtime.faults.RuntimeConfig` turns on the fault
+    tolerance layer: heartbeat probing of worker processes, recv
+    timeouts on worker channels, worker idle timeouts, and recovery
+    (``config.recover`` supersedes the legacy ``recover`` flag).
     """
 
     def __init__(
@@ -348,20 +416,24 @@ class DistributedPipeline:
         recover: bool = False,
         fail_after: "Optional[Dict[str, int]]" = None,
         connect_timeout_s: float = 30.0,
-        trace: bool = False,
+        trace=False,
+        config: "Optional[RuntimeConfig]" = None,
     ) -> None:
         self.model = model
         self.plan = plan
         self.program = compile_plan(model, plan)
         self.weights = weights if weights is not None else init_weights(model, seed)
-        self.recover = recover
+        self.config = config
+        self.recover = config.recover if config is not None else recover
         self.fail_after = fail_after or {}
         self.connect_timeout_s = connect_timeout_s
         self.stats = RuntimeStats()
         self._stats_lock = threading.Lock()
         self._engine = Engine(model, self.weights)
-        self._tracer = Tracer() if trace else None
+        self._tracer = coerce_tracer(trace)
         self.transport = TcpTransport(model, self.stats, self._stats_lock)
+        if config is not None:
+            self.transport.configure(config)
         self._stages: "List[_StageRunner]" = []
         self._queues: "List[queue.Queue]" = []
         self._submit_times: "Dict[int, float]" = {}
@@ -389,6 +461,11 @@ class DistributedPipeline:
 
         # Spawn one worker process per compiled task.
         worker_id = 0
+        idle_timeout = (
+            self.config.worker_idle_timeout_s
+            if self.config is not None
+            else None
+        )
         ctx = mp.get_context("fork")
         for stage in self.program.stages:
             handles = []
@@ -396,7 +473,7 @@ class DistributedPipeline:
                 fail_after = self.fail_after.get(task.device_name)
                 process = ctx.Process(
                     target=worker_main,
-                    args=(host, port, worker_id, fail_after),
+                    args=(host, port, worker_id, fail_after, idle_timeout),
                     daemon=True,
                 )
                 process.start()
@@ -448,6 +525,15 @@ class DistributedPipeline:
                 handle.channel.send(
                     Setup(self.model, handle.task.program, subset)
                 )
+
+        # Fault-tolerance plumbing: bound worker recvs and start the
+        # liveness monitor (the handshake above ran unbounded so slow
+        # weight shipping never trips the timeout).
+        if self.config is not None:
+            if self.config.recv_timeout_s is not None:
+                for handle in self.transport.all_handles():
+                    handle.channel.settimeout(self.config.recv_timeout_s)
+            self.transport.start_heartbeat(self.config.heartbeat_interval_s)
 
         # Wire queues and stage threads.
         self._queues = [queue.Queue() for _ in range(self.program.n_stages + 1)]

@@ -33,11 +33,19 @@ import numpy as np
 from repro.nn import parallel
 from repro.nn.executor import Engine
 from repro.nn.tiles import run_segment
+from repro.runtime.faults import (
+    DeviceDead,
+    FaultSchedule,
+    RuntimeConfig,
+    StageFailure,
+    TransientTaskError,
+)
 from repro.runtime.program import (
     PlanProgram,
     StageProgram,
     TaskSpec,
     compile_plan,
+    repartition_stage,
     split_stage,
     stitch_stage,
 )
@@ -81,22 +89,49 @@ class Transport(ABC):
     :meth:`run_tasks` receives the per-task input tiles (split by the
     core, in task order) and returns the per-task output tiles plus the
     stage's :class:`StageTrace` under this backend's clock.
+
+    The base class also owns the backend-agnostic half of the
+    fault-tolerance state: a :class:`~repro.runtime.faults.RuntimeConfig`
+    (via :meth:`configure`), the set of devices declared dead, per-stage
+    task-set overrides installed by :meth:`repartition`, and the clock /
+    backoff hooks (:meth:`clock`, :meth:`penalty`) the recovery loop in
+    :func:`execute_stage` stamps its events with.
     """
 
     name: str = "?"
+    #: The model, when the backend can recompile tiles (rebalance).
+    model = None
+    _config: "Optional[RuntimeConfig]" = None
 
     def open(self, program: PlanProgram) -> None:
         self._program = program
+        self._overrides: "dict" = {}
+        self._dead: "set" = set()
 
     def close(self) -> None:  # pragma: no cover - default no-op
         pass
 
+    def configure(self, config: "Optional[RuntimeConfig]") -> None:
+        """Install the fault-tolerance configuration."""
+        self._config = config
+
+    @property
+    def config(self) -> "Optional[RuntimeConfig]":
+        return self._config
+
     def begin_frame(self, frame: int, at: Optional[float] = None) -> None:
         """Announce a new frame; ``at`` is its (virtual) submit time."""
 
+    def current_stage(self, stage_index: int) -> StageProgram:
+        """The stage's current program (post-recovery override, if any)."""
+        override = getattr(self, "_overrides", {}).get(stage_index)
+        if override is not None:
+            return override
+        return self._program.stages[stage_index]
+
     def stage_tasks(self, stage_index: int) -> "Tuple[TaskSpec, ...]":
         """The stage's *current* task set (overridden after recovery)."""
-        return self._program.stages[stage_index].tasks
+        return self.current_stage(stage_index).tasks
 
     @abstractmethod
     def run_tasks(
@@ -107,6 +142,62 @@ class Transport(ABC):
     ) -> "Tuple[List[np.ndarray], StageTrace]":
         """Execute the stage's tasks on their input tiles."""
 
+    # -- failure detection & recovery ----------------------------------
+    def clock(self) -> float:
+        """This backend's current time (wall or virtual)."""
+        return 0.0
+
+    def penalty(self, seconds: float) -> None:
+        """Charge a backoff wait to this backend's clock (default: no-op;
+        wall-clock backends sleep, the simulated backend advances its
+        virtual clock)."""
+
+    def dead_devices(self) -> "frozenset":
+        return frozenset(getattr(self, "_dead", ()))
+
+    def mark_dead(self, device: str) -> bool:
+        """Declare a device dead; True the first time it is declared."""
+        if device in self._dead:
+            return False
+        self._dead.add(device)
+        return True
+
+    def needs_repartition(self, stage_index: int) -> bool:
+        """Does the stage's current task set reference a dead device?"""
+        if not getattr(self, "_dead", None):
+            return False
+        return any(
+            t.device_name in self._dead
+            for t in self.stage_tasks(stage_index)
+        )
+
+    def repartition(self, stage_index: int) -> None:
+        """Rebuild the stage's task set without its dead devices."""
+        policy = self._config.repartition if self._config else "migrate"
+        self._overrides[stage_index] = repartition_stage(
+            self.model, self.current_stage(stage_index), self._dead, policy
+        )
+
+    def capacity_lost(self) -> float:
+        """Fraction of the program's device capacity now dead."""
+        dead = getattr(self, "_dead", None)
+        if not dead:
+            return 0.0
+        capacities: "dict" = {}
+        for stage in self._program.stages:
+            for task in stage.tasks:
+                capacities.setdefault(task.device_name, task.capacity)
+        total = sum(capacities.values())
+        if total <= 0:
+            return 0.0
+        return sum(c for n, c in capacities.items() if n in dead) / total
+
+    def rebind(self, program: PlanProgram) -> None:
+        """Adopt a new program mid-session (churn re-plan), keeping the
+        clock and the dead-device set."""
+        self._program = program
+        self._overrides.clear()
+
 
 def execute_stage(
     transport: Transport,
@@ -115,6 +206,7 @@ def execute_stage(
     x: np.ndarray,
     frame: int,
     tracer: Optional[Tracer] = None,
+    config: "Optional[RuntimeConfig]" = None,
 ) -> np.ndarray:
     """Run one stage of one frame through a transport.
 
@@ -122,8 +214,73 @@ def execute_stage(
     Trace events are emitted in canonical order — enqueue, then per
     task (in task order) send/compute/recv — so event *ordering* is
     deterministic for any backend; only timestamps differ.
+
+    With a :class:`~repro.runtime.faults.RuntimeConfig` the call is
+    fault-tolerant: transient task failures retry with bounded
+    exponential backoff (``retry`` events), a dead device triggers a
+    stage repartition and a replay of the frame from this stage
+    boundary (``device_dead`` / ``frame_replayed`` events).  Without a
+    config (the default) failures propagate untouched — the exact
+    legacy path.
     """
-    stage = program.stages[stage_index]
+    if config is None:
+        return _attempt_stage(transport, program, stage_index, x, frame, tracer)
+    attempt = 0
+    while True:
+        try:
+            if transport.needs_repartition(stage_index):
+                # A heartbeat (or an earlier stage) already declared a
+                # death; repair proactively instead of failing the send.
+                transport.repartition(stage_index)
+            return _attempt_stage(
+                transport, program, stage_index, x, frame, tracer
+            )
+        except TransientTaskError as exc:
+            if not config.recover or attempt >= config.max_retries:
+                raise StageFailure(
+                    f"stage {stage_index}: {exc} "
+                    f"(after {attempt} retries)"
+                ) from exc
+            now = transport.clock()
+            if tracer is not None:
+                tracer.emit(
+                    TraceEvent("retry", frame, stage_index, exc.device, now, now)
+                )
+            transport.penalty(config.backoff(attempt))
+            attempt += 1
+        except DeviceDead as exc:
+            if not config.recover:
+                raise
+            newly_dead = transport.mark_dead(exc.device)
+            now = transport.clock()
+            if tracer is not None and newly_dead:
+                tracer.emit(
+                    TraceEvent(
+                        "device_dead", frame, stage_index, exc.device, now, now
+                    )
+                )
+            transport.repartition(stage_index)
+            if tracer is not None:
+                now = transport.clock()
+                tracer.emit(
+                    TraceEvent(
+                        "frame_replayed", frame, stage_index, exc.device,
+                        now, now,
+                    )
+                )
+            attempt = 0  # a fresh task set gets a fresh retry budget
+
+
+def _attempt_stage(
+    transport: Transport,
+    program: PlanProgram,
+    stage_index: int,
+    x: np.ndarray,
+    frame: int,
+    tracer: Optional[Tracer] = None,
+) -> np.ndarray:
+    """One split → compute → stitch attempt (the legacy hot path)."""
+    stage = transport.current_stage(stage_index)
     tasks = transport.stage_tasks(stage_index)
     tiles = split_stage(tasks, x)
     outs, st = transport.run_tasks(stage_index, tiles, frame)
@@ -164,8 +321,15 @@ class InProcTransport(Transport):
 
     name = "inproc"
 
-    def __init__(self, engine: Engine) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        faults: "Optional[FaultSchedule]" = None,
+    ) -> None:
         self.engine = engine
+        self.model = engine.model
+        self.faults = faults
+        self._injector = None
         self._epoch = time.perf_counter()
 
     def open(self, program: PlanProgram) -> None:
@@ -175,10 +339,18 @@ class InProcTransport(Transport):
                 f"{self.engine.model.name!r}"
             )
         super().open(program)
+        self._injector = self.faults.start() if self.faults else None
         self._epoch = time.perf_counter()
 
     def _now(self) -> float:
         return time.perf_counter() - self._epoch
+
+    def clock(self) -> float:
+        return self._now()
+
+    def penalty(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
 
     def run_tasks(
         self,
@@ -189,10 +361,26 @@ class InProcTransport(Transport):
         tasks = self.stage_tasks(stage_index)
         entry = self._now()
         spans: "List[Optional[Tuple[float, float]]]" = [None] * len(tasks)
+        injector = self._injector
 
         def run_task(i: int, task: TaskSpec, tile: np.ndarray) -> np.ndarray:
             t0 = self._now()
+            if injector is not None:
+                if injector.crashed(task.device_name, frame):
+                    raise DeviceDead(task.device_name)
+                if injector.take_link_failure(task.device_name, frame):
+                    raise TransientTaskError(
+                        task.device_name, "send failed (flaky link)"
+                    )
             out = run_segment(self.engine, task.program, tile)
+            if injector is not None:
+                delay = injector.compute_delay(task.device_name, frame)
+                if delay > 0:
+                    time.sleep(delay)
+                if injector.take_drop(task.device_name, frame):
+                    raise TransientTaskError(
+                        task.device_name, "result dropped"
+                    )
             spans[i] = (t0, self._now())
             return out
 
@@ -231,10 +419,14 @@ class SimTransport(Transport):
         engine: Engine,
         network,
         options=None,
+        faults: "Optional[FaultSchedule]" = None,
     ) -> None:
         self.engine = engine
+        self.model = engine.model
         self.network = network
         self.options = options
+        self.faults = faults
+        self._injector = None
         self.timing: Optional[PlanTiming] = None
         self._stage_free: "List[float]" = []
         self._exclusive_free = 0.0
@@ -249,6 +441,7 @@ class SimTransport(Transport):
                 f"{self.engine.model.name!r}"
             )
         super().open(program)
+        self._injector = self.faults.start() if self.faults else None
         self.timing = plan_timing(
             self.engine.model, program.plan, self.network, self.options
         )
@@ -262,6 +455,26 @@ class SimTransport(Transport):
     def now(self) -> float:
         """The virtual clock: completion time of the latest work."""
         return self._virtual_now
+
+    def clock(self) -> float:
+        return max(self._virtual_now, self._frame_ready)
+
+    def penalty(self, seconds: float) -> None:
+        """Backoff costs virtual time, never wall time."""
+        if seconds > 0:
+            self._frame_ready += seconds
+            self._virtual_now = max(self._virtual_now, self._frame_ready)
+
+    def rebind(self, program: PlanProgram) -> None:
+        """Adopt a re-planned program: rebuild the timing tables and
+        start the new pipeline's servers at the current virtual time."""
+        super().rebind(program)
+        self.timing = plan_timing(
+            self.engine.model, program.plan, self.network, self.options
+        )
+        floor = max(self._virtual_now, self._frame_ready)
+        self._stage_free = [floor] * program.n_stages
+        self._exclusive_free = floor
 
     def begin_frame(self, frame: int, at: Optional[float] = None) -> None:
         if at is None:
@@ -286,12 +499,33 @@ class SimTransport(Transport):
             start = max(entry, self._exclusive_free)
         else:
             start = max(entry, self._stage_free[stage_index])
-        outs = [
-            run_segment(self.engine, task.program, tile)
-            for task, tile in zip(tasks, tiles)
-        ]
+        injector = self._injector
+        outs = []
+        delays = []
+        for task, tile in zip(tasks, tiles):
+            if injector is not None:
+                if injector.crashed(task.device_name, frame):
+                    raise DeviceDead(task.device_name)
+                if injector.take_link_failure(task.device_name, frame):
+                    raise TransientTaskError(
+                        task.device_name, "send failed (flaky link)"
+                    )
+            outs.append(run_segment(self.engine, task.program, tile))
+            if injector is not None:
+                if injector.take_drop(task.device_name, frame):
+                    raise TransientTaskError(
+                        task.device_name, "result dropped"
+                    )
+                delays.append(
+                    injector.compute_delay(task.device_name, frame)
+                )
+            else:
+                delays.append(0.0)
+        # An injected compute delay stretches the straggler's span and
+        # therefore the whole stage's virtual service time.
+        stage_delay = max(delays) if delays else 0.0
         timings = []
-        for task in tasks:
+        for task, delay in zip(tasks, delays):
             dc = by_device.get(task.device_name)
             t_comm = dc.t_comm if dc is not None else 0.0
             t_comp = dc.t_comp if dc is not None else 0.0
@@ -299,11 +533,14 @@ class SimTransport(Transport):
             timings.append(
                 TaskTiming(
                     send=(start, send_end),
-                    compute=(send_end, send_end + t_comp),
-                    recv=(start + sc.total, start + sc.total),
+                    compute=(send_end, send_end + t_comp + delay),
+                    recv=(
+                        start + sc.total + stage_delay,
+                        start + sc.total + stage_delay,
+                    ),
                 )
             )
-        exit_ = start + sc.total
+        exit_ = start + sc.total + stage_delay
         if self._program.mode == "exclusive":
             self._exclusive_free = exit_
         else:
@@ -319,6 +556,15 @@ class PipelineSession:
     The one plan-walking loop: stages in order, each via
     :func:`execute_stage`.  Construct from a compiled program or let
     :meth:`from_plan` compile one.
+
+    With a :class:`~repro.runtime.faults.RuntimeConfig` the session is
+    fault-tolerant (see :func:`execute_stage`); with a ``replanner`` —
+    e.g. :func:`~repro.runtime.faults.churn_replanner` — it also reacts
+    to *churn*: at each frame boundary, once the dead devices' capacity
+    share exceeds ``config.replan_threshold``, the replanner supplies a
+    fresh program over the survivors (``replan`` event) or a
+    single-device fallback (``degraded`` event) and the transport is
+    rebound to it.
     """
 
     def __init__(
@@ -326,12 +572,19 @@ class PipelineSession:
         program: PlanProgram,
         transport: Transport,
         tracer: Optional[Tracer] = None,
+        config: "Optional[RuntimeConfig]" = None,
+        replanner=None,
     ) -> None:
         self.program = program
         self.transport = transport
         self.tracer = tracer
+        self.config = config
+        self.replanner = replanner
+        if config is not None:
+            transport.configure(config)
         transport.open(program)
         self._next_frame = 0
+        self._replanned_for: "frozenset" = frozenset()
 
     @classmethod
     def from_plan(
@@ -340,22 +593,79 @@ class PipelineSession:
         plan,
         transport: Transport,
         tracer: Optional[Tracer] = None,
+        config: "Optional[RuntimeConfig]" = None,
+        replanner=None,
     ) -> "PipelineSession":
-        return cls(compile_plan(model, plan), transport, tracer)
+        return cls(
+            compile_plan(model, plan), transport, tracer, config, replanner
+        )
+
+    def _can_replan(self) -> bool:
+        return (
+            self.config is not None
+            and self.config.recover
+            and self.replanner is not None
+        )
+
+    def _adopt_replan(self, frame: int) -> bool:
+        """Ask the replanner for a fresh program; True if one was adopted.
+
+        Only consults it when the dead-device set changed since the
+        last adoption — the guarantee that a failing plan is never
+        retried unchanged.
+        """
+        dead = self.transport.dead_devices()
+        if not dead or dead == self._replanned_for:
+            return False
+        result = self.replanner(dead)
+        self._replanned_for = dead
+        if result is None:
+            return False
+        program, kind = result
+        if self.tracer is not None:
+            now = self.transport.clock()
+            tag = ",".join(sorted(dead))
+            self.tracer.emit(TraceEvent(kind, frame, 0, tag, now, now))
+        self.transport.rebind(program)
+        self.program = program
+        return True
+
+    def _maybe_replan(self) -> None:
+        """Adopt a fresh plan when churn ate too much capacity."""
+        if not self._can_replan():
+            return
+        if self.transport.capacity_lost() <= self.config.replan_threshold:
+            return
+        self._adopt_replan(self._next_frame)
 
     def run_frame(
         self, x: np.ndarray, at: Optional[float] = None
     ) -> np.ndarray:
-        """Run one frame through every stage; returns the feature map."""
+        """Run one frame through every stage; returns the feature map.
+
+        A :class:`~repro.runtime.faults.StageFailure` (a stage lost
+        every device) escalates past the threshold check: the session
+        force-replans over whatever survives and replays the frame from
+        its input; without a replanner (or with nothing new dead) it
+        propagates.
+        """
+        self._maybe_replan()
         frame = self._next_frame
         self._next_frame += 1
-        self.transport.begin_frame(frame, at)
-        out = np.ascontiguousarray(x, dtype=np.float32)
-        for index in range(self.program.n_stages):
-            out = execute_stage(
-                self.transport, self.program, index, out, frame, self.tracer
-            )
-        return out
+        x0 = np.ascontiguousarray(x, dtype=np.float32)
+        while True:
+            self.transport.begin_frame(frame, at)
+            out = x0
+            try:
+                for index in range(self.program.n_stages):
+                    out = execute_stage(
+                        self.transport, self.program, index, out, frame,
+                        self.tracer, self.config,
+                    )
+                return out
+            except StageFailure:
+                if not self._can_replan() or not self._adopt_replan(frame):
+                    raise
 
     def run_batch(
         self,

@@ -1,0 +1,329 @@
+"""Fault model of the runtime core: detection, injection, recovery policy.
+
+IoT edge clusters treat device churn as the normal case — a Pi drops
+off WiFi mid-frame, a worker process dies, a link stalls.  This module
+defines the three pieces every backend shares:
+
+* :class:`RuntimeConfig` — the knobs of the fault-tolerance layer
+  (timeouts, bounded exponential-backoff retries, heartbeat cadence,
+  the re-plan threshold and the repartition policy), threaded through
+  :func:`~repro.runtime.core.execute_stage` and the executors.
+* :class:`FaultSchedule` — a deterministic fault-injection script
+  (crash-at-frame, compute delay, dropped result, flaky link) honored
+  by :class:`~repro.runtime.core.SimTransport` and
+  :class:`~repro.runtime.core.InProcTransport`, so every recovery path
+  is reproducible and testable without real hardware dying.
+* the failure exceptions — :class:`TransientTaskError` (retry with
+  backoff), :class:`DeviceDead` (repartition and replay the stage) and
+  :class:`StageFailure` (a stage lost every device).
+
+Recovery emits the extended trace kinds
+(:data:`~repro.runtime.trace.RECOVERY_KINDS`): ``device_dead`` when a
+device is first declared dead, ``retry`` per backoff attempt,
+``frame_replayed`` when a stage is replayed from its input boundary,
+and ``replan``/``degraded`` when the session adopts a fresh plan over
+the survivors (or falls back to a single device).
+
+The default repartition policy is ``"migrate"``: a dead device's
+*compiled* tasks move wholesale to survivors, keeping every tile's
+geometry — and therefore every GEMM reduction order — identical to the
+fault-free run, so recovered outputs are **bit-identical** (the
+``make fault-smoke`` gate).  ``"rebalance"`` re-splits the stage
+capacity-weighted over the survivors instead (better balanced, only
+float-close; what the TCP backend does, since its workers hold one
+tile program each).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "RuntimeConfig",
+    "DEFAULT_RUNTIME_CONFIG",
+    "FaultSchedule",
+    "FaultInjector",
+    "TransientTaskError",
+    "DeviceDead",
+    "StageFailure",
+    "churn_replanner",
+]
+
+
+class StageFailure(RuntimeError):
+    """A stage lost all of its workers."""
+
+
+class DeviceDead(RuntimeError):
+    """A device is gone for good; its stage must repartition and replay."""
+
+    def __init__(self, device: str, reason: str = "crashed") -> None:
+        super().__init__(f"device {device!r} {reason}")
+        self.device = device
+
+
+class TransientTaskError(RuntimeError):
+    """A task attempt failed but the device may recover — retry it."""
+
+    def __init__(self, device: str, reason: str = "transient failure") -> None:
+        super().__init__(f"device {device!r}: {reason}")
+        self.device = device
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Fault-tolerance knobs shared by every executor.
+
+    ``send_timeout_s``/``recv_timeout_s`` bound socket operations on
+    the TCP backend (``None`` = block forever, the legacy behaviour).
+    Transient task failures are retried up to ``max_retries`` times
+    with exponential backoff ``backoff_base_s * backoff_factor**n``.
+    The TCP coordinator probes worker liveness every
+    ``heartbeat_interval_s``.  When the dead devices' share of cluster
+    capacity *exceeds* ``replan_threshold`` the session asks its
+    replanner for a fresh plan over the survivors; below it, recovery
+    stays local to the affected stages (``repartition`` policy).
+    """
+
+    send_timeout_s: Optional[float] = None
+    recv_timeout_s: Optional[float] = None
+    max_retries: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    heartbeat_interval_s: float = 0.25
+    replan_threshold: float = 0.25
+    repartition: str = "migrate"  # "migrate" | "rebalance"
+    recover: bool = True
+    worker_idle_timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be positive")
+        if not 0.0 <= self.replan_threshold <= 1.0:
+            raise ValueError("replan_threshold must be in [0, 1]")
+        if self.repartition not in ("migrate", "rebalance"):
+            raise ValueError(
+                f"unknown repartition policy {self.repartition!r}"
+            )
+        for name in ("send_timeout_s", "recv_timeout_s",
+                     "worker_idle_timeout_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive or None")
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to back off before retry number ``attempt`` (0-based)."""
+        return self.backoff_base_s * self.backoff_factor ** attempt
+
+
+DEFAULT_RUNTIME_CONFIG = RuntimeConfig()
+
+
+@dataclass(frozen=True)
+class _Crash:
+    device: str
+    at_frame: int
+
+
+@dataclass(frozen=True)
+class _Delay:
+    device: str
+    frame: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class _Drop:
+    device: str
+    frame: int
+    times: int
+
+
+@dataclass(frozen=True)
+class _FlakyLink:
+    device: str
+    frame: int
+    failures: int
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, chainable fault-injection script.
+
+    Build one declaratively::
+
+        faults = (FaultSchedule()
+                  .crash("pi1", at_frame=2)
+                  .drop("pi0", frame=0)
+                  .flaky_link("pi2", frame=1)
+                  .delay("pi3", frame=0, seconds=0.2))
+
+    and hand it to a fault-aware transport (``InProcTransport(engine,
+    faults=faults)``, ``SimTransport(engine, net, faults=faults)``) or
+    to :func:`repro.simulate`.  The schedule itself is pure data;
+    :meth:`start` mints the mutable per-run :class:`FaultInjector`, so
+    one schedule can drive any number of runs deterministically.
+    """
+
+    crashes: Tuple[_Crash, ...] = ()
+    delays: Tuple[_Delay, ...] = ()
+    drops: Tuple[_Drop, ...] = ()
+    flaky_links: Tuple[_FlakyLink, ...] = ()
+
+    def crash(self, device: str, at_frame: int) -> "FaultSchedule":
+        """Kill ``device`` permanently from frame ``at_frame`` onward."""
+        if at_frame < 0:
+            raise ValueError("at_frame must be non-negative")
+        return replace(
+            self, crashes=self.crashes + (_Crash(device, at_frame),)
+        )
+
+    def delay(
+        self, device: str, frame: int, seconds: float
+    ) -> "FaultSchedule":
+        """Stall ``device``'s compute on ``frame`` by ``seconds``."""
+        if seconds < 0:
+            raise ValueError("delay must be non-negative")
+        return replace(
+            self, delays=self.delays + (_Delay(device, frame, seconds),)
+        )
+
+    def drop(
+        self, device: str, frame: int, times: int = 1
+    ) -> "FaultSchedule":
+        """Lose ``device``'s result for ``frame``, ``times`` times."""
+        if times < 1:
+            raise ValueError("times must be >= 1")
+        return replace(
+            self, drops=self.drops + (_Drop(device, frame, times),)
+        )
+
+    def flaky_link(
+        self, device: str, frame: int, failures: int = 1
+    ) -> "FaultSchedule":
+        """Fail the send to ``device`` on ``frame``, ``failures`` times."""
+        if failures < 1:
+            raise ValueError("failures must be >= 1")
+        return replace(
+            self,
+            flaky_links=self.flaky_links + (_FlakyLink(device, frame, failures),),
+        )
+
+    @property
+    def empty(self) -> bool:
+        return not (self.crashes or self.delays or self.drops
+                    or self.flaky_links)
+
+    def start(self) -> "FaultInjector":
+        """Mint the mutable per-run injector for this schedule."""
+        return FaultInjector(self)
+
+
+class FaultInjector:
+    """Per-run consumable state of a :class:`FaultSchedule`.
+
+    Decisions depend only on ``(device, frame)`` plus how many times a
+    consumable fault has already fired, so concurrent task threads (the
+    in-process backend) and a serial loop (the simulated backend) make
+    identical injection decisions — which keeps their canonical traces
+    equal even under faults.
+    """
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self.schedule = schedule
+        self._crash_at: "Dict[str, int]" = {}
+        for c in schedule.crashes:
+            prev = self._crash_at.get(c.device)
+            self._crash_at[c.device] = (
+                c.at_frame if prev is None else min(prev, c.at_frame)
+            )
+        self._delays = {
+            (d.device, d.frame): d.seconds for d in schedule.delays
+        }
+        self._drops = {(d.device, d.frame): d.times for d in schedule.drops}
+        self._flaky = {
+            (f.device, f.frame): f.failures for f in schedule.flaky_links
+        }
+        self._lock = threading.Lock()
+
+    def crashed(self, device: str, frame: int) -> bool:
+        at = self._crash_at.get(device)
+        return at is not None and frame >= at
+
+    def compute_delay(self, device: str, frame: int) -> float:
+        return self._delays.get((device, frame), 0.0)
+
+    def _take(self, table: "Dict[Tuple[str, int], int]",
+              device: str, frame: int) -> bool:
+        with self._lock:
+            remaining = table.get((device, frame), 0)
+            if remaining <= 0:
+                return False
+            table[(device, frame)] = remaining - 1
+            return True
+
+    def take_drop(self, device: str, frame: int) -> bool:
+        """Consume one dropped-result fault, if scheduled."""
+        return self._take(self._drops, device, frame)
+
+    def take_link_failure(self, device: str, frame: int) -> bool:
+        """Consume one flaky-link send failure, if scheduled."""
+        return self._take(self._flaky, device, frame)
+
+
+def churn_replanner(
+    model,
+    cluster,
+    network,
+    options=None,
+    scheme=None,
+    switcher=None,
+):
+    """A session replanner: fresh plan over the survivors, or degrade.
+
+    Returns a callable ``replan(dead) -> (PlanProgram, kind)`` for
+    :class:`~repro.runtime.core.PipelineSession`: it re-plans the model
+    over the surviving devices with ``scheme`` (or asks ``switcher`` —
+    an :class:`~repro.adaptive.switcher.AdaptiveSwitcher` — for a fresh
+    candidate set, APICO-style) and falls back to a single-device
+    :func:`~repro.schemes.local.local_fallback_plan` when planning over
+    the survivors is infeasible.  ``kind`` is ``"replan"`` or
+    ``"degraded"`` and becomes the emitted trace event.
+    """
+    if scheme is None and switcher is None:
+        raise ValueError("churn_replanner needs a scheme or a switcher")
+
+    def replan(dead):
+        from repro.cluster.device import Cluster
+        from repro.cost.flops import DEFAULT_OPTIONS
+        from repro.runtime.program import compile_plan
+        from repro.schemes.base import PlanningError
+        from repro.schemes.local import local_fallback_plan
+
+        opts = options or DEFAULT_OPTIONS
+        survivors = tuple(d for d in cluster if d.name not in dead)
+        if not survivors:
+            raise StageFailure("every device in the cluster is dead")
+        try:
+            if switcher is not None:
+                fresh = switcher.replan(
+                    model, Cluster(survivors), network, opts
+                )
+                plan = fresh.active.plan
+            else:
+                plan = scheme.plan(model, Cluster(survivors), network, opts)
+            return compile_plan(model, plan), "replan"
+        except PlanningError:
+            best = max(survivors, key=lambda d: d.capacity)
+            plan = local_fallback_plan(model, best)
+            return compile_plan(model, plan), "degraded"
+
+    return replan

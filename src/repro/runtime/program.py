@@ -35,6 +35,7 @@ __all__ = [
     "PlanProgram",
     "compile_plan",
     "compile_stage",
+    "repartition_stage",
     "split_stage",
     "stitch_stage",
     "task_weight_names",
@@ -157,6 +158,103 @@ def compile_plan(model: Model, plan: PipelinePlan) -> PlanProgram:
         for index, stage in enumerate(plan.stages)
     )
     return PlanProgram(model.name, plan.mode, model.n_units, stages, plan)
+
+
+def repartition_stage(
+    model: Optional[Model],
+    stage: StageProgram,
+    dead: "Sequence[str]",
+    policy: str = "migrate",
+) -> StageProgram:
+    """Rebuild a stage's task set after device deaths.
+
+    ``"migrate"`` (no ``model`` needed, zero recompilation) hands each
+    dead device's *compiled* task — same segment program, same output
+    region — to a survivor, strongest first.  Tile geometry is
+    untouched, so the repaired stage's stitched output is
+    **bit-identical** to the fault-free run; a survivor simply computes
+    extra tiles.
+
+    ``"rebalance"`` re-splits the stage capacity-weighted over the
+    survivors through :func:`compile_stage` (strip rows via
+    :func:`~repro.partition.strips.weighted_partition`, block paths via
+    LPT).  Better load balance, but the new tile shapes change GEMM
+    reduction order, so outputs are only float-close — it is the TCP
+    backend's policy, whose workers each hold a single tile program.
+
+    Raises :class:`~repro.runtime.faults.StageFailure` when no device
+    survives.
+    """
+    dead_set = set(dead)
+    survivors = tuple(t for t in stage.tasks if t.device_name not in dead_set)
+    lost = tuple(t for t in stage.tasks if t.device_name in dead_set)
+    if not survivors:
+        from repro.runtime.faults import StageFailure
+
+        raise StageFailure(
+            f"stage {stage.index}: every device is dead ({sorted(dead_set)})"
+        )
+    if policy == "migrate":
+        if not lost:
+            return stage
+        ranked = sorted(
+            survivors, key=lambda t: (-t.capacity, t.device_name)
+        )
+        tasks = list(survivors)
+        for i, task in enumerate(lost):
+            host = ranked[i % len(ranked)]
+            tasks.append(
+                TaskSpec(
+                    host.device_name,
+                    host.capacity,
+                    task.program,
+                    task.region,
+                    task.channel_blocks,
+                    task.paths,
+                )
+            )
+        return StageProgram(
+            stage.index, stage.start, stage.end, stage.out_shape, tuple(tasks)
+        )
+    if policy != "rebalance":
+        raise ValueError(f"unknown repartition policy {policy!r}")
+    if model is None:
+        raise ValueError("policy='rebalance' needs the model to recompile")
+    # One surviving device may carry several migrated tasks; rebalance
+    # collapses it back to one capacity share.
+    from repro.cluster.device import Device
+    from repro.core.plan import StagePlan
+
+    capacities: "dict" = {}
+    for t in survivors:
+        capacities.setdefault(t.device_name, t.capacity)
+    devices = tuple(Device(n, c) for n, c in capacities.items())
+    if stage.branch:
+        from repro.partition.branches import assign_paths_lpt, path_flops
+
+        weights = path_flops(model, stage.start)
+        groups = assign_paths_lpt(weights, [d.capacity for d in devices])
+        _, h, w = stage.out_shape
+        plan_stage = StagePlan(
+            stage.start,
+            stage.end,
+            tuple((d, Region.full(h, w)) for d in devices),
+            path_groups=tuple(tuple(sorted(g)) for g in groups),
+        )
+    else:
+        from repro.partition.strips import weighted_partition
+
+        _, h, w = stage.out_shape
+        rows = weighted_partition(h, [d.capacity for d in devices])
+        plan_stage = StagePlan(
+            stage.start,
+            stage.end,
+            tuple(
+                (d, Region.from_bounds(iv.start, iv.end, 0, w))
+                for d, iv in zip(devices, rows)
+            ),
+        )
+    return compile_stage(model, plan_stage, stage.index)
 
 
 def split_stage(

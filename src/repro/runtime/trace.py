@@ -34,8 +34,10 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 __all__ = [
     "EVENT_KINDS",
+    "RECOVERY_KINDS",
     "TraceEvent",
     "Tracer",
+    "coerce_tracer",
     "canonical_trace",
     "diff_traces",
     "device_busy",
@@ -47,6 +49,19 @@ __all__ = [
 
 #: The trace schema's event kinds, in per-task emission order.
 EVENT_KINDS = ("enqueue", "send", "compute", "recv")
+
+#: Recovery event kinds, emitted by the fault-tolerance layer only:
+#: ``device_dead`` the first time a device is declared dead, ``retry``
+#: per backoff attempt after a transient failure, ``frame_replayed``
+#: when a stage replays a frame from its input boundary after a
+#: repartition, and ``replan``/``degraded`` when the session adopts a
+#: fresh plan over the survivors (or a single-device fallback).
+#: Fault-free runs never emit these, so the four-kind canonical gate
+#: (``make trace-smoke``) is unchanged.
+RECOVERY_KINDS = ("device_dead", "retry", "frame_replayed", "replan",
+                  "degraded")
+
+_ALL_KINDS = EVENT_KINDS + RECOVERY_KINDS
 
 
 @dataclass(frozen=True)
@@ -62,7 +77,7 @@ class TraceEvent:
     nbytes: int = 0
 
     def __post_init__(self) -> None:
-        if self.kind not in EVENT_KINDS:
+        if self.kind not in _ALL_KINDS:
             raise ValueError(f"unknown trace event kind {self.kind!r}")
         if self.end < self.start:
             raise ValueError(
@@ -109,6 +124,26 @@ class Tracer:
     def __len__(self) -> int:
         with self._lock:
             return len(self._events)
+
+
+def coerce_tracer(trace) -> "Tracer | None":
+    """Normalise the ``trace=`` kwarg every executor accepts.
+
+    One contract everywhere (``DistributedPipeline``,
+    ``LocalPlanExecutor``, the simulators, :func:`repro.simulate`):
+    ``None``/``False`` disables tracing, ``True`` mints a fresh
+    :class:`Tracer`, and an existing :class:`Tracer` is used as-is (so
+    one sink can aggregate several runs).
+    """
+    if trace is None or trace is False:
+        return None
+    if trace is True:
+        return Tracer()
+    if isinstance(trace, Tracer):
+        return trace
+    raise TypeError(
+        f"trace must be a Tracer, bool or None, not {type(trace).__name__}"
+    )
 
 
 Canonical = Tuple[int, int, str, str, int]

@@ -222,6 +222,15 @@ class Channel:
         self._sock = sock
         self._closed = False
 
+    def settimeout(self, seconds: "float | None") -> None:
+        """Bound blocking sends/recvs (``None`` = block forever).
+
+        A timeout mid-frame desyncs the length-prefixed codec, so a
+        timed-out :meth:`recv` reports :class:`TransportClosed` — the
+        peer must be declared dead, not retried on the same socket.
+        """
+        self._sock.settimeout(seconds)
+
     def send(self, message: Any) -> None:
         if self._closed:
             raise TransportClosed("channel is closed")
@@ -230,7 +239,10 @@ class Channel:
     def recv(self) -> Any:
         if self._closed:
             raise TransportClosed("channel is closed")
-        return recv_message(self._sock)
+        try:
+            return recv_message(self._sock)
+        except socket.timeout:
+            raise TransportClosed("recv timed out") from None
 
     def close(self) -> None:
         if not self._closed:

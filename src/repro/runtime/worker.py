@@ -29,16 +29,26 @@ __all__ = ["worker_main"]
 
 
 def worker_main(
-    host: str, port: int, worker_id: int, fail_after: Optional[int] = None
+    host: str,
+    port: int,
+    worker_id: int,
+    fail_after: Optional[int] = None,
+    idle_timeout_s: Optional[float] = None,
 ) -> None:
     """Entry point for a worker process.
 
     ``fail_after`` makes the worker crash after N tasks — used by the
     failure-injection tests to exercise coordinator recovery.
+    ``idle_timeout_s`` bounds how long the worker waits for the next
+    message; hitting it exits cleanly (an orphaned worker whose
+    coordinator died stops consuming the host instead of blocking on
+    ``recv`` forever).
     """
     sock = socket.create_connection((host, port))
     sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
     channel = Channel(sock)
+    if idle_timeout_s is not None:
+        channel.settimeout(idle_timeout_s)
     try:
         channel.send(Hello(worker_id))
         setup = channel.recv()

@@ -3,7 +3,7 @@
 from repro.schemes.base import PlanningError, Scheme, weighted_assignments
 from repro.schemes.early_fused import EarlyFusedScheme, default_fuse_count
 from repro.schemes.layer_wise import LayerWiseScheme
-from repro.schemes.local import LocalPlanExecutor
+from repro.schemes.local import LocalPlanExecutor, local_fallback_plan
 from repro.schemes.optimal_fused import OptimalFusedScheme
 from repro.schemes.pico import PicoScheme
 
@@ -15,7 +15,10 @@ __all__ = [
     "PicoScheme",
     "PlanningError",
     "Scheme",
+    "available_schemes",
     "default_fuse_count",
+    "get_scheme",
+    "local_fallback_plan",
     "weighted_assignments",
 ]
 
@@ -26,3 +29,34 @@ ALL_SCHEMES = (
     OptimalFusedScheme,
     PicoScheme,
 )
+
+#: The blessed short names (the paper's Table I abbreviations).
+_REGISTRY = {
+    "pico": PicoScheme,
+    "lw": LayerWiseScheme,
+    "efl": EarlyFusedScheme,
+    "ofl": OptimalFusedScheme,
+}
+
+
+def available_schemes() -> "tuple":
+    """The registered scheme names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_scheme(name: str, **kwargs) -> Scheme:
+    """Instantiate a scheme by its short name (case-insensitive).
+
+    The registry behind the unified API (:func:`repro.simulate` and the
+    CLI): ``"pico"`` (pipelined cooperation), ``"lw"`` (layer-wise /
+    MoDNN), ``"efl"`` (early-fused / DeepThings) and ``"ofl"``
+    (optimal-fused / AOFL).  ``kwargs`` pass straight to the scheme's
+    constructor (e.g. ``get_scheme("efl", n_fused=4)``).
+    """
+    cls = _REGISTRY.get(name.strip().lower())
+    if cls is None:
+        raise PlanningError(
+            f"unknown scheme {name!r}; available: "
+            + ", ".join(available_schemes())
+        )
+    return cls(**kwargs)

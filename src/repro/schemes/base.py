@@ -29,11 +29,27 @@ class PlanningError(RuntimeError):
 
 
 def weighted_assignments(
-    model: Model, end_unit: int, devices: "Sequence[Device]"
+    model: Model,
+    end_unit: int,
+    devices: "Sequence[Device]",
+    allow_idle: bool = False,
 ) -> "Tuple[Tuple[Device, Region], ...]":
     """Capacity-weighted strip assignments over the output map of unit
-    ``end_unit - 1`` (the adaptive partition of MeDNN/AOFL baselines)."""
+    ``end_unit - 1`` (the adaptive partition of MeDNN/AOFL baselines).
+
+    With more devices than output rows the surplus devices get nothing:
+    by default that is a :class:`PlanningError` (a silent zip would
+    truncate the cluster); schemes that legitimately idle the surplus
+    (layer-wise, early-fused) pass ``allow_idle=True`` to receive
+    empty-region assignments for them instead.
+    """
     _, h, w = model.out_shape(end_unit - 1)
+    if len(devices) > h and not allow_idle:
+        raise PlanningError(
+            f"cannot split {h} output rows of unit {end_unit - 1} over "
+            f"{len(devices)} devices (pass allow_idle=True to idle the "
+            "surplus)"
+        )
     rows = weighted_partition(h, [d.capacity for d in devices])
     return tuple(
         (device, Region.from_bounds(iv.start, iv.end, 0, w))

@@ -74,7 +74,13 @@ class EarlyFusedScheme(Scheme):
                 f"n_fused={n_fused} exceeds the model's {model.n_units} units"
             )
         stages = [
-            StagePlan(0, n_fused, weighted_assignments(model, n_fused, cluster.devices))
+            StagePlan(
+                0,
+                n_fused,
+                weighted_assignments(
+                    model, n_fused, cluster.devices, allow_idle=True
+                ),
+            )
         ]
         if n_fused < model.n_units:
             _, h, w = model.final_shape

@@ -33,7 +33,13 @@ class LayerWiseScheme(Scheme):
         options: CostOptions = DEFAULT_OPTIONS,
     ) -> PipelinePlan:
         stages = tuple(
-            StagePlan(idx, idx + 1, weighted_assignments(model, idx + 1, cluster.devices))
+            StagePlan(
+                idx,
+                idx + 1,
+                weighted_assignments(
+                    model, idx + 1, cluster.devices, allow_idle=True
+                ),
+            )
             for idx in range(model.n_units)
         )
         return PipelinePlan(model.name, stages, mode="exclusive")

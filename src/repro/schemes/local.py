@@ -30,13 +30,32 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.plan import PipelinePlan
+from repro.cluster.device import Device
+from repro.core.plan import PipelinePlan, StagePlan
+from repro.models.graph import Model
 from repro.nn.executor import Engine
+from repro.partition.regions import Region
 from repro.runtime.core import InProcTransport, PipelineSession, execute_stage
 from repro.runtime.program import compile_plan
-from repro.runtime.trace import Tracer
+from repro.runtime.trace import coerce_tracer
 
-__all__ = ["LocalPlanExecutor"]
+__all__ = ["LocalPlanExecutor", "local_fallback_plan"]
+
+
+def local_fallback_plan(model: Model, device: Device) -> PipelinePlan:
+    """The degraded-mode plan: the whole model on one device.
+
+    The fault-tolerance layer's last resort — when re-planning over the
+    survivors is infeasible, serving continues on the single strongest
+    device as an exclusive one-stage plan (run it with
+    :class:`LocalPlanExecutor` or any transport).
+    """
+    _, h, w = model.final_shape
+    return PipelinePlan(
+        model.name,
+        (StagePlan(0, model.n_units, ((device, Region.full(h, w)),)),),
+        mode="exclusive",
+    )
 
 
 class LocalPlanExecutor:
@@ -52,11 +71,13 @@ class LocalPlanExecutor:
         one-stage exclusive baselines, and branch-parallel stages all
         work.
     trace:
-        Collect per-frame trace events (``.trace`` after running).
+        Collect per-frame trace events (``.trace`` after running); the
+        shared ``Tracer | bool | None`` contract of
+        :func:`~repro.runtime.trace.coerce_tracer`.
     """
 
     def __init__(
-        self, engine: Engine, plan: PipelinePlan, trace: bool = False
+        self, engine: Engine, plan: PipelinePlan, trace=False
     ) -> None:
         if plan.model_name != engine.model.name:
             raise ValueError(
@@ -66,7 +87,7 @@ class LocalPlanExecutor:
         self.engine = engine
         self.plan = plan
         self.program = compile_plan(engine.model, plan)
-        self._tracer = Tracer() if trace else None
+        self._tracer = coerce_tracer(trace)
         self._session = PipelineSession(
             self.program, InProcTransport(engine), self._tracer
         )

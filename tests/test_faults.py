@@ -1,0 +1,456 @@
+"""Fault tolerance: detection, retry/backoff, churn re-planning, and
+the unified public API.
+
+The recovery contract under test: with the default ``"migrate"``
+repartition policy, a crashed device's *compiled* tasks move verbatim
+to survivors, so tile geometry — and therefore every output float — is
+unchanged.  Only a full re-plan (threshold breach or a stage losing all
+its devices) changes geometry, and then outputs are float-close, not
+bit-equal.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cluster.device import Cluster, pi_cluster
+from repro.cluster.simulator import (
+    simulate_adaptive as real_simulate_adaptive,
+    simulate_plan as real_simulate_plan,
+)
+from repro.cost.comm import NetworkModel
+from repro.models.toy import toy_chain
+from repro.nn.executor import Engine
+from repro.nn.weights import init_weights
+from repro.runtime.core import InProcTransport, PipelineSession, SimTransport
+from repro.runtime.faults import (
+    FaultSchedule,
+    RuntimeConfig,
+    StageFailure,
+    churn_replanner,
+)
+from repro.runtime.program import compile_plan
+from repro.runtime.trace import (
+    RECOVERY_KINDS,
+    Tracer,
+    canonical_trace,
+    coerce_tracer,
+)
+from repro.schemes import available_schemes, get_scheme
+from repro.schemes.base import PlanningError, weighted_assignments
+from repro.schemes.local import local_fallback_plan
+from repro.schemes.pico import PicoScheme
+
+
+@pytest.fixture(scope="module")
+def net():
+    return NetworkModel.from_mbps(50.0)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return toy_chain(6, 1, input_hw=40, in_channels=3, base_channels=8)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return pi_cluster(4, 800.0)
+
+
+@pytest.fixture(scope="module")
+def plan(model, cluster, net):
+    return PicoScheme().plan(model, cluster, net)
+
+
+@pytest.fixture(scope="module")
+def program(model, plan):
+    return compile_plan(model, plan)
+
+
+@pytest.fixture(scope="module")
+def weights(model):
+    return init_weights(model, seed=0)
+
+
+@pytest.fixture(scope="module")
+def frames(model):
+    rng = np.random.default_rng(7)
+    return [
+        rng.standard_normal(model.input_shape).astype(np.float32)
+        for _ in range(3)
+    ]
+
+
+@pytest.fixture(scope="module")
+def baseline(model, program, weights, frames):
+    with PipelineSession(
+        program, InProcTransport(Engine(model, weights))
+    ) as session:
+        return session.run_batch(frames)
+
+
+def _run_faulty(model, program, weights, frames, faults, backend, net,
+                config=None, replanner=None):
+    engine = Engine(model, weights)
+    if backend == "inproc":
+        transport = InProcTransport(engine, faults=faults)
+    else:
+        transport = SimTransport(engine, net, faults=faults)
+    tracer = Tracer()
+    with PipelineSession(
+        program, transport, tracer,
+        config or RuntimeConfig(), replanner=replanner,
+    ) as session:
+        outputs = session.run_batch(frames)
+    return outputs, tracer.events
+
+
+def _recovery(events):
+    return [e.kind for e in events if e.kind in RECOVERY_KINDS]
+
+
+# ---------------------------------------------------------------------------
+# RuntimeConfig / FaultSchedule primitives
+# ---------------------------------------------------------------------------
+
+
+class TestRuntimeConfig:
+    def test_defaults_and_backoff(self):
+        cfg = RuntimeConfig()
+        assert cfg.max_retries >= 1
+        assert cfg.backoff(0) == pytest.approx(cfg.backoff_base_s)
+        assert cfg.backoff(2) == pytest.approx(
+            cfg.backoff_base_s * cfg.backoff_factor**2
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            RuntimeConfig(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RuntimeConfig(replan_threshold=1.5)
+        with pytest.raises(ValueError):
+            RuntimeConfig(repartition="teleport")
+
+
+class TestFaultSchedule:
+    def test_chainable_and_immutable(self):
+        base = FaultSchedule()
+        full = base.crash("pi0", at_frame=1).drop("pi1", frame=0)
+        assert base.empty and not full.empty
+        assert full.crashes[0].device == "pi0"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSchedule().crash("pi0", at_frame=-1)
+        with pytest.raises(ValueError):
+            FaultSchedule().delay("pi0", frame=0, seconds=-0.1)
+        with pytest.raises(ValueError):
+            FaultSchedule().drop("pi0", frame=0, times=0)
+        with pytest.raises(ValueError):
+            FaultSchedule().flaky_link("pi0", frame=0, failures=0)
+
+    def test_injector_consumes_drops(self):
+        inj = FaultSchedule().drop("pi0", frame=2).start()
+        assert not inj.take_drop("pi0", 1)
+        assert inj.take_drop("pi0", 2)
+        assert not inj.take_drop("pi0", 2)  # consumed
+        assert inj.crashed("pi0", 2) is False
+
+    def test_injector_crash_is_permanent(self):
+        inj = FaultSchedule().crash("pi1", at_frame=1).start()
+        assert not inj.crashed("pi1", 0)
+        assert inj.crashed("pi1", 1) and inj.crashed("pi1", 5)
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery: migrate policy is bit-exact on both backends
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["inproc", "sim"])
+def test_crash_recovery_bit_exact(model, program, weights, frames,
+                                  baseline, net, backend):
+    victim = program.stages[0].tasks[0].device_name
+    faults = FaultSchedule().crash(victim, at_frame=1)
+    outputs, events = _run_faulty(
+        model, program, weights, frames, faults, backend, net
+    )
+    assert len(outputs) == len(baseline)
+    for got, want in zip(outputs, baseline):
+        assert np.array_equal(got, want)
+    recovery = _recovery(events)
+    assert "device_dead" in recovery and "frame_replayed" in recovery
+    assert recovery.index("device_dead") < recovery.index("frame_replayed")
+
+
+def test_crash_canonical_traces_agree(model, program, weights, frames,
+                                      net):
+    victim = program.stages[0].tasks[0].device_name
+    faults = FaultSchedule().crash(victim, at_frame=1)
+    _, ev_a = _run_faulty(
+        model, program, weights, frames, faults, "inproc", net
+    )
+    _, ev_b = _run_faulty(
+        model, program, weights, frames, faults, "sim", net
+    )
+    assert canonical_trace(ev_a) == canonical_trace(ev_b)
+
+
+@pytest.mark.parametrize("backend", ["inproc", "sim"])
+def test_drop_and_flaky_retry(model, program, weights, frames, baseline,
+                              net, backend):
+    dev0 = program.stages[0].tasks[0].device_name
+    faults = (FaultSchedule()
+              .drop(dev0, frame=0)
+              .flaky_link(dev0, frame=2))
+    outputs, events = _run_faulty(
+        model, program, weights, frames, faults, backend, net
+    )
+    for got, want in zip(outputs, baseline):
+        assert np.array_equal(got, want)
+    retries = [(e.frame, e.device) for e in events if e.kind == "retry"]
+    assert (0, dev0) in retries and (2, dev0) in retries
+    # a retried fault never kills the device
+    assert "device_dead" not in _recovery(events)
+
+
+def test_delay_inflates_sim_clock_only(model, program, weights, frames,
+                                       baseline, net):
+    dev0 = program.stages[0].tasks[0].device_name
+    slow = FaultSchedule().delay(dev0, frame=1, seconds=0.5)
+    outputs, events = _run_faulty(
+        model, program, weights, frames, slow, "sim", net
+    )
+    _, clean_events = _run_faulty(
+        model, program, weights, frames, FaultSchedule(), "sim", net
+    )
+    for got, want in zip(outputs, baseline):
+        assert np.array_equal(got, want)
+    # virtual clock stretches, canonical (timestamp-free) trace doesn't
+    assert max(e.end for e in events) > max(e.end for e in clean_events)
+    assert canonical_trace(events) == canonical_trace(clean_events)
+
+
+def test_fault_free_run_emits_no_recovery_events(model, program, weights,
+                                                 frames, net):
+    _, events = _run_faulty(
+        model, program, weights, frames, FaultSchedule(), "inproc", net
+    )
+    assert _recovery(events) == []
+
+
+# ---------------------------------------------------------------------------
+# Escalation: stage wiped out -> forced replan / degrade / raise
+# ---------------------------------------------------------------------------
+
+
+def test_stage_wipeout_without_replanner_raises(model, program, weights,
+                                                frames, net):
+    stage0 = [t.device_name for t in program.stages[0].tasks]
+    faults = FaultSchedule()
+    for name in stage0:
+        faults = faults.crash(name, at_frame=0)
+    engine = Engine(model, weights)
+    with PipelineSession(
+        program, InProcTransport(engine, faults=faults),
+        Tracer(), RuntimeConfig(),
+    ) as session:
+        with pytest.raises(StageFailure):
+            session.run_batch(frames)
+
+
+def test_stage_wipeout_with_replanner_recovers(model, program, weights,
+                                               frames, baseline, cluster,
+                                               net):
+    stage0 = [t.device_name for t in program.stages[0].tasks]
+    faults = FaultSchedule()
+    for name in stage0:
+        faults = faults.crash(name, at_frame=1)
+    replanner = churn_replanner(
+        model, cluster, net, scheme=PicoScheme()
+    )
+    outputs, events = _run_faulty(
+        model, program, weights, frames, faults, "inproc", net,
+        replanner=replanner,
+    )
+    recovery = _recovery(events)
+    assert recovery.count("device_dead") == len(stage0)
+    assert "replan" in recovery or "degraded" in recovery
+    # re-planned geometry differs, so float-close rather than bit-equal
+    for got, want in zip(outputs, baseline):
+        assert np.allclose(got, want, atol=1e-4)
+
+
+def test_churn_replanner_needs_scheme_or_switcher(model, cluster, net):
+    with pytest.raises(ValueError):
+        churn_replanner(model, cluster, net)
+
+
+def test_local_fallback_plan_is_single_exclusive_stage(model, cluster):
+    fallback = local_fallback_plan(model, cluster.devices[0])
+    assert len(fallback.stages) == 1
+    stage = fallback.stages[0]
+    assert stage.start == 0 and stage.end == len(model.units)
+    assert len(stage.assignments) == 1
+
+
+# ---------------------------------------------------------------------------
+# Planner guard + switcher re-planning
+# ---------------------------------------------------------------------------
+
+
+def test_weighted_assignments_overfull_raises(net):
+    tiny = toy_chain(2, 0, input_hw=4, in_channels=3, base_channels=4)
+    crowd = pi_cluster(8, 800.0).devices
+    with pytest.raises(PlanningError):
+        weighted_assignments(tiny, 1, crowd)
+    idle_ok = weighted_assignments(tiny, 1, crowd, allow_idle=True)
+    assert len(idle_ok) == len(crowd)
+    assert any(region.empty for _, region in idle_ok)
+
+
+def test_switcher_replan_over_survivors(model, cluster, net):
+    from repro.adaptive.switcher import build_apico_switcher
+
+    switcher = build_apico_switcher(model, cluster, net)
+    survivors = Cluster(cluster.devices[1:])
+    fresh = switcher.replan(model, survivors, net)
+    for cand in fresh.candidates:
+        for stage in cand.plan.stages:
+            for device, _ in stage.assignments:
+                assert device.name != cluster.devices[0].name
+
+
+# ---------------------------------------------------------------------------
+# Unified public API: get_scheme, simulate, shims, coerce_tracer
+# ---------------------------------------------------------------------------
+
+
+class TestSchemeRegistry:
+    def test_known_names(self):
+        assert set(available_schemes()) == {"pico", "lw", "efl", "ofl"}
+        for name in available_schemes():
+            assert get_scheme(name) is not None
+
+    def test_case_insensitive(self):
+        assert type(get_scheme(" PICO ")) is type(get_scheme("pico"))
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(PlanningError, match="pico"):
+            get_scheme("nope")
+
+
+class TestSimulateDispatch:
+    ARRIVALS = (0.0, 0.05, 0.1)
+
+    def test_name_scheme_and_plan_agree(self, model, cluster, plan, net):
+        by_name = repro.simulate(
+            model, "pico", cluster, network=net, arrivals=self.ARRIVALS
+        )
+        by_scheme = repro.simulate(
+            model, PicoScheme(), cluster, network=net,
+            arrivals=self.ARRIVALS,
+        )
+        by_plan = repro.simulate(
+            model, plan, network=net, arrivals=self.ARRIVALS
+        )
+        assert by_name.makespan == pytest.approx(by_scheme.makespan)
+        assert by_name.makespan == pytest.approx(by_plan.makespan)
+        assert by_name.completed == len(self.ARRIVALS)
+
+    def test_requires_arrivals(self, model, cluster):
+        with pytest.raises(ValueError, match="arrivals"):
+            repro.simulate(model, "pico", cluster)
+
+    def test_scheme_needs_cluster(self, model):
+        with pytest.raises(ValueError):
+            repro.simulate(model, "pico", arrivals=self.ARRIVALS)
+
+    def test_bare_plan_rejects_crashes(self, model, plan, net):
+        faults = FaultSchedule().crash("pi0", at_frame=1)
+        with pytest.raises(ValueError):
+            repro.simulate(
+                model, plan, network=net, arrivals=self.ARRIVALS,
+                faults=faults,
+            )
+
+    def test_switcher_rejects_faults(self, model, cluster, net):
+        from repro.adaptive.switcher import build_apico_switcher
+
+        switcher = build_apico_switcher(model, cluster, net)
+        faults = FaultSchedule().crash("pi0", at_frame=1)
+        with pytest.raises(ValueError):
+            repro.simulate(
+                model, switcher, cluster, network=net,
+                arrivals=self.ARRIVALS, faults=faults,
+            )
+
+    def test_rejects_unknown_target(self, model, cluster):
+        with pytest.raises(TypeError):
+            repro.simulate(model, 42, cluster, arrivals=self.ARRIVALS)
+
+    def test_churn_emits_recovery_events(self, model, cluster, net):
+        faults = FaultSchedule().crash(
+            cluster.devices[0].name, at_frame=1
+        )
+        result = repro.simulate(
+            model, "pico", cluster, network=net,
+            arrivals=(0.0, 0.2, 0.4, 0.6), faults=faults, trace=True,
+        )
+        kinds = [e.kind for e in result.trace if e.kind in RECOVERY_KINDS]
+        assert "device_dead" in kinds
+        assert "replan" in kinds or "degraded" in kinds
+        assert result.completed == 4
+
+
+class TestDeprecationShims:
+    ARRIVALS = (0.0, 0.05, 0.1)
+
+    def test_simulate_plan_shim(self, model, plan, net):
+        with pytest.warns(DeprecationWarning):
+            shim = repro.simulate_plan(model, plan, net, self.ARRIVALS)
+        real = real_simulate_plan(model, plan, net, self.ARRIVALS)
+        assert shim.makespan == pytest.approx(real.makespan)
+
+    def test_simulate_adaptive_shim(self, model, cluster, net):
+        from repro.adaptive.switcher import build_apico_switcher
+
+        with pytest.warns(DeprecationWarning):
+            shim = repro.simulate_adaptive(
+                model, build_apico_switcher(model, cluster, net),
+                net, self.ARRIVALS,
+            )
+        real = real_simulate_adaptive(
+            model, build_apico_switcher(model, cluster, net),
+            net, self.ARRIVALS,
+        )
+        assert shim.makespan == pytest.approx(real.makespan)
+
+    def test_module_functions_do_not_warn(self, model, plan, net):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            real_simulate_plan(model, plan, net, self.ARRIVALS)
+
+
+class TestCoerceTracer:
+    def test_contract(self):
+        assert coerce_tracer(None) is None
+        assert coerce_tracer(False) is None
+        assert isinstance(coerce_tracer(True), Tracer)
+        tracer = Tracer()
+        assert coerce_tracer(tracer) is tracer
+        with pytest.raises(TypeError):
+            coerce_tracer("yes")
+
+
+def test_public_all_exports_fault_api():
+    for name in ("RuntimeConfig", "FaultSchedule", "simulate",
+                 "get_scheme", "available_schemes", "churn_replanner"):
+        assert name in repro.__all__
+        assert getattr(repro, name) is not None
