@@ -1,7 +1,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: install test bench bench-json trace-smoke fault-smoke report examples all
+.PHONY: install test test-fast test-slow bench bench-json bench-serve trace-smoke fault-smoke report examples all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -9,12 +9,22 @@ install:
 test:
 	python -m pytest -x -q tests/
 
+test-fast:
+	python -m pytest -x -q -m "not slow" tests/
+
+test-slow:
+	python -m pytest -x -q -m slow tests/
+
 bench:
 	python -m pytest benchmarks/ --benchmark-only -s
 
 bench-json:
 	python -m repro.bench.engine --out BENCH_engine.json
 	python -m repro.bench.planner --out BENCH_planner.json
+	python -m repro.bench.serve --out BENCH_serve.json
+
+bench-serve:
+	python -m repro.bench.serve --out BENCH_serve.json
 
 trace-smoke:
 	python -m repro.bench.trace_smoke --hw 64 --frames 2 --devices 4

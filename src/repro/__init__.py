@@ -69,6 +69,7 @@ from repro.schemes import (
     available_schemes,
     get_scheme,
 )
+from repro.serve import FrameRecord, PipelineServer, ServeResult, ServerConfig
 from repro.workload import poisson_arrivals, uniform_arrivals
 
 __version__ = "1.0.0"
@@ -82,17 +83,21 @@ __all__ = [
     "EarlyFusedScheme",
     "Engine",
     "FaultSchedule",
+    "FrameRecord",
     "InProcTransport",
     "LayerWiseScheme",
     "NetworkModel",
     "OptimalFusedScheme",
     "PicoScheme",
     "PipelinePlan",
+    "PipelineServer",
     "PipelineSession",
     "PlanCost",
     "PlanProgram",
     "RuntimeConfig",
     "Scheme",
+    "ServeResult",
+    "ServerConfig",
     "SimTransport",
     "StagePlan",
     "Tracer",
@@ -153,6 +158,7 @@ def simulate(
     trace=None,
     shared_medium=False,
     measured_services=None,
+    queue_capacity=None,
 ):
     """The one simulation entry point: plan, scheme, name or switcher.
 
@@ -170,7 +176,9 @@ def simulate(
     injects cluster churn (crash-at-frame); it needs a scheme (not a
     bare plan) so the survivors can be re-planned, and emits
     ``device_dead`` / ``replan`` / ``degraded`` events into ``trace``
-    (the shared ``Tracer | bool | None`` contract).  Returns a
+    (the shared ``Tracer | bool | None`` contract).  ``queue_capacity``
+    bounds the tasks concurrently in the system: overflow arrivals are
+    shed and reported in ``SimResult.shed``.  Returns a
     :class:`~repro.cluster.simulator.SimResult`.
 
     Subsumes the deprecated :func:`simulate_plan` /
@@ -190,7 +198,7 @@ def simulate(
             )
         return _simulate_adaptive(
             model, plan_or_scheme, network, arrivals, options,
-            shared_medium, trace=trace,
+            shared_medium, trace=trace, queue_capacity=queue_capacity,
         )
     scheme = None
     if isinstance(plan_or_scheme, str):
@@ -206,6 +214,7 @@ def simulate(
             plan_name=scheme.name, shared_medium=shared_medium,
             measured_services=measured_services,
             faults=faults, cluster=cluster, scheme=scheme, trace=trace,
+            queue_capacity=queue_capacity,
         )
     if isinstance(plan_or_scheme, PipelinePlan):
         if faults is not None and faults.crashes:
@@ -217,7 +226,7 @@ def simulate(
             model, plan_or_scheme, network, arrivals, options,
             shared_medium=shared_medium,
             measured_services=measured_services,
-            faults=faults, trace=trace,
+            faults=faults, trace=trace, queue_capacity=queue_capacity,
         )
     raise TypeError(
         "plan_or_scheme must be a PipelinePlan, Scheme, scheme name or "

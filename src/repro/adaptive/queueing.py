@@ -19,10 +19,14 @@ from __future__ import annotations
 
 import math
 
+from typing import Dict, Sequence
+
 __all__ = [
     "md1_waiting_time",
     "average_inference_latency",
+    "backlog_latency",
     "theorem2_literal",
+    "validate_md1",
     "stable",
 ]
 
@@ -52,6 +56,53 @@ def average_inference_latency(
         raise ValueError(f"latency {latency} cannot be below period {period}")
     wait = md1_waiting_time(period, arrival_rate)
     return wait + latency
+
+
+def backlog_latency(period: float, latency: float, queue_depth: int) -> float:
+    """Latency estimate from a *measured* backlog, not an arrival rate.
+
+    A frame arriving behind ``queue_depth`` in-flight frames waits for
+    the pipeline to emit that many completions — one per period in
+    steady state — and then runs for the pipeline latency.  This is the
+    transient counterpart of Theorem 2's steady-state estimate: the
+    rate estimator lags sudden load, the queue depth does not.
+    """
+    if period < 0 or latency < 0:
+        raise ValueError("period and latency must be non-negative")
+    if queue_depth < 0:
+        raise ValueError("queue depth must be non-negative")
+    return queue_depth * period + latency
+
+
+def validate_md1(
+    sojourns: "Sequence[float]",
+    period: float,
+    latency: float,
+    arrival_rate: float,
+) -> "Dict[str, float]":
+    """Compare measured sojourn times against the Theorem 2 estimate.
+
+    ``sojourns`` are arrival-to-completion latencies measured from a
+    served Poisson workload (e.g. :class:`~repro.serve.PipelineServer`
+    records).  Returns the measured mean, the M/D/1 prediction
+    ``W_q + t``, their relative error and the utilisation ``ρ = λp`` —
+    the numbers behind the paper's Theorem 2 validation.
+    """
+    if not sojourns:
+        raise ValueError("need at least one measured sojourn")
+    measured = sum(sojourns) / len(sojourns)
+    predicted = average_inference_latency(period, latency, arrival_rate)
+    if predicted in (0.0, math.inf):
+        rel_error = math.inf
+    else:
+        rel_error = abs(measured - predicted) / predicted
+    return {
+        "n": float(len(sojourns)),
+        "utilisation": period * arrival_rate,
+        "measured_mean": measured,
+        "predicted_mean": predicted,
+        "rel_error": rel_error,
+    }
 
 
 def theorem2_literal(period: float, latency: float, arrival_rate: float) -> float:

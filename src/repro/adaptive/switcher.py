@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from repro.adaptive.estimator import ArrivalRateTracker
-from repro.adaptive.queueing import average_inference_latency
+from repro.adaptive.queueing import average_inference_latency, backlog_latency
 from repro.cluster.device import Cluster
 from repro.core.plan import PipelinePlan, plan_cost
 from repro.cost.comm import NetworkModel
@@ -39,6 +39,10 @@ class CandidatePlan:
 
     def estimated_latency(self, arrival_rate: float) -> float:
         return average_inference_latency(self.period, self.latency, arrival_rate)
+
+    def backlog_latency(self, queue_depth: int) -> float:
+        """Latency seen behind ``queue_depth`` frames already in flight."""
+        return backlog_latency(self.period, self.latency, queue_depth)
 
 
 class AdaptiveSwitcher:
@@ -67,16 +71,29 @@ class AdaptiveSwitcher:
     def active(self) -> CandidatePlan:
         return self._active
 
-    def choose(self, arrival_rate: float) -> CandidatePlan:
+    def choose(self, arrival_rate: float, queue_depth: int = 0) -> CandidatePlan:
         """The best candidate at ``arrival_rate`` (no state change).
 
-        Ties — including the overload case where every estimate is
-        infinite — break towards the shorter period, i.e. the plan with
-        the most throughput headroom."""
+        When a measured ``queue_depth`` is supplied (e.g. from a serving
+        queue) each candidate is scored by the *worse* of the Theorem 2
+        steady-state estimate and the drain-time estimate for that
+        backlog — a sudden burst shows up in the queue long before the
+        EWMA rate catches up.  Ties — including the overload case where
+        every estimate is infinite — break towards the shorter period,
+        i.e. the plan with the most throughput headroom."""
         return min(
             self.candidates,
-            key=lambda c: (c.estimated_latency(arrival_rate), c.period),
+            key=lambda c: (self._score(c, arrival_rate, queue_depth), c.period),
         )
+
+    @staticmethod
+    def _score(
+        candidate: CandidatePlan, arrival_rate: float, queue_depth: int
+    ) -> float:
+        estimate = candidate.estimated_latency(arrival_rate)
+        if queue_depth > 0:
+            estimate = max(estimate, candidate.backlog_latency(queue_depth))
+        return estimate
 
     def plan_timings(
         self,
@@ -141,19 +158,25 @@ class AdaptiveSwitcher:
             candidates, self.tracker, self.hysteresis, schemes=self.schemes
         )
 
-    def on_arrival(self, now: float) -> CandidatePlan:
+    def on_arrival(
+        self, now: float, queue_depth: Optional[int] = None
+    ) -> CandidatePlan:
         """Record an arrival; switch the active plan if another candidate
         beats the current one by more than the hysteresis margin.
 
-        Overload is special-cased: when the active plan is saturated
-        (infinite estimate), any plan with more throughput headroom is
-        adopted immediately — hysteresis must never pin the cluster to
-        a plan that cannot keep up."""
+        ``queue_depth`` — the number of frames already admitted and not
+        yet completed, when the caller serves a real queue — folds the
+        measured backlog into every candidate's score (see
+        :meth:`choose`).  Overload is special-cased: when the active
+        plan is saturated (infinite estimate), any plan with more
+        throughput headroom is adopted immediately — hysteresis must
+        never pin the cluster to a plan that cannot keep up."""
         rate = self.tracker.observe(now)
-        best = self.choose(rate)
+        depth = queue_depth or 0
+        best = self.choose(rate, depth)
         if best.name != self._active.name:
-            current_est = self._active.estimated_latency(rate)
-            best_est = best.estimated_latency(rate)
+            current_est = self._score(self._active, rate, depth)
+            best_est = self._score(best, rate, depth)
             if current_est == float("inf"):
                 if best_est < current_est or best.period < self._active.period:
                     self._active = best

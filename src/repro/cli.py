@@ -9,6 +9,7 @@ Subcommands::
     python -m repro simulate vgg16 --load 1.2 --horizon 600
     python -m repro timeline vgg16 --devices 8
     python -m repro trace vgg16 --devices 4 --frames 2 --backend both
+    python -m repro serve vgg16 --hw 64 --load 0.7 --frames 200
 
 Frequencies are per-device MHz; ``--freqs`` takes a comma list for a
 heterogeneous cluster and overrides ``--devices/--freq``.
@@ -116,6 +117,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a crash: kill DEVICE from frame FRAME on "
              "(repeatable); recovery events land in the printed trace",
     )
+
+    p = sub.add_parser(
+        "serve", help="serve a frame stream through the pipelined runtime"
+    )
+    p.add_argument("model")
+    _add_cluster_args(p)
+    p.add_argument("--scheme", type=str, default="pico",
+                   help="scheme name from the registry (pico, lw, efl, ofl)")
+    p.add_argument("--hw", type=int, default=0,
+                   help="override input resolution (0 = model default)")
+    p.add_argument(
+        "--backend", choices=["sim", "inproc"], default="sim",
+        help="sim = virtual clock (default), inproc = real threaded run",
+    )
+    p.add_argument("--rate", type=float, default=0.0,
+                   help="Poisson arrival rate in frames/s (0 = use --load)")
+    p.add_argument("--load", type=float, default=0.7,
+                   help="arrival rate as a fraction of the plan's 1/period")
+    p.add_argument("--horizon", type=float, default=0.0,
+                   help="generate Poisson arrivals over this many seconds "
+                        "(0 = exactly --frames arrivals)")
+    p.add_argument("--frames", type=int, default=64, help="frame count")
+    p.add_argument("--capacity", type=int, default=8,
+                   help="admission queue bound (frames in system)")
+    p.add_argument("--policy", choices=["shed", "block"], default="shed",
+                   help="full-queue behaviour: shed or backpressure")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--adaptive", action="store_true",
+                   help="APICO switching fed by the measured queue depth "
+                        "(sim backend only)")
+    p.add_argument("--no-compute", action="store_true",
+                   help="sim backend: skip kernels, timing only")
 
     p = sub.add_parser(
         "experiment", help="run a paper experiment harness (fast config)"
@@ -359,6 +392,99 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.adaptive.queueing import stable, validate_md1
+    from repro.nn.executor import Engine
+    from repro.runtime.core import InProcTransport, SimTransport
+    from repro.schemes import get_scheme
+    from repro.serve import PipelineServer, ServerConfig
+    from repro.workload.arrivals import poisson_arrivals, poisson_arrivals_count
+
+    model = (
+        get_model(args.model, input_hw=args.hw) if args.hw
+        else get_model(args.model)
+    )
+    cluster = _cluster_from_args(args)
+    network = NetworkModel.from_mbps(args.mbps)
+    plan = get_scheme(args.scheme).plan(model, cluster, network)
+    cost = plan_cost(model, plan, network)
+    rate = args.rate if args.rate > 0 else args.load / cost.period
+    rng = np.random.default_rng(args.seed)
+    if args.horizon > 0:
+        arrivals = poisson_arrivals(rate, args.horizon, rng)
+    else:
+        arrivals = poisson_arrivals_count(rate, args.frames, rng)
+    if not arrivals:
+        print("no arrivals in the horizon; nothing to serve")
+        return 0
+
+    engine = Engine(model, seed=args.seed)
+    switcher = None
+    if args.backend == "sim":
+        transport = SimTransport(
+            engine, network, compute=not args.no_compute
+        )
+        if args.adaptive:
+            switcher = build_apico_switcher(model, cluster, network)
+    else:
+        if args.adaptive:
+            raise SystemExit("--adaptive needs --backend sim")
+        if args.no_compute:
+            raise SystemExit("--no-compute needs --backend sim")
+        transport = InProcTransport(engine)
+    config = ServerConfig(queue_capacity=args.capacity, policy=args.policy)
+    server = PipelineServer.from_plan(
+        model, plan, transport, config=config, switcher=switcher
+    )
+    try:
+        result = server.serve(len(arrivals), arrivals=arrivals)
+    finally:
+        server.close()
+
+    print(
+        f"{args.scheme} plan: {plan.n_stages} stage(s), "
+        f"period {cost.period:.4f}s, latency {cost.latency:.4f}s"
+    )
+    print(
+        f"offered: {len(arrivals)} frames at {rate:.2f}/s "
+        f"(utilisation {rate * cost.period:.2f}), "
+        f"capacity {args.capacity}, policy {args.policy}"
+    )
+    print(
+        f"served: {len(result.completed)} done, {len(result.shed)} shed, "
+        f"{len(result.failed)} failed over {result.makespan:.2f}s"
+    )
+    print(
+        f"throughput: {result.throughput:.2f}/s overall, "
+        f"{result.steady_throughput(warmup=plan.n_stages):.2f}/s steady "
+        f"(1/period = {1.0 / cost.period:.2f}/s)"
+    )
+    if result.sojourns:
+        print(
+            "sojourn: "
+            f"mean {result.mean_sojourn:.4f}s, "
+            f"p50 {result.percentile_sojourn(50):.4f}s, "
+            f"p95 {result.percentile_sojourn(95):.4f}s, "
+            f"p99 {result.percentile_sojourn(99):.4f}s"
+        )
+    if switcher is not None:
+        usage = ", ".join(
+            f"{k}:{v}" for k, v in sorted(result.plan_usage.items())
+        )
+        print(f"plan usage: {usage}")
+    elif result.sojourns and stable(cost.period, rate) and not result.shed:
+        check = validate_md1(
+            result.sojourns, cost.period, cost.latency, rate
+        )
+        print(
+            "Theorem 2 (M/D/1): "
+            f"predicted {check['predicted_mean']:.4f}s, "
+            f"measured {check['measured_mean']:.4f}s "
+            f"({check['rel_error']:.1%} off)"
+        )
+    return 0
+
+
 def _cmd_timeline(args: argparse.Namespace) -> int:
     model = get_model(args.model)
     cluster = _cluster_from_args(args)
@@ -384,6 +510,8 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
         return _cmd_timeline(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "report":

@@ -68,10 +68,16 @@ class SimResult:
     plan_usage: Dict[str, int] = field(default_factory=dict)
     #: Collected trace events (empty unless the run passed ``trace=``).
     trace: Tuple[TraceEvent, ...] = ()
+    #: Task ids refused admission (only when ``queue_capacity`` was set).
+    shed: Tuple[int, ...] = ()
 
     @property
     def completed(self) -> int:
         return len(self.tasks)
+
+    @property
+    def submitted(self) -> int:
+        return len(self.tasks) + len(self.shed)
 
     @property
     def avg_latency(self) -> float:
@@ -129,6 +135,7 @@ class SimResult:
             device_busy={k: v * fraction for k, v in self.device_busy.items()},
             plan_usage=dict(self.plan_usage),
             trace=self.trace,
+            shed=self.shed,
         )
 
 
@@ -144,9 +151,10 @@ class _InFlight:
 def _run_event_loop(
     arrivals: "Sequence[float]",
     initial_timing: PlanTiming,
-    pick_timing,  # (now) -> desired PlanTiming
+    pick_timing,  # (now, in_system) -> desired PlanTiming
     shared_medium: bool = False,
     tracer: Optional[Tracer] = None,
+    queue_capacity: Optional[int] = None,
 ) -> SimResult:
     """Shared event loop for plain and adaptive simulations.
 
@@ -155,6 +163,12 @@ def _run_event_loop(
     stage's queue), the backlog migrates to the newly desired plan.
     Tasks already inside the pipeline always finish under the plan that
     started them.
+
+    ``queue_capacity`` bounds the number of tasks in the system
+    (queued *or* in service, the M/D/1/K convention): an arrival that
+    finds ``queue_capacity`` tasks in flight is shed — recorded in
+    ``SimResult.shed`` and emitted as a ``shed`` trace event — instead
+    of joining the first stage's queue.
 
     With ``shared_medium=True`` the WLAN becomes an explicit resource:
     a stage's communication phase must hold the single network token
@@ -176,6 +190,8 @@ def _run_event_loop(
     device_busy: "Dict[str, float]" = {}
     plan_usage: "Dict[str, int]" = {}
     records: "List[TaskRecord]" = []
+    shed: "List[int]" = []
+    in_system = 0
     makespan = 0.0
 
     def maybe_swap() -> None:
@@ -249,16 +265,23 @@ def _run_event_loop(
 
     while heap:
         now, _, kind, payload = heapq.heappop(heap)
-        makespan = max(makespan, now)
         if kind == "arrival":
             task_id = payload
-            desired = pick_timing(now)
+            desired = pick_timing(now, in_system)
             maybe_swap()
+            if queue_capacity is not None and in_system >= queue_capacity:
+                shed.append(task_id)
+                if tracer is not None:
+                    tracer.emit(TraceEvent("shed", task_id, 0, "", now, now))
+                continue
+            in_system += 1
+            makespan = max(makespan, now)
             task = _InFlight(task_id, now, -1.0, current, entry=now)
             queues[0].append(task)
             try_start(0, now)
         elif kind == "net_done":
             stage_idx, task = payload  # type: ignore[misc]
+            makespan = max(makespan, now)
             net_busy = False
             heapq.heappush(
                 heap,
@@ -272,8 +295,10 @@ def _run_event_loop(
             try_net(now)
         else:
             stage_idx, task = payload  # type: ignore[misc]
+            makespan = max(makespan, now)
             busy[stage_idx] = False
             if stage_idx == task.timing.n_stages - 1:
+                in_system -= 1
                 plan_usage[task.timing.name] = (
                     plan_usage.get(task.timing.name, 0) + 1
                 )
@@ -296,7 +321,9 @@ def _run_event_loop(
 
     records.sort(key=lambda r: r.task_id)
     trace = tracer.events if tracer is not None else ()
-    return SimResult(records, makespan, device_busy, plan_usage, trace)
+    return SimResult(
+        records, makespan, device_busy, plan_usage, trace, tuple(shed)
+    )
 
 
 def simulate_plan(
@@ -312,6 +339,7 @@ def simulate_plan(
     cluster=None,
     scheme=None,
     trace=None,
+    queue_capacity: Optional[int] = None,
 ) -> SimResult:
     """Replay ``arrivals`` through a fixed plan.
 
@@ -335,6 +363,11 @@ def simulate_plan(
 
     ``trace`` is the shared ``Tracer | bool | None`` contract; events
     land in ``SimResult.trace``.
+
+    ``queue_capacity`` enables admission control: arrivals that find
+    that many tasks already in the system are shed (see
+    ``SimResult.shed``) rather than queued — the event-level mirror of
+    :class:`~repro.serve.PipelineServer`'s bounded queue.
     """
     tracer = coerce_tracer(trace)
     timing = plan_timing(
@@ -345,8 +378,9 @@ def simulate_plan(
     crashes = tuple(faults.crashes) if faults is not None else ()
     if not crashes:
         return _run_event_loop(
-            arrivals, timing, lambda now: timing,
+            arrivals, timing, lambda now, depth: timing,
             shared_medium=shared_medium, tracer=tracer,
+            queue_capacity=queue_capacity,
         )
     if cluster is None or scheme is None:
         raise ValueError(
@@ -359,7 +393,7 @@ def simulate_plan(
         crash_at[c.device] = c.at_frame if prev is None else min(prev, c.at_frame)
     state = {"count": 0, "dead": set(), "timing": timing}
 
-    def pick(now: float) -> PlanTiming:
+    def pick(now: float, depth: int) -> PlanTiming:
         from repro.cluster.device import Cluster
         from repro.runtime.faults import StageFailure
         from repro.schemes.base import PlanningError
@@ -399,7 +433,8 @@ def simulate_plan(
         return state["timing"]
 
     return _run_event_loop(
-        arrivals, timing, pick, shared_medium=shared_medium, tracer=tracer
+        arrivals, timing, pick, shared_medium=shared_medium, tracer=tracer,
+        queue_capacity=queue_capacity,
     )
 
 
@@ -411,16 +446,24 @@ def simulate_adaptive(
     options: CostOptions = DEFAULT_OPTIONS,
     shared_medium: bool = False,
     trace=None,
+    queue_capacity: Optional[int] = None,
 ) -> SimResult:
-    """Replay ``arrivals`` with APICO switching (drain-before-switch)."""
+    """Replay ``arrivals`` with APICO switching (drain-before-switch).
+
+    The switcher sees the live queue depth alongside each arrival, so
+    its scoring reacts to measured backlog as well as the smoothed
+    arrival rate; ``queue_capacity`` additionally sheds arrivals that
+    find a full system (see :func:`simulate_plan`).
+    """
     tracer = coerce_tracer(trace)
     timings = switcher.plan_timings(model, network, options)
     initial = timings[switcher.active.name]
 
-    def pick(now: float) -> PlanTiming:
-        active = switcher.on_arrival(now)
+    def pick(now: float, depth: int) -> PlanTiming:
+        active = switcher.on_arrival(now, queue_depth=depth)
         return timings[active.name]
 
     return _run_event_loop(
-        arrivals, initial, pick, shared_medium=shared_medium, tracer=tracer
+        arrivals, initial, pick, shared_medium=shared_medium, tracer=tracer,
+        queue_capacity=queue_capacity,
     )

@@ -23,6 +23,7 @@ timelines stand in for live ones.
 
 from __future__ import annotations
 
+import threading
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
@@ -99,6 +100,11 @@ class Transport(ABC):
     """
 
     name: str = "?"
+    #: Whether this backend's :meth:`clock` is wall time.  Wall-clock
+    #: transports support genuinely concurrent stage execution (the
+    #: threaded serving path); virtual-clock backends are driven
+    #: serially and stamp pipelined timestamps analytically.
+    wall_clock: bool = True
     #: The model, when the backend can recompile tiles (rebalance).
     model = None
     _config: "Optional[RuntimeConfig]" = None
@@ -107,6 +113,7 @@ class Transport(ABC):
         self._program = program
         self._overrides: "dict" = {}
         self._dead: "set" = set()
+        self._dead_lock = threading.Lock()
 
     def close(self) -> None:  # pragma: no cover - default no-op
         pass
@@ -156,11 +163,16 @@ class Transport(ABC):
         return frozenset(getattr(self, "_dead", ()))
 
     def mark_dead(self, device: str) -> bool:
-        """Declare a device dead; True the first time it is declared."""
-        if device in self._dead:
-            return False
-        self._dead.add(device)
-        return True
+        """Declare a device dead; True the first time it is declared.
+
+        Locked: with frames in flight, concurrent stage threads can
+        discover the same death and must not both report it.
+        """
+        with self._dead_lock:
+            if device in self._dead:
+                return False
+            self._dead.add(device)
+            return True
 
     def needs_repartition(self, stage_index: int) -> bool:
         """Does the stage's current task set reference a dead device?"""
@@ -398,6 +410,22 @@ class InProcTransport(Transport):
         return outs, StageTrace(entry, entry, exit_, timings)
 
 
+def _zero_tile(task: TaskSpec, stage: StageProgram) -> np.ndarray:
+    """A correctly shaped all-zeros output tile (``compute=False`` path).
+
+    Strip tasks produce ``(C_out, region_h, region_w)``; branch tasks
+    span the full map spatially and need enough channels to satisfy
+    their copy list.
+    """
+    h = task.program.out_region.height
+    w = task.program.out_region.width
+    if task.channel_blocks is not None:
+        channels = max(t_hi for (_, t_hi, _, _) in task.channel_blocks)
+    else:
+        channels = stage.out_shape[0]
+    return np.zeros((channels, h, w), dtype=np.float32)
+
+
 class SimTransport(Transport):
     """Tasks inline with a virtual clock — real tensors, analytic time.
 
@@ -410,9 +438,17 @@ class SimTransport(Transport):
     deterministic-service recurrence, so a trace from here is the
     frame-level expansion of a :func:`simulate_plan` run.  Exclusive
     plans serialise every stage through one server token.
+
+    ``compute=False`` turns the transport into a pure virtual-clock
+    server: kernels are skipped and every output tile is zeros of the
+    correct shape.  Timestamps, traces and queueing are unchanged (the
+    clock is analytic either way), which makes long serving benchmarks
+    cheap; anything that checks tensor values must keep the default
+    ``compute=True``.
     """
 
     name = "sim"
+    wall_clock = False
 
     def __init__(
         self,
@@ -420,12 +456,14 @@ class SimTransport(Transport):
         network,
         options=None,
         faults: "Optional[FaultSchedule]" = None,
+        compute: bool = True,
     ) -> None:
         self.engine = engine
         self.model = engine.model
         self.network = network
         self.options = options
         self.faults = faults
+        self.compute = compute
         self._injector = None
         self.timing: Optional[PlanTiming] = None
         self._stage_free: "List[float]" = []
@@ -455,6 +493,12 @@ class SimTransport(Transport):
     def now(self) -> float:
         """The virtual clock: completion time of the latest work."""
         return self._virtual_now
+
+    @property
+    def frame_completion(self) -> float:
+        """Virtual completion time of the most recently finished work —
+        after a frame's last stage this is that frame's exit time."""
+        return self._frame_ready
 
     def clock(self) -> float:
         return max(self._virtual_now, self._frame_ready)
@@ -499,6 +543,7 @@ class SimTransport(Transport):
             start = max(entry, self._exclusive_free)
         else:
             start = max(entry, self._stage_free[stage_index])
+        stage = self.current_stage(stage_index)
         injector = self._injector
         outs = []
         delays = []
@@ -510,7 +555,10 @@ class SimTransport(Transport):
                     raise TransientTaskError(
                         task.device_name, "send failed (flaky link)"
                     )
-            outs.append(run_segment(self.engine, task.program, tile))
+            if self.compute:
+                outs.append(run_segment(self.engine, task.program, tile))
+            else:
+                outs.append(_zero_tile(task, stage))
             if injector is not None:
                 if injector.take_drop(task.device_name, frame):
                     raise TransientTaskError(

@@ -35,6 +35,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 __all__ = [
     "EVENT_KINDS",
     "RECOVERY_KINDS",
+    "ADMISSION_KINDS",
     "TraceEvent",
     "Tracer",
     "coerce_tracer",
@@ -61,7 +62,13 @@ EVENT_KINDS = ("enqueue", "send", "compute", "recv")
 RECOVERY_KINDS = ("device_dead", "retry", "frame_replayed", "replan",
                   "degraded")
 
-_ALL_KINDS = EVENT_KINDS + RECOVERY_KINDS
+#: Admission-control event kinds, emitted by the serving layer and the
+#: bounded-queue simulator: ``shed`` when an arrival is rejected because
+#: the queue is full.  Shed frames never enter a stage, so the four-kind
+#: canonical gate on executed frames is unchanged.
+ADMISSION_KINDS = ("shed",)
+
+_ALL_KINDS = EVENT_KINDS + RECOVERY_KINDS + ADMISSION_KINDS
 
 
 @dataclass(frozen=True)

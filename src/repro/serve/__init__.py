@@ -1,0 +1,15 @@
+"""Multi-frame pipelined serving: admission control over the runtime core."""
+
+from repro.serve.server import (
+    FrameRecord,
+    PipelineServer,
+    ServeResult,
+    ServerConfig,
+)
+
+__all__ = [
+    "FrameRecord",
+    "PipelineServer",
+    "ServeResult",
+    "ServerConfig",
+]

@@ -1,0 +1,570 @@
+"""Pipelined frame serving with admission control and backpressure.
+
+:class:`PipelineServer` is the serving layer on top of the runtime
+core: it admits frames from an arrival process into a bounded queue and
+keeps multiple frames in flight across the pipeline stages — one frame
+per stage slot — so steady-state throughput approaches ``1/period``
+instead of the frame-at-a-time ``1/latency``.  A full queue triggers
+*backpressure* (``policy="block"``: admission waits for a slot) or
+*load shedding* (``policy="shed"``: the frame is rejected and reported).
+
+Two execution strategies, selected by the transport's clock:
+
+* **wall-clock transports** (:class:`~repro.runtime.core.InProcTransport`,
+  the TCP backend) get one worker thread per stage with single-slot
+  hand-off queues between stages — the frames genuinely overlap, like
+  the TCP coordinator's stage runners, but over any transport.
+* **virtual-clock transports** (:class:`~repro.runtime.core.SimTransport`)
+  are driven serially in arrival order; the transport's per-stage
+  ``stage_free`` recurrence ``C(n, s) = max(C(n, s-1), C(n-1, s)) + d_s``
+  stamps exactly the timestamps an interleaved execution would produce,
+  and admission decisions replay the same bounded queue analytically —
+  frame ``i``'s fate depends only on earlier frames, which FIFO service
+  has already fixed.
+
+Both paths run the shared :func:`~repro.runtime.core.execute_stage`
+split/compute/stitch, so served outputs stay bit-identical to
+frame-at-a-time runs, and the PR-4 fault ladder (retry → repartition →
+replan → degrade) applies per stage with frames in flight.  Every
+admitted frame ends in exactly one of three states — ``done``, ``shed``
+or ``failed`` — and is accounted for in the :class:`ServeResult`; no
+frame is silently lost.
+
+With an :class:`~repro.adaptive.switcher.AdaptiveSwitcher` the virtual
+server also feeds the *measured* queue depth into the switcher at every
+arrival and adopts the newly active candidate at drain boundaries
+(pipeline empty), the serving-layer counterpart of the event
+simulator's drain-before-switch.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.runtime.core import PipelineSession, Transport, execute_stage
+from repro.runtime.faults import RuntimeConfig, StageFailure
+from repro.runtime.program import PlanProgram, compile_plan
+from repro.runtime.trace import TraceEvent, Tracer, coerce_tracer
+
+__all__ = ["ServerConfig", "FrameRecord", "ServeResult", "PipelineServer"]
+
+_SENTINEL = object()
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Admission-control knobs of a :class:`PipelineServer`.
+
+    ``queue_capacity`` bounds the frames concurrently *in the system*
+    (waiting plus in service — the M/D/1/K convention), so it should
+    exceed the plan's stage count for pipelining to reach full depth.
+    ``policy`` picks what happens at the bound: ``"shed"`` rejects the
+    arrival (recorded, never executed), ``"block"`` delays admission
+    until a slot frees (closed-loop backpressure).  ``max_in_flight``
+    further caps concurrently *served* frames on the virtual path
+    (``1`` reproduces the frame-at-a-time baseline); the threaded path
+    is structurally capped at one frame per stage slot.
+    """
+
+    queue_capacity: int = 8
+    policy: str = "shed"  # "shed" | "block"
+    max_in_flight: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.policy not in ("shed", "block"):
+            raise ValueError(f"unknown admission policy {self.policy!r}")
+        if self.max_in_flight is not None and self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1 or None")
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """One submitted frame's fate.
+
+    ``frame`` is the submission index; ``status`` is ``"done"``
+    (completed, output available), ``"shed"`` (rejected at admission) or
+    ``"failed"`` (admitted but unrecoverable — only possible when a
+    stage lost every device and no replanner could repair it).
+    ``admitted_at`` is when the frame entered the pipeline queue
+    (> ``arrival`` only under ``policy="block"`` backpressure).
+    """
+
+    frame: int
+    arrival: float
+    status: str
+    admitted_at: float = -1.0
+    completion: float = -1.0
+    plan: str = ""
+    replayed: bool = False
+
+    @property
+    def admitted(self) -> bool:
+        return self.status != "shed"
+
+    @property
+    def sojourn(self) -> float:
+        """Arrival-to-completion latency (queueing + service)."""
+        if self.status != "done":
+            raise ValueError(f"frame {self.frame} is {self.status!r}")
+        return self.completion - self.arrival
+
+
+@dataclass
+class ServeResult:
+    """Aggregate output of one :meth:`PipelineServer.serve` run."""
+
+    records: List[FrameRecord]
+    outputs: Dict[int, np.ndarray]
+    makespan: float
+    trace: Tuple[TraceEvent, ...] = ()
+    plan_usage: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def submitted(self) -> int:
+        return len(self.records)
+
+    @property
+    def completed(self) -> "List[FrameRecord]":
+        return [r for r in self.records if r.status == "done"]
+
+    @property
+    def shed(self) -> "List[FrameRecord]":
+        return [r for r in self.records if r.status == "shed"]
+
+    @property
+    def failed(self) -> "List[FrameRecord]":
+        return [r for r in self.records if r.status == "failed"]
+
+    @property
+    def sojourns(self) -> "List[float]":
+        return [r.sojourn for r in self.completed]
+
+    @property
+    def mean_sojourn(self) -> float:
+        s = self.sojourns
+        return sum(s) / len(s) if s else 0.0
+
+    def percentile_sojourn(self, q: float) -> float:
+        """Sojourn percentile ``q`` in [0, 100] (nearest-rank)."""
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        s = sorted(self.sojourns)
+        if not s:
+            return 0.0
+        rank = min(len(s) - 1, max(0, int(round(q / 100 * (len(s) - 1)))))
+        return s[rank]
+
+    @property
+    def throughput(self) -> float:
+        """Completed frames per second of makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return len(self.completed) / self.makespan
+
+    def steady_throughput(self, warmup: Optional[int] = None) -> float:
+        """Completion rate after the pipeline filled.
+
+        Drops the first ``warmup`` completions (default: as many frames
+        as the record shows distinct plans' stages could hold — callers
+        usually pass the stage count) and measures completions per
+        second over the remaining window.
+        """
+        done = sorted(self.completed, key=lambda r: r.completion)
+        if warmup is None:
+            warmup = max(1, len(done) // 10)
+        if len(done) <= warmup:
+            return self.throughput
+        window = done[warmup - 1].completion, done[-1].completion
+        span = window[1] - window[0]
+        if span <= 0:
+            return self.throughput
+        return (len(done) - warmup) / span
+
+
+class PipelineServer:
+    """Serve frames through a compiled plan with bounded admission.
+
+    Parameters
+    ----------
+    program:
+        The compiled :class:`~repro.runtime.program.PlanProgram`.
+    transport:
+        Any runtime-core transport; its ``wall_clock`` flag selects the
+        threaded or the virtual serving strategy.
+    config:
+        Admission control (:class:`ServerConfig`).
+    tracer:
+        Shared ``Tracer | bool | None`` contract.
+    runtime_config:
+        Enables the fault-tolerance ladder per stage.
+    replanner:
+        ``replan(dead) -> (PlanProgram, kind)`` — adopted when a stage
+        fails outright (see :func:`~repro.runtime.faults.churn_replanner`).
+    switcher:
+        An :class:`~repro.adaptive.switcher.AdaptiveSwitcher`; the
+        virtual server feeds it the measured queue depth per arrival
+        and switches candidate plans at drain boundaries.
+    """
+
+    def __init__(
+        self,
+        program: PlanProgram,
+        transport: Transport,
+        config: Optional[ServerConfig] = None,
+        tracer=None,
+        runtime_config: "Optional[RuntimeConfig]" = None,
+        replanner=None,
+        switcher=None,
+    ) -> None:
+        self.program = program
+        self.transport = transport
+        self.config = config or ServerConfig()
+        self.tracer = coerce_tracer(tracer)
+        self.runtime_config = runtime_config
+        self.replanner = replanner
+        self.switcher = switcher
+        self.virtual = not transport.wall_clock
+        if switcher is not None and not self.virtual:
+            raise ValueError(
+                "adaptive switching is only supported on virtual-clock "
+                "transports (drain boundaries are analytic there)"
+            )
+        self._session: Optional[PipelineSession] = None
+        self._plan_name = program.plan.mode
+        if switcher is not None:
+            self._plan_name = switcher.active.name
+        if self.virtual:
+            # PipelineSession opens the transport and owns the per-frame
+            # fault ladder + churn replanning.
+            self._session = PipelineSession(
+                program, transport, self.tracer, runtime_config, replanner
+            )
+        else:
+            if runtime_config is not None:
+                transport.configure(runtime_config)
+            transport.open(program)
+        self._closed = False
+
+    @classmethod
+    def from_plan(
+        cls, model, plan, transport: Transport, **kwargs
+    ) -> "PipelineServer":
+        return cls(compile_plan(model, plan), transport, **kwargs)
+
+    def close(self) -> None:
+        if not self._closed:
+            self.transport.close()
+            self._closed = True
+
+    def __enter__(self) -> "PipelineServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def serve(
+        self,
+        frames: "Union[int, Sequence[np.ndarray]]",
+        arrivals: "Optional[Sequence[float]]" = None,
+    ) -> ServeResult:
+        """Admit ``frames`` at ``arrivals`` and serve them to completion.
+
+        ``frames`` may be an int — ``n`` copies of a zero input frame,
+        the cheap choice for timing-only runs (``SimTransport`` with
+        ``compute=False``).  ``arrivals`` are submit times in seconds
+        (virtual for the simulated backend, offsets from serve start
+        for wall-clock backends); ``None`` submits back-to-back.
+        """
+        frames = self._materialise(frames)
+        if arrivals is None:
+            arrivals = [0.0] * len(frames)
+        if len(arrivals) != len(frames):
+            raise ValueError("arrivals must align one-to-one with frames")
+        if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+            raise ValueError("arrivals must be non-decreasing")
+        if self.virtual:
+            return self._serve_virtual(frames, list(arrivals))
+        return self._serve_threaded(frames, list(arrivals))
+
+    def _materialise(self, frames) -> "List[np.ndarray]":
+        if isinstance(frames, (int, np.integer)):
+            if frames < 0:
+                raise ValueError("frame count must be non-negative")
+            model = self.transport.model
+            if model is None:
+                raise ValueError(
+                    "an int frame count needs a transport with a model"
+                )
+            zero = np.zeros(model.input_shape, dtype=np.float32)
+            return [zero] * int(frames)
+        return list(frames)
+
+    # ------------------------------------------------------------------
+    # Virtual-clock strategy: serial execution, analytic interleaving.
+    # ------------------------------------------------------------------
+    def _serve_virtual(
+        self, frames: "List[np.ndarray]", arrivals: "List[float]"
+    ) -> ServeResult:
+        cfg = self.config
+        session = self._session
+        assert session is not None
+        completions: "List[float]" = []  # admitted frames, FIFO order
+        records: "List[FrameRecord]" = []
+        outputs: "Dict[int, np.ndarray]" = {}
+        plan_usage: "Dict[str, int]" = {}
+        last_admit = 0.0
+        for index, (x, t) in enumerate(zip(frames, arrivals)):
+            in_system = [c for c in completions if c > t]
+            depth = len(in_system)
+            self._observe(t, depth)
+            if depth == 0:
+                self._maybe_switch(index)
+            if depth >= cfg.queue_capacity:
+                if cfg.policy == "shed":
+                    records.append(FrameRecord(index, t, "shed"))
+                    continue
+                # Backpressure: wait until the system drains below the
+                # bound — the moment the (depth - capacity + 1)-th
+                # oldest in-flight frame completes.
+                admit_at = sorted(in_system)[depth - cfg.queue_capacity]
+            else:
+                admit_at = t
+            if cfg.max_in_flight is not None and (
+                len(completions) >= cfg.max_in_flight
+            ):
+                admit_at = max(admit_at, completions[-cfg.max_in_flight])
+            admit_at = max(admit_at, last_admit)
+            last_admit = admit_at
+            try:
+                out = session.run_frame(x, at=admit_at)
+            except StageFailure:
+                # Past the whole ladder (every device of a stage is dead
+                # and no replanner could repair it): the frame is
+                # reported failed, never silently dropped.
+                records.append(
+                    FrameRecord(index, t, "failed", admitted_at=admit_at)
+                )
+                continue
+            done = self.transport.clock()
+            completions.append(done)
+            outputs[index] = out
+            plan_usage[self._plan_name] = plan_usage.get(self._plan_name, 0) + 1
+            records.append(
+                FrameRecord(
+                    index, t, "done", admitted_at=admit_at,
+                    completion=done, plan=self._plan_name,
+                )
+            )
+        makespan = max(completions) if completions else 0.0
+        trace = self.tracer.events if self.tracer is not None else ()
+        return ServeResult(records, outputs, makespan, trace, plan_usage)
+
+    def _observe(self, now: float, depth: int) -> None:
+        """Feed the measured queue depth into the adaptive switcher."""
+        if self.switcher is not None:
+            self.switcher.on_arrival(now, queue_depth=depth)
+
+    def _maybe_switch(self, frame: int) -> None:
+        """Adopt the switcher's active candidate at a drain boundary."""
+        if self.switcher is None:
+            return
+        active = self.switcher.active
+        if active.name == self._plan_name:
+            return
+        model = self.transport.model
+        program = compile_plan(model, active.plan)
+        self.transport.rebind(program)
+        assert self._session is not None
+        self._session.program = program
+        self.program = program
+        self._plan_name = active.name
+        if self.tracer is not None:
+            now = self.transport.clock()
+            self.tracer.emit(
+                TraceEvent("replan", frame, 0, active.name, now, now)
+            )
+
+    # ------------------------------------------------------------------
+    # Wall-clock strategy: one worker thread per stage, slot queues.
+    # ------------------------------------------------------------------
+    def _serve_threaded(
+        self, frames: "List[np.ndarray]", arrivals: "List[float]"
+    ) -> ServeResult:
+        cfg = self.config
+        transport = self.transport
+        n_stages = self.program.n_stages
+        # qs[0] is the bounded admission queue; qs[1..n-1] are the
+        # single-slot stage hand-offs (one frame per stage slot); the
+        # final queue is unbounded so completion never backpressures.
+        qs: "List[queue.Queue]" = [queue.Queue(maxsize=cfg.queue_capacity)]
+        qs += [queue.Queue(maxsize=1) for _ in range(n_stages - 1)]
+        qs.append(queue.Queue())
+        lock = threading.Lock()
+        pending: "Dict[int, Dict]" = {}  # fid -> {arrival, admitted_at, x0}
+        outputs: "Dict[int, np.ndarray]" = {}
+        done_at: "Dict[int, float]" = {}
+        errors: "Dict[int, BaseException]" = {}
+
+        def worker(stage_index: int) -> None:
+            in_q, out_q = qs[stage_index], qs[stage_index + 1]
+            while True:
+                item = in_q.get()
+                if item is _SENTINEL:
+                    out_q.put(_SENTINEL)
+                    return
+                fid, x = item
+                if x is None:  # poisoned upstream; just forward the id
+                    out_q.put((fid, None))
+                    continue
+                try:
+                    y = execute_stage(
+                        transport, self.program, stage_index, x, fid,
+                        self.tracer, self.runtime_config,
+                    )
+                except Exception as exc:  # noqa: BLE001 - fate recorded
+                    with lock:
+                        errors[fid] = exc
+                    out_q.put((fid, None))
+                    continue
+                out_q.put((fid, y))
+
+        def collect() -> None:
+            while True:
+                item = qs[-1].get()
+                if item is _SENTINEL:
+                    return
+                fid, y = item
+                with lock:
+                    if y is not None:
+                        outputs[fid] = y
+                        done_at[fid] = transport.clock()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(n_stages)
+        ]
+        collector = threading.Thread(target=collect, daemon=True)
+        for t in threads:
+            t.start()
+        collector.start()
+
+        epoch = transport.clock()
+        shed: "List[Tuple[int, float]]" = []
+        for index, x in enumerate(frames):
+            target = epoch + arrivals[index]
+            wait = target - transport.clock()
+            if wait > 0:
+                time.sleep(wait)
+            x0 = np.ascontiguousarray(x, dtype=np.float32)
+            arrival_t = transport.clock()
+            item = (index, x0)
+            if cfg.policy == "block":
+                qs[0].put(item)
+            else:
+                try:
+                    qs[0].put_nowait(item)
+                except queue.Full:
+                    shed.append((index, arrival_t))
+                    continue
+            with lock:
+                pending[index] = {
+                    "arrival": arrival_t,
+                    "admitted_at": transport.clock(),
+                    "x0": x0,
+                }
+        qs[0].put(_SENTINEL)
+        for t in threads:
+            t.join()
+        collector.join()
+
+        replayed = self._replay_failed(pending, outputs, done_at, errors)
+        records: "List[FrameRecord]" = []
+        for index, arrival_t in shed:
+            records.append(FrameRecord(index, arrival_t, "shed"))
+        for fid, info in pending.items():
+            if fid in outputs:
+                records.append(
+                    FrameRecord(
+                        fid, info["arrival"], "done",
+                        admitted_at=info["admitted_at"],
+                        completion=done_at[fid],
+                        plan=self._plan_name,
+                        replayed=fid in replayed,
+                    )
+                )
+            else:
+                records.append(
+                    FrameRecord(
+                        fid, info["arrival"], "failed",
+                        admitted_at=info["admitted_at"],
+                    )
+                )
+        records.sort(key=lambda r: r.frame)
+        makespan = max(done_at.values()) - epoch if done_at else 0.0
+        trace = self.tracer.events if self.tracer is not None else ()
+        usage = {self._plan_name: len(outputs)} if outputs else {}
+        return ServeResult(records, outputs, makespan, trace, usage)
+
+    def _replay_failed(
+        self,
+        pending: "Dict[int, Dict]",
+        outputs: "Dict[int, np.ndarray]",
+        done_at: "Dict[int, float]",
+        errors: "Dict[int, BaseException]",
+    ) -> "set":
+        """Drain-time recovery: replay unrecoverable frames on a fresh plan.
+
+        A frame only lands here when a stage raised past the in-stage
+        ladder (:class:`StageFailure` — every device of a stage died).
+        With a replanner the server adopts a plan over the survivors and
+        replays each lost frame from its original input; without one the
+        frames stay ``failed`` (reported, never silent).
+        """
+        failed = sorted(fid for fid in pending if fid not in outputs)
+        replayed: "set" = set()
+        if not failed or self.replanner is None:
+            return replayed
+        if self.runtime_config is not None and not self.runtime_config.recover:
+            return replayed
+        dead = self.transport.dead_devices()
+        if not dead:
+            return replayed
+        result = self.replanner(dead)
+        if result is None:
+            return replayed
+        program, kind = result
+        if self.tracer is not None:
+            now = self.transport.clock()
+            tag = ",".join(sorted(dead))
+            self.tracer.emit(TraceEvent(kind, failed[0], 0, tag, now, now))
+        self.transport.rebind(program)
+        self.program = program
+        for fid in failed:
+            x = pending[fid]["x0"]
+            try:
+                for index in range(program.n_stages):
+                    x = execute_stage(
+                        self.transport, program, index, x, fid,
+                        self.tracer, self.runtime_config,
+                    )
+            except StageFailure:
+                continue  # stays failed; recorded as such
+            outputs[fid] = x
+            done_at[fid] = self.transport.clock()
+            errors.pop(fid, None)
+            replayed.add(fid)
+            if self.tracer is not None:
+                now = self.transport.clock()
+                self.tracer.emit(
+                    TraceEvent("frame_replayed", fid, 0, "", now, now)
+                )
+        return replayed

@@ -23,14 +23,19 @@ __all__ = [
 def poisson_arrivals(
     rate: float, horizon_s: float, rng: Optional[np.random.Generator] = None
 ) -> "List[float]":
-    """Poisson-process arrival times in ``[0, horizon_s)`` at ``rate``/s."""
+    """Poisson-process arrival times in ``[0, horizon_s)`` at ``rate``/s.
+
+    Without an explicit ``rng`` the trace is drawn from a fixed seed —
+    every generator in this package is deterministic by default so two
+    runs of the same experiment see the same workload.
+    """
     if rate < 0:
         raise ValueError("rate must be non-negative")
     if horizon_s <= 0:
         raise ValueError("horizon must be positive")
     if rate == 0:
         return []
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(0)
     times: "List[float]" = []
     t = 0.0
     while True:
@@ -43,12 +48,13 @@ def poisson_arrivals(
 def poisson_arrivals_count(
     rate: float, n_tasks: int, rng: Optional[np.random.Generator] = None
 ) -> "List[float]":
-    """Exactly ``n_tasks`` Poisson arrivals at ``rate``/s."""
+    """Exactly ``n_tasks`` Poisson arrivals at ``rate``/s (fixed seed
+    unless ``rng`` is supplied — see :func:`poisson_arrivals`)."""
     if rate <= 0:
         raise ValueError("rate must be positive")
     if n_tasks < 0:
         raise ValueError("n_tasks must be non-negative")
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(0)
     gaps = rng.exponential(1.0 / rate, size=n_tasks)
     return list(np.cumsum(gaps))
 

@@ -48,8 +48,9 @@ class PhasedTrace:
         return sum(p.duration_s for p in self.phases)
 
     def sample(self, rng: Optional[np.random.Generator] = None) -> "List[float]":
-        """Arrival times over the whole trace."""
-        rng = rng or np.random.default_rng()
+        """Arrival times over the whole trace (fixed seed unless ``rng``
+        is supplied — see :func:`~repro.workload.arrivals.poisson_arrivals`)."""
+        rng = rng or np.random.default_rng(0)
         arrivals: "List[float]" = []
         offset = 0.0
         for phase in self.phases:

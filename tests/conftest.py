@@ -57,3 +57,27 @@ def medium_model():
 @pytest.fixture
 def rng():
     return np.random.default_rng(1234)
+
+
+@pytest.fixture(autouse=True)
+def _no_global_rng_use():
+    """Seed-discipline guard: fail any test that draws from NumPy's
+    *global* RNG (``np.random.rand`` and friends).
+
+    Library and test code must thread explicit
+    ``np.random.default_rng(seed)`` generators; a global draw makes a
+    test's output depend on execution order, the classic source of
+    nondeterministic suites.  The guard seeds the global state to a
+    fixed value before each test and asserts it is untouched after.
+    """
+    np.random.seed(0)
+    before = np.random.get_state()
+    yield
+    after = np.random.get_state()
+    same = before[0] == after[0] and all(
+        np.array_equal(a, b) for a, b in zip(before[1:], after[1:])
+    )
+    assert same, (
+        "test consumed NumPy's global RNG (np.random.*) — use an "
+        "explicit np.random.default_rng(seed) generator instead"
+    )

@@ -111,6 +111,7 @@ class TestBitForBitEquivalence:
             assert got == expected, (start, end)
 
 
+@pytest.mark.slow
 class TestPlanEquivalence:
     @pytest.mark.parametrize("n_devices", [1, 2, 3, 4, 5, 6, 7, 8])
     def test_unbounded(self, model, n_devices):

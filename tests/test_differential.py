@@ -1,0 +1,205 @@
+"""Differential matrix: every scheme × model family × backend.
+
+The repo's strongest end-to-end guarantee, checked exhaustively: for
+every registered scheme and a small family of architectures, the three
+execution backends (in-process threads, virtual-clock simulator, local
+plan executor) produce **bit-identical** feature maps — equal to the
+plain ``Engine.forward_features`` reference — and report equivalent
+canonical traces.  Both frame-at-a-time and with multiple frames in
+flight through the serving layer.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from functools import lru_cache
+
+import numpy as np
+import pytest
+
+from repro.cluster.device import heterogeneous_cluster
+from repro.cost.comm import NetworkModel
+from repro.models.toy import toy_chain
+from repro.models.zoo import get_model
+from repro.nn.executor import Engine
+from repro.nn.weights import init_weights
+from repro.runtime.core import InProcTransport, PipelineSession, SimTransport
+from repro.runtime.trace import Tracer, canonical_trace
+from repro.schemes import available_schemes, get_scheme
+from repro.schemes.local import LocalPlanExecutor
+from repro.serve import PipelineServer, ServerConfig
+
+NETWORK = NetworkModel.from_mbps(50.0)
+CLUSTER = heterogeneous_cluster([1200, 1000, 800, 600])
+BACKENDS = ("inproc", "sim", "local")
+
+MODELS = {
+    "toy": lambda: toy_chain(4, 1, input_hw=24, in_channels=3,
+                             base_channels=8),
+    "vggish": lambda: toy_chain(6, 2, input_hw=32, in_channels=3,
+                                base_channels=8),
+    "resnetish": lambda: get_model("resnet34", input_hw=64),
+}
+
+
+@lru_cache(maxsize=None)
+def _model(model_key):
+    return MODELS[model_key]()
+
+
+@lru_cache(maxsize=None)
+def _weights(model_key):
+    return init_weights(_model(model_key), seed=0)
+
+
+@lru_cache(maxsize=None)
+def _plan(model_key, scheme_name):
+    return get_scheme(scheme_name).plan(_model(model_key), CLUSTER, NETWORK)
+
+
+def _engine(model_key):
+    return Engine(_model(model_key), _weights(model_key))
+
+
+def _frame(model_key, seed=7):
+    rng = np.random.default_rng(seed)
+    shape = _model(model_key).input_shape
+    return rng.standard_normal(shape).astype(np.float32)
+
+
+def _run_backend(backend, model_key, scheme_name, frame):
+    """One frame through one backend; returns (features, canonical trace)."""
+    model = _model(model_key)
+    plan = _plan(model_key, scheme_name)
+    if backend == "local":
+        executor = LocalPlanExecutor(_engine(model_key), plan, trace=True)
+        out = executor.forward_features(frame)
+        return out, canonical_trace(executor.trace)
+    if backend == "inproc":
+        transport = InProcTransport(_engine(model_key))
+    else:
+        transport = SimTransport(_engine(model_key), NETWORK, compute=True)
+    tracer = Tracer()
+    session = PipelineSession.from_plan(model, plan, transport, tracer)
+    try:
+        out = session.run_frame(frame)
+    finally:
+        transport.close()
+    return out, canonical_trace(tracer.events)
+
+
+def _assert_matches_reference(out, want, scheme_name, context):
+    """Served features vs the plain full-model forward.
+
+    Spatial strip partitions (PICO, OFL) keep every accumulation shape
+    identical to the reference, so they are bit-exact.  EFL and LW fuse
+    layers with channel-block outputs whose GEMM shapes differ from the
+    full-model call — BLAS may re-block the accumulation, so those two
+    are float-close (1 ulp-scale) rather than bit-identical.
+    """
+    if scheme_name in ("efl", "lw"):
+        np.testing.assert_allclose(
+            out, want, rtol=2e-4, atol=1e-6, err_msg=context
+        )
+    else:
+        assert np.array_equal(out, want), context
+
+
+def _check_matrix_cell(model_key, scheme_name):
+    frame = _frame(model_key)
+    want = _engine(model_key).forward_features(frame)
+    outs, traces = {}, {}
+    for backend in BACKENDS:
+        out, trace = _run_backend(backend, model_key, scheme_name, frame)
+        _assert_matches_reference(
+            out, want, scheme_name,
+            f"{backend} diverged from Engine.forward_features for "
+            f"{scheme_name} on {model_key}",
+        )
+        outs[backend] = out
+        traces[backend] = trace
+    # Whatever the scheme, the three backends run the same compiled
+    # split/compute/stitch and must agree bit-for-bit with each other.
+    assert np.array_equal(outs["inproc"], outs["sim"])
+    assert np.array_equal(outs["inproc"], outs["local"])
+    # The wall-clock and virtual backends emit the *same* canonical
+    # sequence (the trace-smoke contract); the local executor walks the
+    # same plan so its event count must agree too.
+    assert traces["inproc"] == traces["sim"]
+    assert len(traces["local"]) == len(traces["inproc"])
+
+
+def _check_in_flight_cell(model_key, scheme_name, n_frames=3):
+    """The same plan with ``n_frames`` concurrently in flight."""
+    model = _model(model_key)
+    plan = _plan(model_key, scheme_name)
+    frames = [_frame(model_key, seed=100 + i) for i in range(n_frames)]
+    engine = _engine(model_key)
+    want = [engine.forward_features(f) for f in frames]
+    config = ServerConfig(queue_capacity=n_frames + 1, policy="block")
+    per_frame_counts = {}
+    outs = {}
+    for backend in ("inproc", "sim"):
+        if backend == "inproc":
+            transport = InProcTransport(_engine(model_key))
+        else:
+            transport = SimTransport(_engine(model_key), NETWORK,
+                                     compute=True)
+        server = PipelineServer.from_plan(
+            model, plan, transport, config=config, tracer=True
+        )
+        result = server.serve(frames, arrivals=[0.0] * n_frames)
+        server.close()
+        assert len(result.completed) == n_frames
+        assert not result.failed and not result.shed
+        for i, w in enumerate(want):
+            _assert_matches_reference(
+                result.outputs[i], w, scheme_name,
+                f"{backend} frame {i} diverged with {n_frames} in flight "
+                f"({scheme_name} on {model_key})",
+            )
+        outs[backend] = result.outputs
+        per_frame_counts[backend] = Counter(
+            e[0] for e in canonical_trace(result.trace)
+        )
+    for i in range(n_frames):
+        assert np.array_equal(outs["inproc"][i], outs["sim"][i])
+    # Interleaving may reorder events across stages, but each frame must
+    # pass through exactly the same canonical steps on both backends.
+    assert per_frame_counts["inproc"] == per_frame_counts["sim"]
+
+
+@pytest.mark.parametrize("scheme_name", available_schemes())
+@pytest.mark.parametrize("model_key", ["toy", "vggish"])
+def test_single_frame_matrix(model_key, scheme_name):
+    _check_matrix_cell(model_key, scheme_name)
+
+
+@pytest.mark.parametrize("scheme_name", available_schemes())
+@pytest.mark.parametrize("model_key", ["toy", "vggish"])
+def test_frames_in_flight_matrix(model_key, scheme_name):
+    _check_in_flight_cell(model_key, scheme_name)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("scheme_name", available_schemes())
+def test_single_frame_matrix_resnetish(scheme_name):
+    _check_matrix_cell("resnetish", scheme_name)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("scheme_name", available_schemes())
+def test_frames_in_flight_matrix_resnetish(scheme_name):
+    _check_in_flight_cell("resnetish", scheme_name, n_frames=2)
+
+
+def test_local_executor_sequential_frames_match_engine():
+    """Frame-at-a-time on the local executor, several frames in a row —
+    no state leaks between frames."""
+    engine = _engine("toy")
+    executor = LocalPlanExecutor(engine, _plan("toy", "pico"))
+    for i in range(3):
+        frame = _frame("toy", seed=200 + i)
+        assert np.array_equal(
+            executor.forward_features(frame), engine.forward_features(frame)
+        )

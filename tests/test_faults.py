@@ -44,6 +44,7 @@ from repro.schemes import available_schemes, get_scheme
 from repro.schemes.base import PlanningError, weighted_assignments
 from repro.schemes.local import local_fallback_plan
 from repro.schemes.pico import PicoScheme
+from repro.serve import PipelineServer, ServerConfig
 
 
 @pytest.fixture(scope="module")
@@ -454,3 +455,129 @@ def test_public_all_exports_fault_api():
                  "get_scheme", "available_schemes", "churn_replanner"):
         assert name in repro.__all__
         assert getattr(repro, name) is not None
+
+
+# ---------------------------------------------------------------------------
+# Faults under serving load: a crash with >= 2 frames in flight
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def load_frames(model):
+    rng = np.random.default_rng(21)
+    return [
+        rng.standard_normal(model.input_shape).astype(np.float32)
+        for _ in range(4)
+    ]
+
+
+@pytest.fixture(scope="module")
+def load_baseline(model, program, weights, load_frames):
+    with PipelineSession(
+        program, InProcTransport(Engine(model, weights))
+    ) as session:
+        return session.run_batch(load_frames)
+
+
+class TestFaultsUnderLoad:
+    """The PR-4 recovery ladder must hold with the pipeline full.
+
+    All four frames are submitted at t=0 with a queue deep enough to
+    hold them, so when the victim device dies at frame 1 there are
+    frames ahead of it, behind it, and (on the threaded backend)
+    genuinely concurrent with it.  Every admitted frame must complete
+    bit-exactly (migrate keeps tile geometry) or be reported — never
+    silently lost.
+    """
+
+    def _serve_with_faults(self, model, program, weights, net, faults,
+                           backend, load_frames, config=None,
+                           replanner=None):
+        engine = Engine(model, weights)
+        if backend == "inproc":
+            transport = InProcTransport(engine, faults=faults)
+        else:
+            transport = SimTransport(engine, net, faults=faults)
+        server = PipelineServer(
+            program, transport,
+            config or ServerConfig(queue_capacity=8, policy="block"),
+            tracer=True, runtime_config=RuntimeConfig(),
+            replanner=replanner,
+        )
+        try:
+            return server.serve(load_frames, arrivals=[0.0] * len(load_frames))
+        finally:
+            server.close()
+
+    def _assert_no_silent_loss(self, result, n_submitted):
+        assert result.submitted == n_submitted
+        accounted = (
+            len(result.completed) + len(result.shed) + len(result.failed)
+        )
+        assert accounted == n_submitted
+        assert sorted(r.frame for r in result.records) == list(
+            range(n_submitted)
+        )
+
+    @pytest.mark.parametrize("backend", ["inproc", "sim"])
+    def test_crash_with_frames_in_flight_bit_exact(
+        self, model, program, weights, net, load_frames, load_baseline,
+        backend,
+    ):
+        victim = program.stages[0].tasks[0].device_name
+        faults = FaultSchedule().crash(victim, at_frame=1)
+        result = self._serve_with_faults(
+            model, program, weights, net, faults, backend, load_frames
+        )
+        self._assert_no_silent_loss(result, len(load_frames))
+        assert not result.failed and not result.shed
+        for i, want in enumerate(load_baseline):
+            assert np.array_equal(result.outputs[i], want), (
+                f"frame {i} corrupted by in-flight crash on {backend}"
+            )
+        recovery = _recovery(result.trace)
+        assert "device_dead" in recovery and "frame_replayed" in recovery
+
+    def test_crash_while_shedding_keeps_accounting(
+        self, model, program, weights, net, load_frames, load_baseline
+    ):
+        victim = program.stages[0].tasks[0].device_name
+        faults = FaultSchedule().crash(victim, at_frame=1)
+        config = ServerConfig(queue_capacity=2, policy="shed")
+        result = self._serve_with_faults(
+            model, program, weights, net, faults, "sim", load_frames,
+            config=config,
+        )
+        self._assert_no_silent_loss(result, len(load_frames))
+        assert result.shed, "a 2-deep queue with 4 frames at t=0 must shed"
+        assert not result.failed
+        for record in result.completed:
+            assert np.array_equal(
+                result.outputs[record.frame], load_baseline[record.frame]
+            )
+
+    def test_stage_wipeout_under_load_replays_on_fresh_plan(
+        self, model, program, weights, net, cluster, load_frames,
+        load_baseline,
+    ):
+        """Threaded drain-time recovery: every stage-0 device dies with
+        the pipeline full; a churn replanner repairs the plan and the
+        lost frames are replayed from their original inputs."""
+        stage0 = [t.device_name for t in program.stages[0].tasks]
+        faults = FaultSchedule()
+        for name in stage0:
+            faults = faults.crash(name, at_frame=1)
+        replanner = churn_replanner(model, cluster, net, scheme=PicoScheme())
+        result = self._serve_with_faults(
+            model, program, weights, net, faults, "inproc", load_frames,
+            replanner=replanner,
+        )
+        self._assert_no_silent_loss(result, len(load_frames))
+        assert not result.failed and not result.shed
+        recovery = _recovery(result.trace)
+        assert recovery.count("device_dead") == len(stage0)
+        assert "replan" in recovery or "degraded" in recovery
+        assert any(r.replayed for r in result.completed)
+        # re-planned geometry differs, so float-close rather than bit-equal
+        for i, want in enumerate(load_baseline):
+            assert np.allclose(result.outputs[i], want, atol=1e-4)

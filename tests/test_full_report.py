@@ -6,6 +6,8 @@ import pytest
 
 from repro.experiments.full_report import FAST, FULL, ReportScale, generate_report
 
+pytestmark = pytest.mark.slow  # drives every experiment end-to-end
+
 
 @pytest.fixture(scope="module")
 def tiny_scale():

@@ -1,0 +1,418 @@
+"""Pipelined serving: admission control, throughput, Theorem 2.
+
+The serving layer's contract, from three angles:
+
+* **Exactness** — the virtual server's completion times replay the
+  discrete-event simulator exactly (same bounded queue, same FIFO
+  service), and served outputs are bit-identical to plain single-frame
+  execution on every backend.
+* **Pipelining** — with frames in flight, steady-state throughput
+  approaches ``1/period``; the ``max_in_flight=1`` baseline stays
+  latency-bound.
+* **Accounting** — every submitted frame ends as exactly one of
+  done / shed / failed; nothing is silently lost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adaptive.queueing import (
+    average_inference_latency,
+    backlog_latency,
+    validate_md1,
+)
+from repro.adaptive.switcher import build_apico_switcher
+from repro.cluster.device import pi_cluster
+from repro.cluster.simulator import simulate_plan
+from repro.core.plan import plan_cost
+from repro.cost.comm import NetworkModel
+from repro.models.toy import toy_chain
+from repro.nn.executor import Engine
+from repro.nn.weights import init_weights
+from repro.runtime.core import InProcTransport, SimTransport
+from repro.runtime.program import compile_plan
+from repro.schemes.pico import PicoScheme
+from repro.serve import FrameRecord, PipelineServer, ServeResult, ServerConfig
+from repro.workload.arrivals import poisson_arrivals_count, uniform_arrivals
+
+
+@pytest.fixture(scope="module")
+def net():
+    return NetworkModel.from_mbps(50.0)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return toy_chain(4, 1, input_hw=32, in_channels=3, base_channels=8)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return pi_cluster(4, 1000.0)
+
+
+@pytest.fixture(scope="module")
+def plan(model, cluster, net):
+    return PicoScheme().plan(model, cluster, net)
+
+
+@pytest.fixture(scope="module")
+def program(model, plan):
+    return compile_plan(model, plan)
+
+
+@pytest.fixture(scope="module")
+def weights(model):
+    return init_weights(model, seed=0)
+
+
+def _sim_server(model, weights, net, program, config=None, compute=False,
+                **kwargs):
+    transport = SimTransport(Engine(model, weights), net, compute=compute)
+    return PipelineServer(program, transport, config=config, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# ServerConfig / FrameRecord / ServeResult plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServerConfig(queue_capacity=0)
+        with pytest.raises(ValueError):
+            ServerConfig(policy="drop-newest")
+        with pytest.raises(ValueError):
+            ServerConfig(max_in_flight=0)
+
+    def test_shed_record_has_no_sojourn(self):
+        record = FrameRecord(0, 1.0, "shed")
+        assert not record.admitted
+        with pytest.raises(ValueError):
+            record.sojourn
+
+    def test_result_partitions_records(self):
+        records = [
+            FrameRecord(0, 0.0, "done", admitted_at=0.0, completion=1.0),
+            FrameRecord(1, 0.5, "shed"),
+            FrameRecord(2, 0.6, "failed", admitted_at=0.6),
+        ]
+        result = ServeResult(records, {0: np.zeros(1)}, 1.0)
+        assert result.submitted == 3
+        assert [r.frame for r in result.completed] == [0]
+        assert [r.frame for r in result.shed] == [1]
+        assert [r.frame for r in result.failed] == [2]
+        assert result.sojourns == [1.0]
+
+    def test_serve_input_validation(self, model, weights, net, program):
+        server = _sim_server(model, weights, net, program)
+        with pytest.raises(ValueError, match="align"):
+            server.serve(3, arrivals=[0.0])
+        with pytest.raises(ValueError, match="non-decreasing"):
+            server.serve(2, arrivals=[1.0, 0.5])
+        server.close()
+
+    def test_switcher_requires_virtual_clock(self, model, weights, net,
+                                             cluster, program):
+        switcher = build_apico_switcher(model, cluster, net)
+        with pytest.raises(ValueError, match="virtual"):
+            PipelineServer(
+                program, InProcTransport(Engine(model, weights)),
+                switcher=switcher,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Virtual path: pipelining and exact agreement with the event simulator
+# ---------------------------------------------------------------------------
+
+
+class TestVirtualPipelining:
+    def test_saturated_throughput_tracks_inv_period(self, model, weights,
+                                                    net, plan, program):
+        cost = plan_cost(model, plan, net)
+        cfg = ServerConfig(queue_capacity=8, policy="block")
+        server = _sim_server(model, weights, net, program, cfg)
+        result = server.serve(24, arrivals=[0.0] * 24)
+        server.close()
+        steady = result.steady_throughput(warmup=program.n_stages)
+        assert steady == pytest.approx(1.0 / cost.period, rel=0.15)
+
+    def test_pipelined_beats_frame_at_a_time(self, model, weights, net,
+                                             program):
+        cfg = ServerConfig(queue_capacity=8, policy="block")
+        pipelined = _sim_server(model, weights, net, program, cfg)
+        res_pipe = pipelined.serve(16, arrivals=[0.0] * 16)
+        pipelined.close()
+        baseline_cfg = ServerConfig(
+            queue_capacity=8, policy="block", max_in_flight=1
+        )
+        baseline = _sim_server(model, weights, net, program, baseline_cfg)
+        res_base = baseline.serve(16, arrivals=[0.0] * 16)
+        baseline.close()
+        assert res_pipe.makespan < res_base.makespan
+        speedup = res_pipe.steady_throughput(
+            warmup=program.n_stages
+        ) / res_base.steady_throughput(warmup=1)
+        assert speedup >= 1.5
+
+    def test_frame_at_a_time_is_latency_bound(self, model, weights, net,
+                                              plan, program):
+        cost = plan_cost(model, plan, net)
+        cfg = ServerConfig(queue_capacity=8, policy="block", max_in_flight=1)
+        server = _sim_server(model, weights, net, program, cfg)
+        result = server.serve(8, arrivals=[0.0] * 8)
+        server.close()
+        assert result.steady_throughput(warmup=1) == pytest.approx(
+            1.0 / cost.latency, rel=0.05
+        )
+
+    def test_completions_match_event_simulator(self, model, weights, net,
+                                               plan, program):
+        arrivals = poisson_arrivals_count(
+            40.0, 30, np.random.default_rng(3)
+        )
+        cfg = ServerConfig(queue_capacity=10_000)  # effectively unbounded
+        server = _sim_server(model, weights, net, program, cfg)
+        result = server.serve(len(arrivals), arrivals=arrivals)
+        server.close()
+        sim = simulate_plan(model, plan, net, arrivals)
+        assert len(result.completed) == sim.completed
+        got = [r.completion for r in result.completed]
+        want = [t.completion for t in sim.tasks]
+        assert np.allclose(sorted(got), sorted(want))
+
+    def test_shed_parity_with_event_simulator(self, model, weights, net,
+                                              plan, program):
+        cost = plan_cost(model, plan, net)
+        rate = 3.0 / cost.period  # overload: the bounded queue must shed
+        arrivals = poisson_arrivals_count(
+            rate, 60, np.random.default_rng(11)
+        )
+        cfg = ServerConfig(queue_capacity=3, policy="shed")
+        server = _sim_server(model, weights, net, program, cfg)
+        result = server.serve(len(arrivals), arrivals=arrivals)
+        server.close()
+        sim = simulate_plan(model, plan, net, arrivals, queue_capacity=3)
+        assert [r.frame for r in result.shed] == list(sim.shed)
+        assert len(result.shed) > 0
+        got = [r.completion for r in result.completed]
+        want = [t.completion for t in sim.tasks]
+        assert np.allclose(sorted(got), sorted(want))
+        assert len(result.completed) + len(result.shed) == result.submitted
+
+    def test_block_policy_delays_instead_of_shedding(self, model, weights,
+                                                     net, plan, program):
+        cost = plan_cost(model, plan, net)
+        rate = 3.0 / cost.period
+        arrivals = poisson_arrivals_count(
+            rate, 40, np.random.default_rng(11)
+        )
+        cfg = ServerConfig(queue_capacity=3, policy="block")
+        server = _sim_server(model, weights, net, program, cfg)
+        result = server.serve(len(arrivals), arrivals=arrivals)
+        server.close()
+        assert not result.shed
+        assert len(result.completed) == result.submitted
+        delayed = [r for r in result.completed if r.admitted_at > r.arrival]
+        assert delayed, "overload under backpressure must delay admissions"
+
+    def test_compute_false_matches_compute_true_timestamps(
+        self, model, weights, net, program
+    ):
+        arrivals = list(uniform_arrivals(50.0, 0.5))
+        timed = _sim_server(model, weights, net, program, compute=True)
+        res_full = timed.serve(len(arrivals), arrivals=arrivals)
+        timed.close()
+        fast = _sim_server(model, weights, net, program, compute=False)
+        res_fast = fast.serve(len(arrivals), arrivals=arrivals)
+        fast.close()
+        assert [r.completion for r in res_full.records] == [
+            r.completion for r in res_fast.records
+        ]
+
+    def test_served_outputs_bit_exact(self, model, weights, net, program):
+        rng = np.random.default_rng(5)
+        frames = [
+            rng.standard_normal(model.input_shape).astype(np.float32)
+            for _ in range(3)
+        ]
+        engine = Engine(model, weights)
+        server = _sim_server(model, weights, net, program, compute=True)
+        result = server.serve(frames, arrivals=[0.0, 0.0, 0.0])
+        server.close()
+        for i, frame in enumerate(frames):
+            assert np.array_equal(
+                result.outputs[i], engine.forward_features(frame)
+            )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 2 validation against measured sojourns
+# ---------------------------------------------------------------------------
+
+
+class TestQueueingValidation:
+    def test_backlog_latency(self):
+        assert backlog_latency(0.1, 0.5, 0) == pytest.approx(0.5)
+        assert backlog_latency(0.1, 0.5, 4) == pytest.approx(0.9)
+        with pytest.raises(ValueError):
+            backlog_latency(0.1, 0.5, -1)
+
+    def test_validate_md1_needs_data(self):
+        with pytest.raises(ValueError):
+            validate_md1([], 0.1, 0.5, 1.0)
+
+    def test_measured_sojourn_matches_theorem2(self, model, weights, net,
+                                               plan, program):
+        cost = plan_cost(model, plan, net)
+        rho = 0.5
+        rate = rho / cost.period
+        arrivals = poisson_arrivals_count(
+            rate, 300, np.random.default_rng(0)
+        )
+        cfg = ServerConfig(queue_capacity=64, policy="block")
+        server = _sim_server(model, weights, net, program, cfg)
+        result = server.serve(len(arrivals), arrivals=arrivals)
+        server.close()
+        check = validate_md1(
+            result.sojourns, cost.period, cost.latency, rate
+        )
+        assert check["utilisation"] == pytest.approx(rho)
+        assert check["rel_error"] <= 0.20
+        assert check["predicted_mean"] == pytest.approx(
+            average_inference_latency(cost.period, cost.latency, rate)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Adaptive switching fed by the measured queue
+# ---------------------------------------------------------------------------
+
+
+class TestAdaptiveServing:
+    def test_switches_to_pipelined_under_load(self, model, weights, net,
+                                              cluster):
+        from repro.adaptive.estimator import ArrivalRateTracker
+        from repro.runtime.program import compile_plan as _compile
+
+        probe = build_apico_switcher(model, cluster, net)
+        by_name = {c.name: c for c in probe.candidates}
+        pico = by_name["PICO"]
+        others = [c for c in probe.candidates if c.name != "PICO"]
+        assert others, "APICO needs a one-stage candidate to switch from"
+        # A rate high enough that PICO's short period wins, low enough
+        # that the one-stage plan still drains (so the queue hits zero
+        # and the server reaches a drain boundary to switch at).
+        rate = 0.8 / max(c.period for c in others)
+        # The default 10 s measurement window dwarfs this toy model's
+        # millisecond periods; scale it to ~10 inter-arrival gaps.
+        switcher = build_apico_switcher(
+            model, cluster, net,
+            tracker=ArrivalRateTracker(window_s=10.0 / rate),
+        )
+        assert switcher.active.name != "PICO", (
+            "at rate 0 the one-stage plan's lower latency should win"
+        )
+        assert pico.estimated_latency(rate) < min(
+            c.estimated_latency(rate) for c in others
+        )
+        arrivals = list(uniform_arrivals(rate, 60 / rate))[:60]
+        program0 = _compile(model, switcher.active.plan)
+        server = _sim_server(
+            model, weights, net, program0, ServerConfig(queue_capacity=32),
+            switcher=switcher, tracer=True,
+        )
+        result = server.serve(len(arrivals), arrivals=arrivals)
+        server.close()
+        assert len(result.completed) == len(arrivals)
+        assert "PICO" in result.plan_usage
+        assert any(
+            e.kind == "replan" and e.device == "PICO" for e in result.trace
+        )
+
+    def test_queue_depth_overrides_stale_rate(self, model, cluster, net):
+        switcher = build_apico_switcher(model, cluster, net)
+        slowest = max(switcher.candidates, key=lambda c: c.period)
+        fastest = min(switcher.candidates, key=lambda c: c.period)
+        # At rate ~0 the steady-state estimates favour low latency, but a
+        # deep measured backlog makes the short-period plan win.
+        depth = 200
+        assert switcher.choose(0.0, depth) == fastest
+        assert slowest.backlog_latency(depth) > fastest.backlog_latency(depth)
+
+
+# ---------------------------------------------------------------------------
+# Threaded (wall-clock) path: frames genuinely in flight
+# ---------------------------------------------------------------------------
+
+
+class TestThreadedServing:
+    def test_inproc_multiframe_bit_exact(self, model, weights, net, program):
+        rng = np.random.default_rng(9)
+        frames = [
+            rng.standard_normal(model.input_shape).astype(np.float32)
+            for _ in range(4)
+        ]
+        engine = Engine(model, weights)
+        expected = [engine.forward_features(f) for f in frames]
+        server = PipelineServer(
+            program, InProcTransport(Engine(model, weights)),
+            ServerConfig(queue_capacity=4, policy="block"),
+        )
+        result = server.serve(frames, arrivals=[0.0] * 4)
+        server.close()
+        assert len(result.completed) == 4
+        assert not result.failed and not result.shed
+        for i, want in enumerate(expected):
+            assert np.array_equal(result.outputs[i], want)
+
+    def test_threaded_records_account_for_every_frame(self, model, weights,
+                                                      net, program):
+        server = PipelineServer(
+            program, InProcTransport(Engine(model, weights)),
+            ServerConfig(queue_capacity=2, policy="block"),
+        )
+        result = server.serve(6)
+        server.close()
+        assert result.submitted == 6
+        assert sorted(r.frame for r in result.records) == list(range(6))
+        assert len(result.completed) == 6
+
+
+# ---------------------------------------------------------------------------
+# Event-simulator admission control (queue_capacity plumbing)
+# ---------------------------------------------------------------------------
+
+
+class TestSimulatorQueueCapacity:
+    def test_unbounded_by_default(self, model, plan, net):
+        arrivals = [0.0] * 10
+        sim = simulate_plan(model, plan, net, arrivals)
+        assert sim.shed == () and sim.completed == 10
+
+    def test_bounded_queue_sheds_and_reports(self, model, plan, net):
+        arrivals = [0.0] * 10
+        sim = simulate_plan(model, plan, net, arrivals, queue_capacity=4)
+        assert len(sim.shed) == 6
+        assert sim.completed == 4
+        assert sim.submitted == 10
+
+    def test_shed_events_in_trace(self, model, plan, net):
+        sim = simulate_plan(
+            model, plan, net, [0.0] * 6, queue_capacity=2, trace=True
+        )
+        shed_events = [e for e in sim.trace if e.kind == "shed"]
+        assert sorted(e.frame for e in shed_events) == list(sim.shed)
+
+    def test_public_simulate_threads_capacity(self, model, cluster, net):
+        import repro
+
+        sim = repro.simulate(
+            model, "pico", cluster, network=net,
+            arrivals=[0.0] * 8, queue_capacity=3,
+        )
+        assert len(sim.shed) == 5 and sim.completed == 3
