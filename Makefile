@@ -1,7 +1,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: install test test-fast test-slow bench bench-json bench-serve trace-smoke fault-smoke report examples all
+.PHONY: install test test-fast test-slow bench bench-json bench-serve bench-batch trace-smoke fault-smoke report examples all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -22,9 +22,13 @@ bench-json:
 	python -m repro.bench.engine --out BENCH_engine.json
 	python -m repro.bench.planner --out BENCH_planner.json
 	python -m repro.bench.serve --out BENCH_serve.json
+	python -m repro.bench.batch --out BENCH_batch.json
 
 bench-serve:
 	python -m repro.bench.serve --out BENCH_serve.json
+
+bench-batch:
+	python -m repro.bench.batch --out BENCH_batch.json
 
 trace-smoke:
 	python -m repro.bench.trace_smoke --hw 64 --frames 2 --devices 4

@@ -159,6 +159,8 @@ def simulate(
     shared_medium=False,
     measured_services=None,
     queue_capacity=None,
+    max_batch=1,
+    batch_timeout=0.0,
 ):
     """The one simulation entry point: plan, scheme, name or switcher.
 
@@ -181,6 +183,15 @@ def simulate(
     shed and reported in ``SimResult.shed``.  Returns a
     :class:`~repro.cluster.simulator.SimResult`.
 
+    ``max_batch`` / ``batch_timeout`` replay the serving layer's
+    cross-frame micro-batching analytically (see
+    :class:`~repro.serve.ServerConfig`): frames queued at the pipeline
+    entrance coalesce into batches of up to ``max_batch`` that traverse
+    the stages as one unit with the B-dependent service estimate.
+    Batching composes with a plan, scheme or name plus
+    ``queue_capacity``; it is not supported together with ``faults``,
+    ``shared_medium``, ``measured_services`` or a switcher replay.
+
     Subsumes the deprecated :func:`simulate_plan` /
     :func:`simulate_adaptive` split.
     """
@@ -190,6 +201,22 @@ def simulate(
         raise ValueError(
             "simulate() needs arrivals= (task submit times, in seconds)"
         )
+    if max_batch > 1:
+        if faults is not None and not faults.empty:
+            raise ValueError("max_batch > 1 is not supported with faults=")
+        if shared_medium:
+            raise ValueError(
+                "max_batch > 1 is not supported with shared_medium=True"
+            )
+        if measured_services is not None:
+            raise ValueError(
+                "max_batch > 1 is not supported with measured_services="
+            )
+        if isinstance(plan_or_scheme, AdaptiveSwitcher):
+            raise ValueError(
+                "max_batch > 1 is not supported with a switcher replay; "
+                "serve through repro.serve.PipelineServer instead"
+            )
     if isinstance(plan_or_scheme, AdaptiveSwitcher):
         if faults is not None and not faults.empty:
             raise ValueError(
@@ -209,6 +236,11 @@ def simulate(
         if cluster is None:
             raise ValueError("a scheme needs cluster= to plan over")
         planned = scheme.plan(model, cluster, network, options)
+        if max_batch > 1:
+            return _simulate_batched(
+                model, planned, network, arrivals, options, scheme.name,
+                trace, queue_capacity, max_batch, batch_timeout,
+            )
         return _simulate_plan(
             model, planned, network, arrivals, options,
             plan_name=scheme.name, shared_medium=shared_medium,
@@ -222,6 +254,12 @@ def simulate(
                 "simulating crash churn needs a scheme (or scheme name) "
                 "to re-plan the survivors — a bare plan cannot be rebuilt"
             )
+        if max_batch > 1:
+            return _simulate_batched(
+                model, plan_or_scheme, network, arrivals, options,
+                plan_or_scheme.mode, trace, queue_capacity,
+                max_batch, batch_timeout,
+            )
         return _simulate_plan(
             model, plan_or_scheme, network, arrivals, options,
             shared_medium=shared_medium,
@@ -234,11 +272,76 @@ def simulate(
     )
 
 
+def _simulate_batched(
+    model, plan, network, arrivals, options, plan_name, trace,
+    queue_capacity, max_batch, batch_timeout,
+):
+    """Analytic micro-batching replay behind :func:`simulate`.
+
+    Drives the serving layer's batched virtual-clock path
+    (:class:`~repro.serve.PipelineServer` over a zero-compute
+    :class:`SimTransport`) and repackages the records as a
+    :class:`~repro.cluster.simulator.SimResult`.  ``started`` in the
+    task records is the admission instant — batch forming and stage
+    queueing both live inside the reported latency.  Device busy time
+    accrues per batch from the timing tables, each stage share scaled
+    by its batched-service ratio.
+    """
+    from repro.cluster.simulator import SimResult, TaskRecord
+    from repro.runtime.program import compile_plan as _compile_plan
+    from repro.runtime.timing import plan_timing as _plan_timing
+    from repro.serve import PipelineServer, ServerConfig
+
+    engine = Engine(model, init_weights(model, seed=0))
+    transport = SimTransport(engine, network, options, compute=False)
+    if queue_capacity is None:
+        config = ServerConfig(
+            queue_capacity=max(1, len(arrivals)) + max_batch,
+            policy="block",
+            max_batch=max_batch, batch_timeout=batch_timeout,
+        )
+    else:
+        config = ServerConfig(
+            queue_capacity=queue_capacity, policy="shed",
+            max_batch=max_batch, batch_timeout=batch_timeout,
+        )
+    program = _compile_plan(model, plan)
+    with PipelineServer(program, transport, config, tracer=trace) as server:
+        served = server.serve(len(arrivals), arrivals=list(arrivals))
+    timing = _plan_timing(model, plan, network, options, name=plan_name)
+    device_busy: dict = {}
+    for record in served.completed:
+        for st in timing.stages:
+            scale = (
+                st.batched_service(record.batch) / (st.service * record.batch)
+                if st.service > 0
+                else 0.0
+            )
+            for device_name, share in st.busy_shares:
+                device_busy[device_name] = (
+                    device_busy.get(device_name, 0.0) + share * scale
+                )
+    tasks = [
+        TaskRecord(r.frame, r.arrival, r.admitted_at, r.completion, plan_name)
+        for r in served.completed
+    ]
+    usage = {plan_name: len(tasks)} if tasks else {}
+    return SimResult(
+        tasks,
+        served.makespan,
+        device_busy,
+        usage,
+        served.trace,
+        tuple(r.frame for r in served.shed),
+    )
+
+
 def simulate_plan(*args, **kwargs):
     """Deprecated alias — use :func:`repro.simulate`."""
     warnings.warn(
         "repro.simulate_plan is deprecated; use repro.simulate(model, "
-        "plan_or_scheme, cluster, arrivals=...)",
+        "plan_or_scheme, cluster, arrivals=...) — it also supports the "
+        "serving-layer micro-batching knobs (max_batch=, batch_timeout=)",
         DeprecationWarning,
         stacklevel=2,
     )
@@ -249,7 +352,8 @@ def simulate_adaptive(*args, **kwargs):
     """Deprecated alias — use :func:`repro.simulate`."""
     warnings.warn(
         "repro.simulate_adaptive is deprecated; use repro.simulate(model, "
-        "switcher, arrivals=...)",
+        "switcher, arrivals=...) — batched serving lives in "
+        "repro.serve.PipelineServer (max_batch=, batch_timeout=)",
         DeprecationWarning,
         stacklevel=2,
     )

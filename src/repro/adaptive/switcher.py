@@ -14,7 +14,11 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from repro.adaptive.estimator import ArrivalRateTracker
-from repro.adaptive.queueing import average_inference_latency, backlog_latency
+from repro.adaptive.queueing import (
+    average_inference_latency,
+    backlog_latency,
+    batched_inference_latency,
+)
 from repro.cluster.device import Cluster
 from repro.core.plan import PipelinePlan, plan_cost
 from repro.cost.comm import NetworkModel
@@ -30,19 +34,56 @@ __all__ = ["CandidatePlan", "AdaptiveSwitcher", "build_apico_switcher"]
 
 @dataclass(frozen=True)
 class CandidatePlan:
-    """A pre-planned scheme with its analytic period and latency."""
+    """A pre-planned scheme with its analytic period and latency.
+
+    ``comm_fraction`` is the communication share of the plan's service
+    time (bottleneck transfers / latency) — the part of a stage that
+    scales linearly with a cross-frame batch while compute is partially
+    amortised.  Defaults to 0 (all-compute), the conservative choice
+    when the planner did not supply a split.
+    """
 
     name: str
     plan: PipelinePlan
     period: float
     latency: float
+    comm_fraction: float = 0.0
 
-    def estimated_latency(self, arrival_rate: float) -> float:
-        return average_inference_latency(self.period, self.latency, arrival_rate)
+    def estimated_latency(self, arrival_rate: float, batch: int = 1) -> float:
+        if batch == 1:
+            return average_inference_latency(
+                self.period, self.latency, arrival_rate
+            )
+        return batched_inference_latency(
+            self.batched_period(batch),
+            self.batched_latency(batch),
+            arrival_rate,
+            batch,
+        )
 
-    def backlog_latency(self, queue_depth: int) -> float:
+    def batched_period(self, batch: int) -> float:
+        """Per-frame period with cross-frame batches of ``batch``."""
+        from repro.cost.tables import batched_service
+
+        if batch == 1:
+            return self.period
+        comm = self.period * self.comm_fraction
+        return batched_service(comm, self.period - comm, batch) / batch
+
+    def batched_latency(self, batch: int) -> float:
+        """Pipeline traversal time of one ``batch``-frame batch."""
+        from repro.cost.tables import batched_service
+
+        if batch == 1:
+            return self.latency
+        comm = self.latency * self.comm_fraction
+        return batched_service(comm, self.latency - comm, batch)
+
+    def backlog_latency(self, queue_depth: int, batch: int = 1) -> float:
         """Latency seen behind ``queue_depth`` frames already in flight."""
-        return backlog_latency(self.period, self.latency, queue_depth)
+        return backlog_latency(
+            self.batched_period(batch), self.batched_latency(batch), queue_depth
+        )
 
 
 class AdaptiveSwitcher:
@@ -54,22 +95,57 @@ class AdaptiveSwitcher:
         tracker: Optional[ArrivalRateTracker] = None,
         hysteresis: float = 0.0,
         schemes: "Optional[Tuple[Scheme, ...]]" = None,
+        batch_candidates: "Sequence[int]" = (1,),
     ) -> None:
         if not candidates:
             raise ValueError("need at least one candidate plan")
         if hysteresis < 0:
             raise ValueError("hysteresis must be non-negative")
+        if not batch_candidates or any(
+            int(b) != b or b < 1 for b in batch_candidates
+        ):
+            raise ValueError("batch_candidates must be integers >= 1")
         self.candidates = tuple(candidates)
         self.tracker = tracker or ArrivalRateTracker()
         self.hysteresis = hysteresis
         #: The planners that produced the candidates — kept so the
         #: switcher can rebuild its candidate set after cluster churn.
         self.schemes = tuple(schemes) if schemes is not None else None
+        #: Cross-frame batch sizes the switcher may recommend; ``(1,)``
+        #: keeps batching off and reproduces the PR-5 switcher exactly.
+        self.batch_candidates = tuple(sorted(set(int(b) for b in batch_candidates)))
         self._active = self.choose(self.tracker.rate)
+        self._active_batch = self.choose_batch(self.tracker.rate)
 
     @property
     def active(self) -> CandidatePlan:
         return self._active
+
+    @property
+    def active_batch(self) -> int:
+        """The cross-frame batch size currently recommended for the
+        active plan (1 unless ``batch_candidates`` offers more)."""
+        return self._active_batch
+
+    def choose_batch(
+        self, arrival_rate: float, queue_depth: int = 0
+    ) -> int:
+        """The best batch size for the *active* plan (no state change).
+
+        Scores every ``batch_candidates`` entry with the batched
+        Theorem 2 estimate (forming delay + batch M/D/1 wait + batched
+        execution): heavy load amortises per-frame work across the
+        batch, light load pays the forming delay.  Ties break towards
+        the smaller batch — including the zero-rate cold start, where
+        every ``b > 1`` estimate is infinite.
+        """
+        return min(
+            self.batch_candidates,
+            key=lambda b: (
+                self._score(self._active, arrival_rate, queue_depth, b),
+                b,
+            ),
+        )
 
     def choose(self, arrival_rate: float, queue_depth: int = 0) -> CandidatePlan:
         """The best candidate at ``arrival_rate`` (no state change).
@@ -88,11 +164,16 @@ class AdaptiveSwitcher:
 
     @staticmethod
     def _score(
-        candidate: CandidatePlan, arrival_rate: float, queue_depth: int
+        candidate: CandidatePlan,
+        arrival_rate: float,
+        queue_depth: int,
+        batch: int = 1,
     ) -> float:
-        estimate = candidate.estimated_latency(arrival_rate)
+        estimate = candidate.estimated_latency(arrival_rate, batch)
         if queue_depth > 0:
-            estimate = max(estimate, candidate.backlog_latency(queue_depth))
+            estimate = max(
+                estimate, candidate.backlog_latency(queue_depth, batch)
+            )
         return estimate
 
     def plan_timings(
@@ -147,7 +228,10 @@ class AdaptiveSwitcher:
                 continue
             cost = plan_cost(model, plan, network, options)
             candidates.append(
-                CandidatePlan(scheme.name, plan, cost.period, cost.latency)
+                CandidatePlan(
+                    scheme.name, plan, cost.period, cost.latency,
+                    comm_fraction=_comm_fraction(cost),
+                )
             )
         if not candidates:
             raise PlanningError(
@@ -155,7 +239,8 @@ class AdaptiveSwitcher:
                 f"({'; '.join(errors)})"
             )
         return AdaptiveSwitcher(
-            candidates, self.tracker, self.hysteresis, schemes=self.schemes
+            candidates, self.tracker, self.hysteresis,
+            schemes=self.schemes, batch_candidates=self.batch_candidates,
         )
 
     def on_arrival(
@@ -182,7 +267,17 @@ class AdaptiveSwitcher:
                     self._active = best
             elif best_est <= current_est * (1.0 - self.hysteresis):
                 self._active = best
+        self._active_batch = self.choose_batch(rate, depth)
         return self._active
+
+
+def _comm_fraction(cost) -> float:
+    """Communication share of a plan's latency — the part of a batched
+    service that scales linearly with B (see :class:`CandidatePlan`)."""
+    if cost.latency <= 0:
+        return 0.0
+    total_comm = sum(sc.t_comm for sc in cost.stage_costs)
+    return min(1.0, max(0.0, total_comm / cost.latency))
 
 
 def build_apico_switcher(
@@ -193,10 +288,12 @@ def build_apico_switcher(
     schemes: "Optional[Tuple[Scheme, ...]]" = None,
     tracker: Optional[ArrivalRateTracker] = None,
     hysteresis: float = 0.0,
+    batch_candidates: "Sequence[int]" = (1,),
 ) -> AdaptiveSwitcher:
     """Plan the default APICO candidate set: PICO (pipelined) plus the
     paper's chosen one-stage scheme, AOFL/OFL (§IV-C: "we choose [8] as
-    the one-stage scheme")."""
+    the one-stage scheme").  ``batch_candidates`` additionally lets the
+    switcher score cross-frame batch sizes for the active plan."""
     if schemes is None:
         schemes = (PicoScheme(), OptimalFusedScheme())
     # Prewarm the shared segment table: every candidate scheme (and any
@@ -209,6 +306,12 @@ def build_apico_switcher(
         plan = scheme.plan(model, cluster, network, options)
         cost = plan_cost(model, plan, network, options)
         candidates.append(
-            CandidatePlan(scheme.name, plan, cost.period, cost.latency)
+            CandidatePlan(
+                scheme.name, plan, cost.period, cost.latency,
+                comm_fraction=_comm_fraction(cost),
+            )
         )
-    return AdaptiveSwitcher(candidates, tracker, hysteresis, schemes=schemes)
+    return AdaptiveSwitcher(
+        candidates, tracker, hysteresis,
+        schemes=schemes, batch_candidates=batch_candidates,
+    )

@@ -143,6 +143,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="admission queue bound (frames in system)")
     p.add_argument("--policy", choices=["shed", "block"], default="shed",
                    help="full-queue behaviour: shed or backpressure")
+    p.add_argument("--max-batch", type=int, default=1,
+                   help="cross-frame micro-batching: coalesce up to this "
+                        "many queued frames into one batched pass per stage")
+    p.add_argument("--batch-timeout", type=float, default=0.0,
+                   help="seconds a forming batch holds the entrance open "
+                        "for stragglers (0 = take only what is queued)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--adaptive", action="store_true",
                    help="APICO switching fed by the measured queue depth "
@@ -432,7 +438,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.no_compute:
             raise SystemExit("--no-compute needs --backend sim")
         transport = InProcTransport(engine)
-    config = ServerConfig(queue_capacity=args.capacity, policy=args.policy)
+    config = ServerConfig(
+        queue_capacity=args.capacity, policy=args.policy,
+        max_batch=args.max_batch, batch_timeout=args.batch_timeout,
+    )
     server = PipelineServer.from_plan(
         model, plan, transport, config=config, switcher=switcher
     )
@@ -467,12 +476,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"p95 {result.percentile_sojourn(95):.4f}s, "
             f"p99 {result.percentile_sojourn(99):.4f}s"
         )
+    if args.max_batch > 1 and result.batch_sizes:
+        print(
+            "batching: "
+            f"mean {result.mean_batch:.2f} frames/batch, "
+            f"p50 {result.percentile_batch(50):.0f}, "
+            f"p95 {result.percentile_batch(95):.0f} "
+            f"(max {args.max_batch}, timeout {args.batch_timeout:g}s)"
+        )
     if switcher is not None:
         usage = ", ".join(
             f"{k}:{v}" for k, v in sorted(result.plan_usage.items())
         )
         print(f"plan usage: {usage}")
-    elif result.sojourns and stable(cost.period, rate) and not result.shed:
+    elif (
+        args.max_batch == 1
+        and result.sojourns
+        and stable(cost.period, rate)
+        and not result.shed
+    ):
         check = validate_md1(
             result.sojourns, cost.period, cost.latency, rate
         )

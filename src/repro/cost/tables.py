@@ -57,11 +57,51 @@ from repro.partition.regions import Interval, Region
 from repro.partition.strips import equal_partition
 
 __all__ = [
+    "BATCH_AMORTIZED_FRACTION",
     "SegmentTable",
     "SegmentCostTable",
+    "batched_service",
     "get_segment_table",
     "get_cost_table",
 ]
+
+#: Default fraction of a stage's compute-side service that is paid once
+#: per *batch* rather than once per frame: the im2col pack tap loop, the
+#: bias/activation epilogue block loop and the per-layer / per-stage
+#: Python dispatch.  Calibrated against ``repro.bench.batch`` (the
+#: committed ``BENCH_batch.json`` records the measured amortisation);
+#: BENCH_engine's Amdahl note puts the non-GEMM share of the fast path
+#: at roughly this level.
+BATCH_AMORTIZED_FRACTION = 0.25
+
+
+def batched_service(
+    comm: float,
+    comp: float,
+    batch: int,
+    amortized: float = BATCH_AMORTIZED_FRACTION,
+) -> float:
+    """The Eq. 9 stage service generalised to a cross-frame batch of
+    ``batch`` frames: the B-dependent estimate every consumer (virtual
+    clock, plan timing, M/D/1 helpers, adaptive switcher) shares.
+
+    Communication scales linearly — every frame's tile still crosses the
+    wire — while a fraction ``amortized`` of the compute-side service is
+    paid once per batch and the rest once per frame:
+
+        ``service(B) = B·comm + comp·(amortized + B·(1 − amortized))``
+
+    ``batch == 1`` returns exactly ``comm + comp`` (the existing
+    single-frame service, bit-for-bit), which keeps every B=1 timing
+    contract intact.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    if not 0.0 <= amortized <= 1.0:
+        raise ValueError(f"amortized fraction must be in [0, 1], got {amortized}")
+    if batch == 1:
+        return comm + comp
+    return batch * comm + comp * (amortized + batch * (1.0 - amortized))
 
 _Size2 = Tuple[int, int]
 _Cols = Tuple[int, int]

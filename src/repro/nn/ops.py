@@ -1,9 +1,15 @@
 """Numpy tensor operations for CNN inference.
 
-Feature maps are ``(C, H, W)`` float32 arrays (single image — edge
-inference is latency-bound, batch size 1).  Every op takes *explicit*
-padding so region-restricted execution can substitute the per-tile
-virtual padding computed by the region algebra.
+Feature maps are ``(C, H, W)`` float32 arrays, or ``(C, B, H, W)`` when
+``B`` frames in flight execute as one cross-frame batch (channel-major
+with batch second, so the batched GEMM output lands in the same layout
+with zero transposes).  Every spatial op indexes the trailing two axes,
+so the same kernels serve both ranks; per-frame slices of a batched
+result are bit-identical to the corresponding single-frame calls (the
+tall GEMM computes each column independently, and the pooling
+reductions are per-plane).  Every op takes *explicit* padding so
+region-restricted execution can substitute the per-tile virtual padding
+computed by the region algebra.
 
 Two convolution paths coexist:
 
@@ -102,42 +108,61 @@ class ScratchPad:
         return self._buf[:n].reshape(shape)
 
 
+def _check_map(x: np.ndarray, op: str) -> None:
+    """Feature maps are (C, H, W) or batched (C, B, H, W) — nothing else.
+
+    The spatial kernels index the trailing two axes, so a wrong-rank
+    array would silently pool/convolve over the wrong dimensions; fail
+    loudly instead.
+    """
+    if x.ndim not in (3, 4):
+        raise ValueError(
+            f"{op} expects a (C, H, W) or (C, B, H, W) feature map, "
+            f"got shape {x.shape}"
+        )
+
+
 def pad2d(x: np.ndarray, pads: _Pad4) -> np.ndarray:
-    """Zero-pad the spatial axes by (top, bottom, left, right)."""
+    """Zero-pad the trailing spatial axes by (top, bottom, left, right)."""
     top, bottom, left, right = pads
     if top == bottom == left == right == 0:
         return x
     if min(pads) < 0:
         raise ValueError(f"negative padding {pads}")
-    return np.pad(x, ((0, 0), (top, bottom), (left, right)))
+    width = [(0, 0)] * (x.ndim - 2) + [(top, bottom), (left, right)]
+    return np.pad(x, width)
 
 
 def _windows(x: np.ndarray, kernel: _Size2, stride: _Size2) -> np.ndarray:
-    """Sliding windows of ``x``: shape (C, H_out, W_out, kh, kw)."""
+    """Sliding windows over the trailing spatial axes:
+    shape (..., H_out, W_out, kh, kw)."""
     kh, kw = kernel
-    if x.shape[1] < kh or x.shape[2] < kw:
+    if x.shape[-2] < kh or x.shape[-1] < kw:
         raise ValueError(
-            f"input spatial {x.shape[1:]} smaller than kernel {kernel}"
+            f"input spatial {x.shape[-2:]} smaller than kernel {kernel}"
         )
-    view = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(1, 2))
-    return view[:, :: stride[0], :: stride[1]]
+    view = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(-2, -1))
+    return view[..., :: stride[0], :: stride[1], :, :]
 
 
 def _out_hw(xp: np.ndarray, kernel: _Size2, stride: _Size2) -> _Size2:
     """Output spatial size of a kernel sweep over a padded map."""
     kh, kw = kernel
-    if xp.shape[1] < kh or xp.shape[2] < kw:
+    if xp.shape[-2] < kh or xp.shape[-1] < kw:
         raise ValueError(
-            f"input spatial {xp.shape[1:]} smaller than kernel {kernel}"
+            f"input spatial {xp.shape[-2:]} smaller than kernel {kernel}"
         )
-    return ((xp.shape[1] - kh) // stride[0] + 1, (xp.shape[2] - kw) // stride[1] + 1)
+    return (
+        (xp.shape[-2] - kh) // stride[0] + 1,
+        (xp.shape[-1] - kw) // stride[1] + 1,
+    )
 
 
 def _tap(xp: np.ndarray, i: int, j: int, stride: _Size2, out_hw: _Size2) -> np.ndarray:
-    """The (i, j) kernel-tap slice of a padded map: shape (C, Ho, Wo)."""
+    """The (i, j) kernel-tap slice of a padded map: shape (..., Ho, Wo)."""
     ho, wo = out_hw
     sv, sh = stride
-    return xp[:, i : i + (ho - 1) * sv + 1 : sv, j : j + (wo - 1) * sh + 1 : sh]
+    return xp[..., i : i + (ho - 1) * sv + 1 : sv, j : j + (wo - 1) * sh + 1 : sh]
 
 
 def im2col(
@@ -152,22 +177,29 @@ def im2col(
     Returns ``(cols, (Ho, Wo))`` where ``cols`` has shape
     ``(C·kh·kw, Ho·Wo)`` with rows ordered ``(channel, kh, kw)`` — the
     exact operand layout ``np.tensordot`` builds internally, which is
-    what makes the GEMM path bit-exact with the reference.  The buffer
-    is filled tap-by-tap with strided slice copies (one vectorised copy
-    per kernel position) instead of copying a transposed 5-D window
-    view, and lives in ``scratch`` when provided.
+    what makes the GEMM path bit-exact with the reference.  A batched
+    ``(C, B, H, W)`` input builds one **stacked panel** of shape
+    ``(C·kh·kw, B·Ho·Wo)`` with columns ordered ``(frame, ho, wo)``:
+    frame ``b``'s block is column-for-column the panel the single-frame
+    call would build, so the tall GEMM result splits back into
+    bit-identical per-frame outputs.  The buffer is filled tap-by-tap
+    with strided slice copies (one vectorised copy per kernel position,
+    spanning every frame at once) instead of copying a transposed
+    window view, and lives in ``scratch`` when provided.
     """
     kh, kw = kernel
     top, bottom, left, right = pads
     if min(pads) < 0:
         raise ValueError(f"negative padding {pads}")
-    c, h, w = x.shape
+    _check_map(x, "im2col")
+    c, h, w = x.shape[0], x.shape[-2], x.shape[-1]
     hp, wp = h + top + bottom, w + left + right
     if hp < kh or wp < kw:
         raise ValueError(f"padded spatial {(hp, wp)} smaller than kernel {kernel}")
     sv, sh = stride
     ho, wo = (hp - kh) // sv + 1, (wp - kw) // sh + 1
-    shape = (c, kh, kw, ho, wo)
+    batch = x.shape[1:-2]  # () for single-frame, (B,) for batched
+    shape = (c, kh, kw, *batch, ho, wo)
     buf = scratch.take(shape) if scratch is not None else np.empty(shape, np.float32)
     for i in range(kh):
         for j in range(kw):
@@ -181,24 +213,27 @@ def im2col(
             c1 = min(wo, (left + w - 1 - j) // sh + 1) if left + w > j else 0
             r1, c1 = max(r0, r1), max(c0, c1)
             if r0 > 0:
-                dst[:, :r0] = 0.0
+                dst[..., :r0, :] = 0.0
             if r1 < ho:
-                dst[:, r1:] = 0.0
+                dst[..., r1:, :] = 0.0
             if c0 > 0:
-                dst[:, r0:r1, :c0] = 0.0
+                dst[..., r0:r1, :c0] = 0.0
             if c1 < wo:
-                dst[:, r0:r1, c1:] = 0.0
+                dst[..., r0:r1, c1:] = 0.0
             if r1 > r0 and c1 > c0:
                 si, sj = i - top + r0 * sv, j - left + c0 * sh
                 np.copyto(
-                    dst[:, r0:r1, c0:c1],
+                    dst[..., r0:r1, c0:c1],
                     x[
-                        :,
+                        ...,
                         si : si + (r1 - r0 - 1) * sv + 1 : sv,
                         sj : sj + (c1 - c0 - 1) * sh + 1 : sh,
                     ],
                 )
-    return buf.reshape(c * kh * kw, ho * wo), (ho, wo)
+    n = ho * wo
+    for dim in batch:
+        n *= dim
+    return buf.reshape(c * kh * kw, n), (ho, wo)
 
 
 def _check_conv(x: np.ndarray, cout: int, cin_w: int, groups: int) -> None:
@@ -240,6 +275,7 @@ def conv2d_packed(
     activation: str = "linear",
     scratch: Optional[ScratchPad] = None,
     out_scratch: Optional[ScratchPad] = None,
+    batch_gemm: str = "exact",
 ) -> np.ndarray:
     """GEMM convolution against a :func:`pack_conv_weight` matrix.
 
@@ -249,8 +285,29 @@ def conv2d_packed(
     array beyond the scratch arenas — or none when ``out_scratch``
     provides the output buffer (chain execution ping-pongs two arenas;
     the returned array aliases ``out_scratch``'s storage).
+
+    A batched ``(C, B, H, W)`` input builds one **stacked** im2col
+    panel — ``B·Ho·Wo`` columns instead of ``Ho·Wo`` — so the tap-fill
+    pack, the bias/activation epilogue and the per-layer dispatch are
+    all paid once per batch, and returns ``(Cout, B, Ho, Wo)``.
+    ``batch_gemm`` picks how the panel hits BLAS:
+
+    ``"exact"`` (default)
+        One sgemm per frame over the panel's contiguous-row column
+        blocks.  Each call has exactly the single-frame ``(M, K, N)``
+        geometry, so every frame's slice is **bit-identical** to the
+        per-frame loop — the batched differential guarantee.
+
+    ``"tall"``
+        One tall sgemm over all ``B·Ho·Wo`` columns.  Highest BLAS
+        efficiency, but OpenBLAS picks kernels by shape (the
+        small-matrix path re-associates the K accumulation when the
+        per-frame column count is not vector-aligned), so frames are
+        only float-close (ULP-scale) to the per-frame loop.
     """
     kh, kw = kernel
+    if batch_gemm not in ("exact", "tall"):
+        raise ValueError(f"unknown batch_gemm mode {batch_gemm!r}")
     if groups == 1:
         cout, k = packed.shape
         cin_w = k // (kh * kw)
@@ -259,23 +316,49 @@ def conv2d_packed(
         cin_w = packed.shape[2] // (kh * kw)
     _check_conv(x, cout, cin_w, groups)
     cols, (ho, wo) = im2col(x, kernel, stride, pads, scratch)
-    n = ho * wo
+    n = cols.shape[1]
+    split = x.ndim == 4 and x.shape[1] > 1 and batch_gemm == "exact"
     if groups == 1:
         if out_scratch is not None:
             out = out_scratch.take((cout, n))
-            np.dot(packed, cols, out=out)
         else:
-            out = np.dot(packed, cols)
+            out = np.empty((cout, n), np.float32)
+        if split:
+            _gemm_per_frame_(packed, cols, x.shape[1], out)
+        else:
+            np.dot(packed, cols, out=out)
     else:
         k_g = packed.shape[2]
+        cols3 = cols.reshape(groups, k_g, n)
         if out_scratch is not None:
             out3 = out_scratch.take((groups, cout // groups, n))
-            np.matmul(packed, cols.reshape(groups, k_g, n), out=out3)
         else:
-            out3 = np.matmul(packed, cols.reshape(groups, k_g, n))
+            out3 = np.empty((groups, cout // groups, n), np.float32)
+        if split:
+            _gemm_per_frame_(packed, cols3, x.shape[1], out3)
+        else:
+            np.matmul(packed, cols3, out=out3)
         out = out3.reshape(cout, n)
     _conv_epilogue_(out, bias, activation)
-    return out.reshape(cout, ho, wo)
+    return out.reshape(cout, *x.shape[1:-2], ho, wo)
+
+
+def _gemm_per_frame_(
+    packed: np.ndarray, cols: np.ndarray, b: int, out: np.ndarray
+) -> None:
+    """The ``batch_gemm="exact"`` inner loop: one GEMM per frame over
+    the stacked panel's column blocks, written into ``out``.
+
+    Column block ``i`` of the panel is the very matrix the single-frame
+    call would build (same values, same ``(M, K, N)``), so BLAS runs the
+    identical kernel with the identical accumulation order — only the
+    leading dimension differs, which the pack step normalises away.
+    """
+    nf = cols.shape[-1] // b
+    for i in range(b):
+        lo = i * nf
+        block = np.matmul(packed, cols[..., lo : lo + nf])
+        out[..., lo : lo + nf] = block
 
 
 def _conv_epilogue_(out: np.ndarray, bias: Optional[np.ndarray], activation: str) -> None:
@@ -304,6 +387,7 @@ def conv2d(
     stride: _Size2 = (1, 1),
     pads: _Pad4 = (0, 0, 0, 0),
     groups: int = 1,
+    batch_gemm: str = "exact",
 ) -> np.ndarray:
     """2-D convolution (cross-correlation) via im2col + GEMM.
 
@@ -315,7 +399,8 @@ def conv2d(
     _check_conv(x, weight.shape[0], weight.shape[1], groups)
     packed = pack_conv_weight(weight, groups)
     return conv2d_packed(
-        x, packed, bias, weight.shape[2:], stride, pads, groups
+        x, packed, bias, weight.shape[2:], stride, pads, groups,
+        batch_gemm=batch_gemm,
     )
 
 
@@ -330,8 +415,22 @@ def conv2d_reference(
     """The original sliding-window conv (tensordot / grouped einsum).
 
     Kept verbatim as the oracle for the GEMM bit-exactness tests and as
-    the "before" kernel in the engine benchmarks.
+    the "before" kernel in the engine benchmarks.  Batched inputs run
+    the frame loop a batched fast path must match — the literal
+    per-frame oracle.
     """
+    _check_map(x, "conv2d_reference")
+    if x.ndim == 4:
+        return np.stack(
+            [
+                conv2d_reference(
+                    np.ascontiguousarray(x[:, b]), weight, bias, stride,
+                    pads, groups,
+                )
+                for b in range(x.shape[1])
+            ],
+            axis=1,
+        )
     _check_conv(x, weight.shape[0], weight.shape[1], groups)
     xp = pad2d(x, pads)
     win = _windows(xp, weight.shape[2:], stride)
@@ -362,22 +461,29 @@ def maxpool2d(
     over strided slices — bit-exact with the windowed reference (max is
     order-free) and much faster than reducing a 5-D strided view.  With
     ``out_scratch`` the result lives in (and aliases) the arena.
+
+    The tap path is fully general: non-square inputs, non-square
+    kernels, asymmetric padding and batched ``(C, B, H, W)`` maps all
+    stay on this fast route (the guard rejects anything else instead of
+    silently pooling the wrong axes), so tiled and batched execution
+    never fall back to the windowed reference.
     """
+    _check_map(x, "maxpool2d")
     top, bottom, left, right = pads
     if any(pads):
         if min(pads) < 0:
             raise ValueError(f"negative padding {pads}")
         xp = np.full(
-            (x.shape[0], x.shape[1] + top + bottom, x.shape[2] + left + right),
+            (*x.shape[:-2], x.shape[-2] + top + bottom, x.shape[-1] + left + right),
             -np.inf,
             dtype=x.dtype,
         )
-        xp[:, top : top + x.shape[1], left : left + x.shape[2]] = x
+        xp[..., top : top + x.shape[-2], left : left + x.shape[-1]] = x
     else:
         xp = x
     kh, kw = kernel
     out_hw = _out_hw(xp, kernel, stride)
-    shape = (x.shape[0], *out_hw)
+    shape = (*x.shape[:-2], *out_hw)
     out = out_scratch.take(shape) if out_scratch is not None else np.empty(shape, np.float32)
     np.copyto(out, _tap(xp, 0, 0, stride, out_hw))
     for i in range(kh):
@@ -392,18 +498,19 @@ def maxpool2d_reference(
     x: np.ndarray, kernel: _Size2, stride: _Size2, pads: _Pad4 = (0, 0, 0, 0)
 ) -> np.ndarray:
     """The original windowed max pooling (oracle / benchmark baseline)."""
+    _check_map(x, "maxpool2d_reference")
     top, bottom, left, right = pads
     if any(pads):
         xp = np.full(
-            (x.shape[0], x.shape[1] + top + bottom, x.shape[2] + left + right),
+            (*x.shape[:-2], x.shape[-2] + top + bottom, x.shape[-1] + left + right),
             -np.inf,
             dtype=x.dtype,
         )
-        xp[:, top : top + x.shape[1], left : left + x.shape[2]] = x
+        xp[..., top : top + x.shape[-2], left : left + x.shape[-1]] = x
     else:
         xp = x
     win = _windows(xp, kernel, stride)
-    return np.ascontiguousarray(win.max(axis=(3, 4)), dtype=np.float32)
+    return np.ascontiguousarray(win.max(axis=(-2, -1)), dtype=np.float32)
 
 
 def avgpool2d(
@@ -415,11 +522,14 @@ def avgpool2d(
     Stays on the windowed sum: tap-accumulation would change the float
     summation order and break bitwise reproducibility against existing
     traces.  Average pools are rare (one per classification model), so
-    the fast path gains nothing by touching this.
+    the fast path gains nothing by touching this.  The batch axis only
+    widens the window view — each plane's kh·kw reduction keeps the
+    single-frame accumulation order, so batched slices stay bit-exact.
     """
+    _check_map(x, "avgpool2d")
     xp = pad2d(x, pads)
     win = _windows(xp, kernel, stride)
-    out = win.sum(axis=(3, 4)) / float(kernel[0] * kernel[1])
+    out = win.sum(axis=(-2, -1)) / float(kernel[0] * kernel[1])
     return ensure_f32c(out)
 
 
@@ -478,10 +588,15 @@ def batch_norm(
     var: np.ndarray,
     eps: float = 1e-5,
 ) -> np.ndarray:
-    """Inference-mode batch normalisation (per-channel affine)."""
+    """Inference-mode batch normalisation (per-channel affine).
+
+    Broadcasts over whatever trails the channel axis, so single-frame
+    ``(C, H, W)`` and batched ``(C, B, H, W)`` maps share the path.
+    """
     scale = gamma / np.sqrt(var + eps)
     shift = beta - mean * scale
-    return (x * scale[:, None, None] + shift[:, None, None]).astype(np.float32)
+    bshape = scale.shape + (1,) * (x.ndim - 1)
+    return (x * scale.reshape(bshape) + shift.reshape(bshape)).astype(np.float32)
 
 
 def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray) -> np.ndarray:

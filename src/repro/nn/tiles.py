@@ -308,12 +308,14 @@ def clear_program_cache() -> None:
 def extract_tile(feature_map: np.ndarray, region: Region) -> np.ndarray:
     """Slice a region out of a ``(C, H, W)`` feature map (copy).
 
+    Batched ``(C, B, H, W)`` maps slice the same trailing spatial axes,
+    so a stage's tile carries every in-flight frame's strip at once.
     Full-map regions of an already-contiguous float32 map are returned
     as-is (no copy): the common case when a one-device stage or a local
     executor feeds a whole feature map through ``run_segment``.
     """
     view = feature_map[
-        :, region.rows.start : region.rows.end, region.cols.start : region.cols.end
+        ..., region.rows.start : region.rows.end, region.cols.start : region.cols.end
     ]
     from repro.nn import ops  # local import to avoid cycle at module load
 
@@ -328,9 +330,9 @@ def _run_steps(engine: Engine, steps: Tuple[LayerStep, ...], tile: np.ndarray) -
     # merge from any thread.
     tile = engine.run_chain(tuple((s.layer, s.pads) for s in steps), tile)
     last = steps[-1]
-    if tile.shape[1:] != (last.out_region.height, last.out_region.width):
+    if tile.shape[-2:] != (last.out_region.height, last.out_region.width):
         raise AssertionError(
-            f"{last.layer.name}: produced {tile.shape[1:]}, expected "
+            f"{last.layer.name}: produced {tile.shape[-2:]}, expected "
             f"{(last.out_region.height, last.out_region.width)}"
         )
     return tile
@@ -339,12 +341,20 @@ def _run_steps(engine: Engine, steps: Tuple[LayerStep, ...], tile: np.ndarray) -
 def run_segment(engine: Engine, program: SegmentProgram, tile: np.ndarray) -> np.ndarray:
     """Execute a compiled program on the extracted input tile.
 
-    ``tile`` must be ``extract_tile(input_map, program.input_region)``.
-    Returns the ``out_region`` tile of the segment's output map.
+    ``tile`` must be ``extract_tile(input_map, program.input_region)``
+    — a single ``(C, H, W)`` tile, or a ``(C, B, H, W)`` stack of ``B``
+    frames' tiles, which runs the same program once with batched
+    kernels underneath (per-frame slices of the result match the
+    per-tile runs).  Returns the ``out_region`` tile of the segment's
+    output map.
     """
+    if tile.ndim not in (3, 4):
+        raise ValueError(
+            f"tile must be (C, H, W) or (C, B, H, W), got shape {tile.shape}"
+        )
     expected = (program.input_region.height, program.input_region.width)
-    if tile.shape[1:] != expected:
-        raise ValueError(f"tile spatial {tile.shape[1:]} != program input {expected}")
+    if tile.shape[-2:] != expected:
+        raise ValueError(f"tile spatial {tile.shape[-2:]} != program input {expected}")
     from repro.nn import ops  # local import to avoid cycle at module load
 
     current = tile
@@ -359,9 +369,9 @@ def run_segment(engine: Engine, program: SegmentProgram, tile: np.ndarray) -> np
         if not pending:
             return x
         x = engine.run_chain(tuple(pending), x)
-        if x.shape[1:] != (pending_region.height, pending_region.width):
+        if x.shape[-2:] != (pending_region.height, pending_region.width):
             raise AssertionError(
-                f"chain produced {x.shape[1:]}, expected "
+                f"chain produced {x.shape[-2:]}, expected "
                 f"{(pending_region.height, pending_region.width)}"
             )
         pending, pending_region = [], None
@@ -376,7 +386,7 @@ def run_segment(engine: Engine, program: SegmentProgram, tile: np.ndarray) -> np
 
         def run_path(path: PathProgram, block_in: np.ndarray = current) -> np.ndarray:
             r_off, r_len, c_off, c_len = path.crop
-            sub = block_in[:, r_off : r_off + r_len, c_off : c_off + c_len]
+            sub = block_in[..., r_off : r_off + r_len, c_off : c_off + c_len]
             return _run_steps(engine, path.steps, np.ascontiguousarray(sub))
 
         # Block paths are independent given the union input tile: fan

@@ -31,6 +31,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cost.tables import batched_service
 from repro.nn import parallel
 from repro.nn.executor import Engine
 from repro.nn.tiles import run_segment
@@ -48,7 +49,9 @@ from repro.runtime.program import (
     compile_plan,
     repartition_stage,
     split_stage,
+    stack_frames,
     stitch_stage,
+    unstack_frames,
 )
 from repro.runtime.timing import PlanTiming, plan_timing
 from repro.runtime.trace import TraceEvent, Tracer
@@ -60,6 +63,7 @@ __all__ = [
     "InProcTransport",
     "SimTransport",
     "execute_stage",
+    "execute_stage_batch",
     "PipelineSession",
 ]
 
@@ -235,8 +239,63 @@ def execute_stage(
     config (the default) failures propagate untouched — the exact
     legacy path.
     """
+    return _execute_stage(
+        transport, program, stage_index, x, (frame,), tracer, config
+    )
+
+
+def execute_stage_batch(
+    transport: Transport,
+    program: PlanProgram,
+    stage_index: int,
+    x: np.ndarray,
+    frames: "Sequence[int]",
+    tracer: Optional[Tracer] = None,
+    config: "Optional[RuntimeConfig]" = None,
+) -> np.ndarray:
+    """Run one stage of a *cross-frame batch* through a transport.
+
+    ``x`` is the ``(C, B, H, W)`` stack of the batch members' stage
+    inputs (:func:`~repro.runtime.program.stack_frames`); ``frames``
+    their frame ids in stack order.  The same split → compute → stitch
+    path as :func:`execute_stage` runs once over the batched tiles — one
+    stacked im2col panel and GEMM pass per layer — and returns the
+    batched stage output.  Per-frame slices are bit-identical to ``B``
+    separate :func:`execute_stage` calls.
+
+    Trace events replicate per member frame (each frame keeps its
+    canonical enqueue/send/compute/recv sequence; tile bytes split
+    evenly), so per-frame canonical traces stay comparable with
+    unbatched runs.  The fault ladder treats the batch as a unit:
+    retries, repartitions and replays apply to every member together,
+    and transports key fault injection by the batch's lead frame.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"batched stage input must be (C, B, H, W), got {x.shape}")
+    if x.shape[1] != len(frames):
+        raise ValueError(
+            f"batch of {x.shape[1]} maps does not match {len(frames)} frame ids"
+        )
+    if not frames:
+        raise ValueError("batch needs at least one frame")
+    return _execute_stage(
+        transport, program, stage_index, x, tuple(frames), tracer, config
+    )
+
+
+def _execute_stage(
+    transport: Transport,
+    program: PlanProgram,
+    stage_index: int,
+    x: np.ndarray,
+    frames: "Tuple[int, ...]",
+    tracer: Optional[Tracer],
+    config: "Optional[RuntimeConfig]",
+) -> np.ndarray:
+    """The shared single-frame / batched fault ladder."""
+    frame = frames[0]
     if config is None:
-        return _attempt_stage(transport, program, stage_index, x, frame, tracer)
+        return _attempt_stage(transport, program, stage_index, x, frames, tracer)
     attempt = 0
     while True:
         try:
@@ -245,7 +304,7 @@ def execute_stage(
                 # death; repair proactively instead of failing the send.
                 transport.repartition(stage_index)
             return _attempt_stage(
-                transport, program, stage_index, x, frame, tracer
+                transport, program, stage_index, x, frames, tracer
             )
         except TransientTaskError as exc:
             if not config.recover or attempt >= config.max_retries:
@@ -288,37 +347,45 @@ def _attempt_stage(
     program: PlanProgram,
     stage_index: int,
     x: np.ndarray,
-    frame: int,
+    frames: "Tuple[int, ...]",
     tracer: Optional[Tracer] = None,
 ) -> np.ndarray:
-    """One split → compute → stitch attempt (the legacy hot path)."""
+    """One split → compute → stitch attempt (the legacy hot path).
+
+    ``frames`` has one id for a single-frame map, several for a batched
+    ``(C, B, H, W)`` input — the split/compute/stitch calls are
+    identical either way; only trace emission fans out per frame.
+    """
     stage = transport.current_stage(stage_index)
     tasks = transport.stage_tasks(stage_index)
     tiles = split_stage(tasks, x)
-    outs, st = transport.run_tasks(stage_index, tiles, frame)
+    outs, st = transport.run_tasks(stage_index, tiles, frames[0])
     if tracer is not None:
-        events = [
-            TraceEvent("enqueue", frame, stage_index, "", st.entry, st.start)
-        ]
-        for task, tile, out, tt in zip(tasks, tiles, outs, st.tasks):
+        b = len(frames)
+        events = []
+        for frame in frames:
             events.append(
-                TraceEvent(
-                    "send", frame, stage_index, task.device_name,
-                    tt.send[0], tt.send[1], tile.nbytes,
-                )
+                TraceEvent("enqueue", frame, stage_index, "", st.entry, st.start)
             )
-            events.append(
-                TraceEvent(
-                    "compute", frame, stage_index, task.device_name,
-                    tt.compute[0], tt.compute[1],
+            for task, tile, out, tt in zip(tasks, tiles, outs, st.tasks):
+                events.append(
+                    TraceEvent(
+                        "send", frame, stage_index, task.device_name,
+                        tt.send[0], tt.send[1], tile.nbytes // b,
+                    )
                 )
-            )
-            events.append(
-                TraceEvent(
-                    "recv", frame, stage_index, task.device_name,
-                    tt.recv[0], tt.recv[1], out.nbytes,
+                events.append(
+                    TraceEvent(
+                        "compute", frame, stage_index, task.device_name,
+                        tt.compute[0], tt.compute[1],
+                    )
                 )
-            )
+                events.append(
+                    TraceEvent(
+                        "recv", frame, stage_index, task.device_name,
+                        tt.recv[0], tt.recv[1], out.nbytes // b,
+                    )
+                )
         tracer.extend(events)
     return stitch_stage(stage, tasks, outs)
 
@@ -410,12 +477,15 @@ class InProcTransport(Transport):
         return outs, StageTrace(entry, entry, exit_, timings)
 
 
-def _zero_tile(task: TaskSpec, stage: StageProgram) -> np.ndarray:
+def _zero_tile(
+    task: TaskSpec, stage: StageProgram, batch: int = 0
+) -> np.ndarray:
     """A correctly shaped all-zeros output tile (``compute=False`` path).
 
     Strip tasks produce ``(C_out, region_h, region_w)``; branch tasks
     span the full map spatially and need enough channels to satisfy
-    their copy list.
+    their copy list.  ``batch > 0`` produces the batched
+    ``(C_out, batch, h, w)`` shape instead.
     """
     h = task.program.out_region.height
     w = task.program.out_region.width
@@ -423,6 +493,8 @@ def _zero_tile(task: TaskSpec, stage: StageProgram) -> np.ndarray:
         channels = max(t_hi for (_, t_hi, _, _) in task.channel_blocks)
     else:
         channels = stage.out_shape[0]
+    if batch > 0:
+        return np.zeros((channels, batch, h, w), dtype=np.float32)
     return np.zeros((channels, h, w), dtype=np.float32)
 
 
@@ -445,6 +517,12 @@ class SimTransport(Transport):
     clock is analytic either way), which makes long serving benchmarks
     cheap; anything that checks tensor values must keep the default
     ``compute=True``.
+
+    Batched ``(C, B, H, W)`` tiles charge the B-dependent service
+    estimate :func:`repro.cost.tables.batched_service` — linear in B on
+    the wire, partially amortised (``batch_amortized``) on compute.  A
+    batch of one charges exactly the single-frame ``sc.total``, so
+    every existing B=1 timestamp is preserved bit-for-bit.
     """
 
     name = "sim"
@@ -457,13 +535,23 @@ class SimTransport(Transport):
         options=None,
         faults: "Optional[FaultSchedule]" = None,
         compute: bool = True,
+        batch_amortized: "Optional[float]" = None,
     ) -> None:
+        from repro.cost.tables import BATCH_AMORTIZED_FRACTION
+
         self.engine = engine
         self.model = engine.model
         self.network = network
         self.options = options
         self.faults = faults
         self.compute = compute
+        self.batch_amortized = (
+            BATCH_AMORTIZED_FRACTION if batch_amortized is None else batch_amortized
+        )
+        if not 0.0 <= self.batch_amortized <= 1.0:
+            raise ValueError(
+                f"batch_amortized must be in [0, 1], got {self.batch_amortized}"
+            )
         self._injector = None
         self.timing: Optional[PlanTiming] = None
         self._stage_free: "List[float]" = []
@@ -528,6 +616,18 @@ class SimTransport(Transport):
         self._last_submit = at
         self._frame_ready = at
 
+    def stage_free_time(self, stage_index: int) -> float:
+        """When stage ``stage_index``'s server next frees up (the
+        exclusive token's free time for one-stage-scheme plans).  The
+        analytic batcher uses this to decide how many queued frames a
+        forming batch can absorb before the server would go idle."""
+        program = getattr(self, "_program", None)
+        if program is not None and program.mode == "exclusive":
+            return self._exclusive_free
+        if not self._stage_free:  # not opened yet: everything is idle
+            return 0.0
+        return self._stage_free[stage_index]
+
     def run_tasks(
         self,
         stage_index: int,
@@ -544,6 +644,9 @@ class SimTransport(Transport):
         else:
             start = max(entry, self._stage_free[stage_index])
         stage = self.current_stage(stage_index)
+        batch = (
+            tiles[0].shape[1] if tiles and tiles[0].ndim == 4 else 1
+        )
         injector = self._injector
         outs = []
         delays = []
@@ -558,7 +661,9 @@ class SimTransport(Transport):
             if self.compute:
                 outs.append(run_segment(self.engine, task.program, tile))
             else:
-                outs.append(_zero_tile(task, stage))
+                outs.append(
+                    _zero_tile(task, stage, batch if tile.ndim == 4 else 0)
+                )
             if injector is not None:
                 if injector.take_drop(task.device_name, frame):
                     raise TransientTaskError(
@@ -572,23 +677,36 @@ class SimTransport(Transport):
         # An injected compute delay stretches the straggler's span and
         # therefore the whole stage's virtual service time.
         stage_delay = max(delays) if delays else 0.0
+        if batch == 1:
+            service = sc.total  # exact single-frame charge, bit-compat
+            comp_scale = 1.0
+        else:
+            service = batched_service(
+                sc.t_comm,
+                sc.t_comp + sc.t_head,
+                batch,
+                self.batch_amortized,
+            )
+            comp_scale = self.batch_amortized + batch * (
+                1.0 - self.batch_amortized
+            )
         timings = []
         for task, delay in zip(tasks, delays):
             dc = by_device.get(task.device_name)
-            t_comm = dc.t_comm if dc is not None else 0.0
-            t_comp = dc.t_comp if dc is not None else 0.0
+            t_comm = (dc.t_comm if dc is not None else 0.0) * batch
+            t_comp = (dc.t_comp if dc is not None else 0.0) * comp_scale
             send_end = start + t_comm
             timings.append(
                 TaskTiming(
                     send=(start, send_end),
                     compute=(send_end, send_end + t_comp + delay),
                     recv=(
-                        start + sc.total + stage_delay,
-                        start + sc.total + stage_delay,
+                        start + service + stage_delay,
+                        start + service + stage_delay,
                     ),
                 )
             )
-        exit_ = start + sc.total + stage_delay
+        exit_ = start + service + stage_delay
         if self._program.mode == "exclusive":
             self._exclusive_free = exit_
         else:
@@ -727,6 +845,42 @@ class PipelineSession:
             self.run_frame(x, arrivals[i] if arrivals is not None else None)
             for i, x in enumerate(frames)
         ]
+
+    def run_stacked(
+        self, frames: "Sequence[np.ndarray]", at: Optional[float] = None
+    ) -> "List[np.ndarray]":
+        """Run a cross-frame batch as one unit through every stage.
+
+        The frames are stacked into one ``(C, B, H, W)`` input, walk the
+        pipeline via :func:`execute_stage_batch` (one batched kernel
+        pass per stage) and come back as per-frame maps bit-identical
+        to ``B`` separate :meth:`run_frame` calls.  A single frame takes
+        the exact :meth:`run_frame` path.  The fault ladder applies to
+        the batch as a unit: a :class:`StageFailure` replans and replays
+        all ``B`` frames together.
+        """
+        if not frames:
+            raise ValueError("cannot run an empty batch")
+        if len(frames) == 1:
+            return [self.run_frame(frames[0], at)]
+        self._maybe_replan()
+        base = self._next_frame
+        ids = tuple(range(base, base + len(frames)))
+        self._next_frame += len(frames)
+        x0 = stack_frames(frames)
+        while True:
+            self.transport.begin_frame(ids[0], at)
+            out = x0
+            try:
+                for index in range(self.program.n_stages):
+                    out = execute_stage_batch(
+                        self.transport, self.program, index, out, ids,
+                        self.tracer, self.config,
+                    )
+                return unstack_frames(out)
+            except StageFailure:
+                if not self._can_replan() or not self._adopt_replan(ids[0]):
+                    raise
 
     def close(self) -> None:
         self.transport.close()

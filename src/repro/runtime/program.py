@@ -37,8 +37,10 @@ __all__ = [
     "compile_stage",
     "repartition_stage",
     "split_stage",
+    "stack_frames",
     "stitch_stage",
     "task_weight_names",
+    "unstack_frames",
 ]
 
 
@@ -260,8 +262,36 @@ def repartition_stage(
 def split_stage(
     tasks: "Sequence[TaskSpec]", feature_map: np.ndarray
 ) -> "List[np.ndarray]":
-    """Extract each task's (halo-padded) input tile, in task order."""
+    """Extract each task's (halo-padded) input tile, in task order.
+
+    ``feature_map`` may be a single ``(C, H, W)`` map or a batched
+    ``(C, B, H, W)`` stack of every co-resident frame's map — tiles
+    come out with the same rank.
+    """
     return [extract_tile(feature_map, t.program.input_region) for t in tasks]
+
+
+def stack_frames(frames: "Sequence[np.ndarray]") -> np.ndarray:
+    """Stack per-frame ``(C, H, W)`` maps into one ``(C, B, H, W)``
+    cross-frame batch (channel-major with batch second — the layout the
+    batched kernels consume with zero transposes)."""
+    if not frames:
+        raise ValueError("cannot stack an empty frame list")
+    if len(frames) == 1:
+        return np.ascontiguousarray(frames[0][:, None], dtype=np.float32)
+    return np.ascontiguousarray(
+        np.stack(frames, axis=1), dtype=np.float32
+    )
+
+
+def unstack_frames(stacked: np.ndarray) -> "List[np.ndarray]":
+    """Split a ``(C, B, H, W)`` batch back into per-frame contiguous
+    ``(C, H, W)`` maps — the inverse of :func:`stack_frames`."""
+    if stacked.ndim != 4:
+        raise ValueError(f"expected a (C, B, H, W) batch, got {stacked.shape}")
+    return [
+        np.ascontiguousarray(stacked[:, b]) for b in range(stacked.shape[1])
+    ]
 
 
 def stitch_stage(
@@ -269,12 +299,22 @@ def stitch_stage(
     tasks: "Sequence[TaskSpec]",
     tiles: "Sequence[np.ndarray]",
 ) -> np.ndarray:
-    """Reassemble the stage's full output map from per-task tiles."""
+    """Reassemble the stage's full output map from per-task tiles.
+
+    Batched ``(C, B, H, W)`` tiles stitch into a batched output of
+    shape ``(C, B, *out_shape[1:])`` — the channel-block and region
+    writes are rank-agnostic, so the per-frame slices land exactly
+    where the single-frame stitch would put them.
+    """
     if len(tasks) == 1 and tasks[0].region is not None:
         region = tasks[0].region
         if (region.height, region.width) == stage.out_shape[1:]:
             return tiles[0]  # one device produced the whole map
-    out = np.empty(stage.out_shape, dtype=np.float32)
+    if tiles and tiles[0].ndim == 4:
+        shape = (stage.out_shape[0], tiles[0].shape[1], *stage.out_shape[1:])
+    else:
+        shape = stage.out_shape
+    out = np.empty(shape, dtype=np.float32)
     for task, tile in zip(tasks, tiles):
         if task.channel_blocks is not None:
             for t_lo, t_hi, o_lo, o_hi in task.channel_blocks:
@@ -282,7 +322,7 @@ def stitch_stage(
         else:
             region = task.region
             out[
-                :,
+                ...,
                 region.rows.start : region.rows.end,
                 region.cols.start : region.cols.end,
             ] = tile

@@ -40,6 +40,27 @@ class StageTiming:
     #: the single-core CPU accounting of the paper's Table I.
     busy_shares: Tuple[Tuple[str, float], ...]
 
+    def batched_service(
+        self, batch: int, amortized: Optional[float] = None
+    ) -> float:
+        """Service time for a cross-frame batch of ``batch`` frames.
+
+        Delegates to :func:`repro.cost.tables.batched_service` on this
+        stage's comm/comp split — comm scales with the batch, a
+        fraction of comp is paid once.  ``batch == 1`` is exactly
+        ``self.service``.
+        """
+        from repro.cost.tables import BATCH_AMORTIZED_FRACTION, batched_service
+
+        if batch == 1:
+            return self.service
+        return batched_service(
+            self.comm,
+            self.comp,
+            batch,
+            BATCH_AMORTIZED_FRACTION if amortized is None else amortized,
+        )
+
 
 @dataclass(frozen=True)
 class PlanTiming:
@@ -61,6 +82,27 @@ class PlanTiming:
     @property
     def n_stages(self) -> int:
         return len(self.stages)
+
+    def batched_period(
+        self, batch: int, amortized: Optional[float] = None
+    ) -> float:
+        """Effective *per-frame* period with cross-frame batches of
+        ``batch``: the bottleneck stage's batched service divided by the
+        batch size.  ``batch == 1`` is exactly ``self.period``."""
+        if batch == 1:
+            return self.period
+        return max(
+            st.batched_service(batch, amortized) for st in self.stages
+        ) / batch
+
+    def batched_latency(
+        self, batch: int, amortized: Optional[float] = None
+    ) -> float:
+        """Pipeline traversal time of one ``batch``-frame batch: the sum
+        of batched stage services.  ``batch == 1`` is ``self.latency``."""
+        if batch == 1:
+            return self.latency
+        return sum(st.batched_service(batch, amortized) for st in self.stages)
 
 
 def plan_timing(

@@ -22,6 +22,16 @@ Two execution strategies, selected by the transport's clock:
   frame ``i``'s fate depends only on earlier frames, which FIFO service
   has already fixed.
 
+With ``max_batch > 1`` both paths additionally *micro-batch*: frames
+queued at the pipeline entrance coalesce into a ``(C, B, H, W)``
+cross-frame batch (up to ``max_batch``, holding the window open
+``batch_timeout`` seconds for stragglers) that traverses every stage
+as one unit via :func:`~repro.runtime.core.execute_stage_batch` — one
+batched kernel pass per stage, amortising per-frame dispatch and
+panel-packing overhead.  Batched outputs are bit-identical to the
+per-frame loop, and the virtual server replays the same formation
+policy analytically.
+
 Both paths run the shared :func:`~repro.runtime.core.execute_stage`
 split/compute/stitch, so served outputs stay bit-identical to
 frame-at-a-time runs, and the PR-4 fault ladder (retry → repartition →
@@ -47,9 +57,19 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.runtime.core import PipelineSession, Transport, execute_stage
+from repro.runtime.core import (
+    PipelineSession,
+    Transport,
+    execute_stage,
+    execute_stage_batch,
+)
 from repro.runtime.faults import RuntimeConfig, StageFailure
-from repro.runtime.program import PlanProgram, compile_plan
+from repro.runtime.program import (
+    PlanProgram,
+    compile_plan,
+    stack_frames,
+    unstack_frames,
+)
 from repro.runtime.trace import TraceEvent, Tracer, coerce_tracer
 
 __all__ = ["ServerConfig", "FrameRecord", "ServeResult", "PipelineServer"]
@@ -70,11 +90,25 @@ class ServerConfig:
     further caps concurrently *served* frames on the virtual path
     (``1`` reproduces the frame-at-a-time baseline); the threaded path
     is structurally capped at one frame per stage slot.
+
+    ``max_batch`` turns on cross-frame micro-batching: frames queued at
+    the pipeline entrance coalesce into a ``(C, B, H, W)`` batch of up
+    to ``max_batch`` frames that traverses every stage as one unit (one
+    batched kernel pass per stage).  ``batch_timeout`` is how long a
+    forming batch holds the entrance open for stragglers once the first
+    stage is free; ``0`` launches with whatever is already queued — the
+    deterministic default that the virtual replay matches analytically.
+    ``max_batch=1`` (default) is the exact PR-5 per-frame server.
+    Batching composes with admission control but not with the
+    ``max_in_flight`` service cap (whose frame-at-a-time contract a
+    batch would silently break).
     """
 
     queue_capacity: int = 8
     policy: str = "shed"  # "shed" | "block"
     max_in_flight: Optional[int] = None
+    max_batch: int = 1
+    batch_timeout: float = 0.0
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
@@ -83,6 +117,15 @@ class ServerConfig:
             raise ValueError(f"unknown admission policy {self.policy!r}")
         if self.max_in_flight is not None and self.max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1 or None")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.batch_timeout < 0:
+            raise ValueError("batch_timeout must be >= 0")
+        if self.max_batch > 1 and self.max_in_flight is not None:
+            raise ValueError(
+                "max_batch > 1 is incompatible with max_in_flight "
+                "(a batch is served as one unit)"
+            )
 
 
 @dataclass(frozen=True)
@@ -95,6 +138,8 @@ class FrameRecord:
     stage lost every device and no replanner could repair it).
     ``admitted_at`` is when the frame entered the pipeline queue
     (> ``arrival`` only under ``policy="block"`` backpressure).
+    ``batch`` is how many frames shared the cross-frame batch this one
+    rode in (1 outside micro-batching).
     """
 
     frame: int
@@ -104,6 +149,7 @@ class FrameRecord:
     completion: float = -1.0
     plan: str = ""
     replayed: bool = False
+    batch: int = 1
 
     @property
     def admitted(self) -> bool:
@@ -161,6 +207,26 @@ class ServeResult:
             return 0.0
         rank = min(len(s) - 1, max(0, int(round(q / 100 * (len(s) - 1)))))
         return s[rank]
+
+    @property
+    def batch_sizes(self) -> "List[int]":
+        """Per completed frame: the size of the batch it rode in."""
+        return [r.batch for r in self.completed]
+
+    @property
+    def mean_batch(self) -> float:
+        b = self.batch_sizes
+        return sum(b) / len(b) if b else 0.0
+
+    def percentile_batch(self, q: float) -> float:
+        """Batch-size percentile ``q`` in [0, 100] (nearest-rank)."""
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        b = sorted(self.batch_sizes)
+        if not b:
+            return 0.0
+        rank = min(len(b) - 1, max(0, int(round(q / 100 * (len(b) - 1)))))
+        return float(b[rank])
 
     @property
     def throughput(self) -> float:
@@ -292,6 +358,8 @@ class PipelineServer:
         if any(b < a for a, b in zip(arrivals, arrivals[1:])):
             raise ValueError("arrivals must be non-decreasing")
         if self.virtual:
+            if self.config.max_batch > 1:
+                return self._serve_virtual_batched(frames, list(arrivals))
             return self._serve_virtual(frames, list(arrivals))
         return self._serve_threaded(frames, list(arrivals))
 
@@ -368,6 +436,131 @@ class PipelineServer:
         trace = self.tracer.events if self.tracer is not None else ()
         return ServeResult(records, outputs, makespan, trace, plan_usage)
 
+    # ------------------------------------------------------------------
+    # Virtual-clock strategy with cross-frame micro-batching: the same
+    # analytic replay, but frames queued at the pipeline entrance
+    # coalesce into batches that traverse the stages as one unit.
+    # ------------------------------------------------------------------
+    def _serve_virtual_batched(
+        self, frames: "List[np.ndarray]", arrivals: "List[float]"
+    ) -> ServeResult:
+        """Analytic replay of the threaded batching policy.
+
+        A batch forms at the pipeline entrance: frame ``i`` joins the
+        forming batch while the batch is below ``max_batch`` and the
+        batch has not launched yet.  The launch instant is
+        ``max(stage-0 free, first member's admission + batch_timeout)``
+        — the entrance worker launches as soon as the first stage frees
+        *and* the timeout window has closed (immediately, for the
+        default ``batch_timeout=0``); a batch that fills launches on its
+        last member's admission.  Everything is driven by the
+        transport's deterministic FIFO recurrence, so the completion
+        and shed sets match what the threaded server produces under
+        unambiguous spacing.
+
+        One documented deviation from the per-frame server: under
+        ``policy="block"`` a blocked arrival first forces the forming
+        batch to launch (its completion time is needed to compute the
+        unblock instant), then starts a new batch — a blocked frame
+        never joins the batch it waited behind.
+        """
+        cfg = self.config
+        session = self._session
+        assert session is not None
+        completions: "List[float]" = []  # launched frames, FIFO order
+        records: "List[FrameRecord]" = []
+        outputs: "Dict[int, np.ndarray]" = {}
+        plan_usage: "Dict[str, int]" = {}
+        #: forming batch: ``(index, frame, admitted_at)`` per member.
+        pending: "List[Tuple[int, np.ndarray, float]]" = []
+        last_admit = 0.0
+
+        def launch() -> None:
+            """Run the forming batch as one unit; record its frames."""
+            batch, pending[:] = list(pending), []
+            if not batch:
+                return
+            admits = [a for _, _, a in batch]
+            if len(batch) < cfg.max_batch:
+                at = max(admits[-1], admits[0] + cfg.batch_timeout)
+            else:
+                at = admits[-1]  # filled up: launches on the last admit
+            try:
+                outs = session.run_stacked([x for _, x, _ in batch], at=at)
+            except StageFailure:
+                for (index, _, admit), _a in zip(batch, admits):
+                    records.append(
+                        FrameRecord(
+                            index, arrivals[index], "failed",
+                            admitted_at=admit, batch=len(batch),
+                        )
+                    )
+                return
+            done = self.transport.clock()
+            name = self._plan_name
+            plan_usage[name] = plan_usage.get(name, 0) + len(batch)
+            for (index, _, admit), out in zip(batch, outs):
+                completions.append(done)
+                outputs[index] = out
+                records.append(
+                    FrameRecord(
+                        index, arrivals[index], "done", admitted_at=admit,
+                        completion=done, plan=name, batch=len(batch),
+                    )
+                )
+
+        def launch_time() -> float:
+            """When the current forming batch leaves the entrance."""
+            first_admit = pending[0][2]
+            return max(
+                self.transport.stage_free_time(0),
+                first_admit + cfg.batch_timeout,
+            )
+
+        for index, (x, t) in enumerate(zip(frames, arrivals)):
+            # A forming batch whose launch instant has passed is gone
+            # before this arrival can reach the entrance.
+            if pending and t > launch_time():
+                launch()
+            in_system = [c for c in completions if c > t]
+            depth = len(in_system) + len(pending)
+            self._observe(t, depth)
+            if depth == 0:
+                self._maybe_switch(index)
+            if depth >= cfg.queue_capacity:
+                if cfg.policy == "shed":
+                    records.append(FrameRecord(index, t, "shed"))
+                    continue
+                # Backpressure: the unblock instant needs the pending
+                # batch's completion time — force it to launch first
+                # (see the docstring's documented deviation).
+                if pending:
+                    launch()
+                    in_system = [c for c in completions if c > t]
+                    depth = len(in_system)
+                    if depth < cfg.queue_capacity:
+                        admit_at = t
+                    else:
+                        admit_at = sorted(in_system)[
+                            depth - cfg.queue_capacity
+                        ]
+                else:
+                    admit_at = sorted(in_system)[depth - cfg.queue_capacity]
+            else:
+                admit_at = t
+            admit_at = max(admit_at, last_admit)
+            last_admit = admit_at
+            if pending and admit_at > launch_time():
+                launch()
+            pending.append((index, x, admit_at))
+            if len(pending) >= cfg.max_batch:
+                launch()
+        launch()  # flush the final forming batch
+        records.sort(key=lambda r: r.frame)
+        makespan = max(completions) if completions else 0.0
+        trace = self.tracer.events if self.tracer is not None else ()
+        return ServeResult(records, outputs, makespan, trace, plan_usage)
+
     def _observe(self, now: float, depth: int) -> None:
         """Feed the measured queue depth into the adaptive switcher."""
         if self.switcher is not None:
@@ -413,29 +606,86 @@ class PipelineServer:
         outputs: "Dict[int, np.ndarray]" = {}
         done_at: "Dict[int, float]" = {}
         errors: "Dict[int, BaseException]" = {}
+        batch_of: "Dict[int, int]" = {}  # fid -> batch size it rode in
+
+        def run_one(stage_index, fid, x):
+            """One queue item through one stage — ``fid`` is an int for
+            a single frame, a tuple for a cross-frame batch unit."""
+            try:
+                if isinstance(fid, tuple):
+                    return execute_stage_batch(
+                        transport, self.program, stage_index, x, fid,
+                        self.tracer, self.runtime_config,
+                    )
+                return execute_stage(
+                    transport, self.program, stage_index, x, fid,
+                    self.tracer, self.runtime_config,
+                )
+            except Exception as exc:  # noqa: BLE001 - fate recorded
+                with lock:
+                    for f in fid if isinstance(fid, tuple) else (fid,):
+                        errors[f] = exc
+                return None
+
+        def form(in_q: "queue.Queue"):
+            """Coalesce queued frames into a batch at the entrance.
+
+            Returns ``(items, saw_sentinel)``: blocks for the first
+            frame, then drains stragglers already queued (holding the
+            window open up to ``batch_timeout``) until ``max_batch``.
+            """
+            item = in_q.get()
+            if item is _SENTINEL:
+                return [], True
+            items = [item]
+            deadline = time.monotonic() + cfg.batch_timeout
+            while len(items) < cfg.max_batch:
+                wait = deadline - time.monotonic()
+                try:
+                    nxt = (
+                        in_q.get(timeout=wait)
+                        if wait > 0
+                        else in_q.get_nowait()
+                    )
+                except queue.Empty:
+                    break
+                if nxt is _SENTINEL:
+                    return items, True
+                items.append(nxt)
+            return items, False
 
         def worker(stage_index: int) -> None:
             in_q, out_q = qs[stage_index], qs[stage_index + 1]
+            batching = stage_index == 0 and cfg.max_batch > 1
             while True:
+                if batching:
+                    items, stop = form(in_q)
+                    if items:
+                        fids = tuple(fid for fid, _ in items)
+                        with lock:
+                            for f in fids:
+                                batch_of[f] = len(fids)
+                        if len(items) == 1:
+                            # Singleton batches take the exact per-frame
+                            # path (bit-compat timestamps and events).
+                            fid, x = items[0]
+                            out_q.put((fid, run_one(stage_index, fid, x)))
+                        else:
+                            x4 = stack_frames([x for _, x in items])
+                            out_q.put((fids, run_one(stage_index, fids, x4)))
+                    if stop:
+                        out_q.put(_SENTINEL)
+                        return
+                    continue
                 item = in_q.get()
                 if item is _SENTINEL:
                     out_q.put(_SENTINEL)
                     return
                 fid, x = item
-                if x is None:  # poisoned upstream; just forward the id
+                if x is None:  # poisoned upstream; just forward the id(s)
                     out_q.put((fid, None))
                     continue
-                try:
-                    y = execute_stage(
-                        transport, self.program, stage_index, x, fid,
-                        self.tracer, self.runtime_config,
-                    )
-                except Exception as exc:  # noqa: BLE001 - fate recorded
-                    with lock:
-                        errors[fid] = exc
-                    out_q.put((fid, None))
-                    continue
-                out_q.put((fid, y))
+                out_q.put((fid, run_one(stage_index, fid, x)))
 
         def collect() -> None:
             while True:
@@ -444,9 +694,16 @@ class PipelineServer:
                     return
                 fid, y = item
                 with lock:
-                    if y is not None:
+                    if y is None:
+                        continue
+                    now = transport.clock()
+                    if isinstance(fid, tuple):
+                        for f, out in zip(fid, unstack_frames(y)):
+                            outputs[f] = out
+                            done_at[f] = now
+                    else:
                         outputs[fid] = y
-                        done_at[fid] = transport.clock()
+                        done_at[fid] = now
 
         threads = [
             threading.Thread(target=worker, args=(i,), daemon=True)
@@ -499,6 +756,7 @@ class PipelineServer:
                         completion=done_at[fid],
                         plan=self._plan_name,
                         replayed=fid in replayed,
+                        batch=batch_of.get(fid, 1),
                     )
                 )
             else:
@@ -506,6 +764,7 @@ class PipelineServer:
                     FrameRecord(
                         fid, info["arrival"], "failed",
                         admitted_at=info["admitted_at"],
+                        batch=batch_of.get(fid, 1),
                     )
                 )
         records.sort(key=lambda r: r.frame)

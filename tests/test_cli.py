@@ -93,3 +93,31 @@ class TestTimeline:
         )
         assert code == 0
         assert "stage 0" in out
+
+
+class TestServe:
+    def test_serve_reports_stats(self, capsys):
+        code, out = run_cli(
+            capsys, "serve", "fig13_toy", "--devices", "4", "--freq", "800",
+            "--load", "0.6", "--frames", "16", "--no-compute",
+        )
+        assert code == 0
+        assert "served:" in out
+
+    def test_max_batch_prints_batch_stats(self, capsys):
+        code, out = run_cli(
+            capsys, "serve", "fig13_toy", "--devices", "4", "--freq", "800",
+            "--load", "0.9", "--frames", "24", "--no-compute",
+            "--max-batch", "4", "--batch-timeout", "0.01",
+            "--policy", "block",
+        )
+        assert code == 0
+        assert "frames/batch" in out
+
+    def test_max_batch_one_omits_batch_stats(self, capsys):
+        code, out = run_cli(
+            capsys, "serve", "fig13_toy", "--devices", "4", "--freq", "800",
+            "--load", "0.5", "--frames", "8", "--no-compute",
+        )
+        assert code == 0
+        assert "frames/batch" not in out

@@ -103,6 +103,59 @@ class TestPooling:
         with pytest.raises(ValueError):
             ops.maxpool2d(x, (3, 3), (1, 1))
 
+    def test_maxpool_non_square_input(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((2, 7, 12)).astype(np.float32)
+        got = ops.maxpool2d(x, (2, 2), (2, 2))
+        want = ops.maxpool2d_reference(x, (2, 2), (2, 2))
+        np.testing.assert_array_equal(got, want)
+        assert got.shape == (2, 3, 6)
+
+    def test_maxpool_non_square_kernel(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((3, 9, 9)).astype(np.float32)
+        got = ops.maxpool2d(x, (2, 3), (1, 2))
+        want = ops.maxpool2d_reference(x, (2, 3), (1, 2))
+        np.testing.assert_array_equal(got, want)
+
+    def test_maxpool_asymmetric_padding(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((2, 6, 5)).astype(np.float32)
+        got = ops.maxpool2d(x, (3, 3), (2, 2), (1, 0, 2, 0))
+        want = ops.maxpool2d_reference(x, (3, 3), (2, 2), (1, 0, 2, 0))
+        np.testing.assert_array_equal(got, want)
+        assert np.isfinite(got).all()
+
+    def test_maxpool_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            ops.maxpool2d(np.zeros((4, 4), dtype=np.float32), (2, 2), (2, 2))
+        with pytest.raises(ValueError):
+            ops.maxpool2d(
+                np.zeros((1, 2, 1, 4, 4), dtype=np.float32), (2, 2), (2, 2)
+            )
+
+    def test_maxpool_batched_map_equals_per_frame(self):
+        rng = np.random.default_rng(4)
+        stacked = rng.standard_normal((3, 4, 8, 10)).astype(np.float32)
+        got = ops.maxpool2d(stacked, (3, 2), (2, 2), (1, 1, 0, 1))
+        want = ops.maxpool2d_reference(stacked, (3, 2), (2, 2), (1, 1, 0, 1))
+        np.testing.assert_array_equal(got, want)
+        for b in range(stacked.shape[1]):
+            single = ops.maxpool2d(
+                np.ascontiguousarray(stacked[:, b]), (3, 2), (2, 2), (1, 1, 0, 1)
+            )
+            np.testing.assert_array_equal(got[:, b], single)
+
+    def test_avgpool_batched_map_equals_per_frame(self):
+        rng = np.random.default_rng(5)
+        stacked = rng.standard_normal((2, 3, 6, 6)).astype(np.float32)
+        got = ops.avgpool2d(stacked, (2, 2), (2, 2))
+        for b in range(stacked.shape[1]):
+            single = ops.avgpool2d(
+                np.ascontiguousarray(stacked[:, b]), (2, 2), (2, 2)
+            )
+            np.testing.assert_array_equal(got[:, b], single)
+
 
 class TestActivations:
     def test_relu(self):

@@ -292,3 +292,178 @@ class TestAdapters:
     def test_canonical_trace_projection(self):
         e = TraceEvent("send", 2, 1, "pi3", 0.5, 0.7, nbytes=64)
         assert canonical_trace([e]) == [(2, 1, "send", "pi3", 64)]
+
+
+class TestBatchedExecution:
+    """Cross-frame batches: bit-exact outputs, batched virtual timing."""
+
+    def test_run_stacked_matches_per_frame(self, model, plan, net):
+        engine = Engine(model, seed=0)
+        program = compile_plan(model, plan)
+        frames = _frames(model, 3)
+        with PipelineSession(program, InProcTransport(engine)) as s:
+            want = s.run_batch(frames)
+        with PipelineSession(program, InProcTransport(engine)) as s:
+            got = s.run_stacked(frames)
+        assert len(got) == len(frames)
+        for a, b in zip(got, want):
+            np.testing.assert_array_equal(a, b)
+
+    def test_run_stacked_singleton_and_empty(self, model, plan, net):
+        engine = Engine(model, seed=0)
+        program = compile_plan(model, plan)
+        frame = _frames(model, 1)[0]
+        with PipelineSession(program, InProcTransport(engine)) as s:
+            want = s.run_frame(frame)
+        with PipelineSession(program, InProcTransport(engine)) as s:
+            (got,) = s.run_stacked([frame])
+            with pytest.raises(ValueError, match="empty"):
+                s.run_stacked([])
+        np.testing.assert_array_equal(got, want)
+
+    def test_sim_singleton_batch_keeps_exact_timestamps(self, model, plan,
+                                                        net):
+        engine = Engine(model, seed=0)
+        frames = _frames(model, 2)
+        t_plain = SimTransport(engine, net)
+        with PipelineSession.from_plan(model, plan, t_plain) as s:
+            s.run_batch(frames)
+        t_stacked = SimTransport(engine, net)
+        with PipelineSession.from_plan(model, plan, t_stacked) as s:
+            for x in frames:
+                s.run_stacked([x])
+        assert t_stacked.now == t_plain.now
+
+    def test_sim_batched_service_charge(self, model, plan, net):
+        """A B-frame batch finishes at batched_service of the per-frame
+        stage costs: dearer than one frame, but cheaper than B frames'
+        worth of un-pipelined latency (compute is partially amortised;
+        comm still scales with B)."""
+        from repro.cost.tables import BATCH_AMORTIZED_FRACTION, batched_service
+
+        engine = Engine(model, seed=0)
+        frames = _frames(model, 3)
+
+        t_one = SimTransport(engine, net)
+        with PipelineSession.from_plan(model, plan, t_one) as s:
+            s.run_frame(frames[0])
+        single_latency = t_one.now
+
+        t_batch = SimTransport(engine, net)
+        with PipelineSession.from_plan(model, plan, t_batch) as s:
+            s.run_stacked(frames)
+
+        assert single_latency < t_batch.now < 3 * single_latency
+        # Exact charge: every stage service is batched_service(comm, comp, 3).
+        assert t_batch.batch_amortized == BATCH_AMORTIZED_FRACTION
+        assert batched_service(0.0, 1.0, 3) == pytest.approx(
+            BATCH_AMORTIZED_FRACTION + 3 * (1 - BATCH_AMORTIZED_FRACTION)
+        )
+
+    def test_sim_batch_amortized_knob(self, model, plan, net):
+        engine = Engine(model, seed=0)
+        with pytest.raises(ValueError, match="batch_amortized"):
+            SimTransport(engine, net, batch_amortized=1.5)
+        # amortized=1 → compute fully shared: batch of B costs ~1 frame
+        # of compute (comm still scales with B).
+        frames = _frames(model, 4)
+        t_full = SimTransport(engine, net, batch_amortized=1.0)
+        with PipelineSession.from_plan(model, plan, t_full) as s:
+            s.run_stacked(frames)
+        t_none = SimTransport(engine, net, batch_amortized=0.0)
+        with PipelineSession.from_plan(model, plan, t_none) as s:
+            s.run_stacked(frames)
+        assert t_full.now < t_none.now
+
+    def test_stage_free_time_advances(self, model, plan, net):
+        engine = Engine(model, seed=0)
+        transport = SimTransport(engine, net)
+        program = compile_plan(model, plan)
+        assert transport.stage_free_time(0) == 0.0
+        with PipelineSession(program, transport) as s:
+            s.run_frame(_frames(model, 1)[0])
+            assert transport.stage_free_time(0) > 0.0
+
+    def test_batched_trace_scales_comm_with_b(self, model, plan, net):
+        """Each batch member's traced send span covers the B×-wide wire
+        interval; its compute span is the amortised share (< B×).  Events
+        replicate per member, so filter to one frame before comparing."""
+        engine = Engine(model, seed=0)
+        tr_one, tr_batch = Tracer(), Tracer()
+        frames = _frames(model, 3)
+        with PipelineSession.from_plan(
+            model, plan, SimTransport(engine, net), tr_one
+        ) as s:
+            s.run_frame(frames[0])
+        with PipelineSession.from_plan(
+            model, plan, SimTransport(engine, net), tr_batch
+        ) as s:
+            s.run_stacked(frames)
+
+        def span(events, kind, frame=0):
+            return sum(
+                e.end - e.start
+                for e in events
+                if e.kind == kind and e.frame == frame
+            )
+
+        assert span(tr_batch.events, "send") == pytest.approx(
+            3 * span(tr_one.events, "send"), rel=1e-9
+        )
+        comp_one = span(tr_one.events, "compute")
+        assert comp_one < span(tr_batch.events, "compute") < 3 * comp_one
+        # Every member carries the same canonical sequence.
+        for f in (1, 2):
+            assert span(tr_batch.events, "send", f) == span(
+                tr_batch.events, "send", 0
+            )
+
+
+class TestBatchedTiming:
+    """batched_service and the StageTiming/PlanTiming projections."""
+
+    def test_batched_service_formula(self):
+        from repro.cost.tables import batched_service
+
+        # service(B) = B·comm + comp·(f + B·(1−f))
+        assert batched_service(2.0, 4.0, 1) == 6.0
+        assert batched_service(2.0, 4.0, 3, amortized=0.5) == pytest.approx(
+            3 * 2.0 + 4.0 * (0.5 + 3 * 0.5)
+        )
+        # amortized=0: no sharing — B independent frames.
+        assert batched_service(2.0, 4.0, 3, amortized=0.0) == pytest.approx(
+            3 * 6.0
+        )
+        # amortized=1: compute paid once.
+        assert batched_service(2.0, 4.0, 3, amortized=1.0) == pytest.approx(
+            3 * 2.0 + 4.0
+        )
+        with pytest.raises(ValueError, match="batch"):
+            batched_service(1.0, 1.0, 0)
+        with pytest.raises(ValueError, match="amortized"):
+            batched_service(1.0, 1.0, 2, amortized=1.5)
+
+    def test_stage_timing_batched_service(self, model, plan, net):
+        timing = plan_timing(model, plan, net)
+        for st in timing.stages:
+            assert st.batched_service(1) == st.service
+            b4 = st.batched_service(4)
+            assert b4 < 4 * st.service or st.comp == 0.0
+            assert b4 >= 4 * st.comm
+
+    def test_plan_timing_batched_projections(self, model, plan, net):
+        timing = plan_timing(model, plan, net)
+        assert timing.batched_period(1) == timing.period
+        assert timing.batched_latency(1) == timing.latency
+        for b in (2, 4, 8):
+            # Per-frame period shrinks (or holds) as compute amortises…
+            assert timing.batched_period(b) <= timing.period
+            # …while the batch as a unit takes longer than one frame.
+            assert timing.batched_latency(b) > timing.latency
+        # Full amortisation is monotone in B; none is flat.
+        assert timing.batched_period(8, amortized=1.0) < timing.batched_period(
+            2, amortized=1.0
+        )
+        assert timing.batched_period(4, amortized=0.0) == pytest.approx(
+            timing.period
+        )

@@ -416,3 +416,131 @@ class TestSimulatorQueueCapacity:
             arrivals=[0.0] * 8, queue_capacity=3,
         )
         assert len(sim.shed) == 5 and sim.completed == 3
+
+
+# ---------------------------------------------------------------------------
+# Cross-frame micro-batching (max_batch / batch_timeout)
+# ---------------------------------------------------------------------------
+
+
+class TestBatchedServing:
+    def test_batch_config_validation(self):
+        with pytest.raises(ValueError):
+            ServerConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            ServerConfig(batch_timeout=-0.1)
+        with pytest.raises(ValueError, match="max_in_flight"):
+            ServerConfig(max_batch=2, max_in_flight=1)
+        cfg = ServerConfig(max_batch=4, batch_timeout=0.01)
+        assert cfg.max_batch == 4
+
+    def test_result_batch_stats(self):
+        records = [
+            FrameRecord(0, 0.0, "done", admitted_at=0.0, completion=1.0,
+                        batch=2),
+            FrameRecord(1, 0.0, "done", admitted_at=0.0, completion=1.0,
+                        batch=2),
+            FrameRecord(2, 0.1, "done", admitted_at=0.1, completion=2.0,
+                        batch=1),
+            FrameRecord(3, 0.2, "shed"),
+        ]
+        result = ServeResult(records, {}, 2.0)
+        assert result.batch_sizes == [2, 2, 1]
+        assert np.isclose(result.mean_batch, 5.0 / 3.0)
+        assert result.percentile_batch(50.0) == 2
+        assert result.percentile_batch(100.0) == 2
+
+    def test_virtual_batched_bit_exact_and_batches_form(
+        self, model, weights, net, program
+    ):
+        rng = np.random.default_rng(11)
+        frames = [
+            rng.standard_normal(model.input_shape).astype(np.float32)
+            for _ in range(6)
+        ]
+        arrivals = [0.0] * 6
+        base_cfg = ServerConfig(queue_capacity=8, policy="block")
+        server = _sim_server(model, weights, net, program, base_cfg,
+                             compute=True)
+        baseline = server.serve(frames, arrivals=list(arrivals))
+        server.close()
+
+        cfg = ServerConfig(queue_capacity=8, policy="block", max_batch=3,
+                           batch_timeout=0.0)
+        server = _sim_server(model, weights, net, program, cfg, compute=True)
+        batched = server.serve(frames, arrivals=list(arrivals))
+        server.close()
+
+        assert {r.frame for r in batched.completed} == {
+            r.frame for r in baseline.completed
+        }
+        for i in range(6):
+            assert np.array_equal(batched.outputs[i], baseline.outputs[i])
+        assert batched.mean_batch > 1.0
+        assert all(r.batch >= 1 for r in batched.completed)
+
+    def test_batch_timeout_holds_launch_for_stragglers(
+        self, model, weights, net, program
+    ):
+        # Two frames 1 ms apart with a generous window must share a batch.
+        cfg = ServerConfig(queue_capacity=4, policy="block", max_batch=2,
+                           batch_timeout=1.0)
+        server = _sim_server(model, weights, net, program, cfg)
+        result = server.serve(2, arrivals=[0.0, 0.001])
+        server.close()
+        assert len(result.completed) == 2
+        assert result.batch_sizes == [2, 2]
+
+    def test_full_batch_launches_without_waiting_out_timeout(
+        self, model, weights, net, program
+    ):
+        # max_batch frames already queued: launch at the last admit, not
+        # at first_admit + batch_timeout.
+        cfg = ServerConfig(queue_capacity=4, policy="block", max_batch=2,
+                           batch_timeout=100.0)
+        server = _sim_server(model, weights, net, program, cfg)
+        result = server.serve(2, arrivals=[0.0, 0.0])
+        server.close()
+        assert len(result.completed) == 2
+        assert max(r.completion for r in result.completed) < 100.0
+
+    def test_threaded_batched_bit_exact(self, model, weights, net, program):
+        rng = np.random.default_rng(12)
+        frames = [
+            rng.standard_normal(model.input_shape).astype(np.float32)
+            for _ in range(6)
+        ]
+        engine = Engine(model, weights)
+        expected = [engine.forward_features(f) for f in frames]
+        server = PipelineServer(
+            program, InProcTransport(Engine(model, weights)),
+            ServerConfig(queue_capacity=6, policy="block", max_batch=3,
+                         batch_timeout=0.005),
+        )
+        result = server.serve(frames, arrivals=[0.0] * 6)
+        server.close()
+        assert len(result.completed) == 6
+        assert not result.failed and not result.shed
+        for i, want in enumerate(expected):
+            assert np.array_equal(result.outputs[i], want)
+        assert sorted(r.frame for r in result.records) == list(range(6))
+
+    def test_max_batch_one_is_the_legacy_path(self, model, weights, net,
+                                              program):
+        # max_batch=1 must leave records exactly as the per-frame server.
+        arrivals = [0.002 * i for i in range(8)]
+        a = _sim_server(model, weights, net, program,
+                        ServerConfig(queue_capacity=4))
+        base = a.serve(8, arrivals=list(arrivals))
+        a.close()
+        b = _sim_server(model, weights, net, program,
+                        ServerConfig(queue_capacity=4, max_batch=1))
+        got = b.serve(8, arrivals=list(arrivals))
+        b.close()
+        assert [
+            (r.frame, r.status, r.admitted_at, r.completion, r.batch)
+            for r in base.records
+        ] == [
+            (r.frame, r.status, r.admitted_at, r.completion, r.batch)
+            for r in got.records
+        ]
