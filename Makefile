@@ -1,7 +1,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: install test test-fast test-slow bench bench-json bench-serve bench-batch trace-smoke fault-smoke report examples all
+.PHONY: install test test-fast test-slow bench bench-json bench-serve bench-batch bench-transport trace-smoke fault-smoke report examples all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -29,6 +29,9 @@ bench-serve:
 
 bench-batch:
 	python -m repro.bench.batch --out BENCH_batch.json
+
+bench-transport:
+	python -m repro.bench.transport --out BENCH_transport.json
 
 trace-smoke:
 	python -m repro.bench.trace_smoke --hw 64 --frames 2 --devices 4

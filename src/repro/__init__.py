@@ -55,7 +55,9 @@ from repro.runtime import (
     PipelineSession,
     PlanProgram,
     RuntimeConfig,
+    ShmTransport,
     SimTransport,
+    TcpTransport,
     Tracer,
     churn_replanner,
     compile_plan,
@@ -98,8 +100,10 @@ __all__ = [
     "Scheme",
     "ServeResult",
     "ServerConfig",
+    "ShmTransport",
     "SimTransport",
     "StagePlan",
+    "TcpTransport",
     "Tracer",
     "available_schemes",
     "bfs_optimal",

@@ -1,9 +1,10 @@
-"""Trace-smoke gate: InProc and Sim backends must agree exactly.
+"""Trace-smoke gate: InProc, Sim and Shm backends must agree exactly.
 
-Runs VGG16 frames through the same compiled :class:`PlanProgram` on two
-transports — the threaded in-process backend (wall clock) and the
-virtual-clock simulated backend — and checks the exactness gate the
-runtime core promises:
+Runs VGG16 frames through the same compiled :class:`PlanProgram` on
+three transports — the threaded in-process backend (wall clock), the
+virtual-clock simulated backend, and the shared-memory multiprocess
+backend (real worker processes, zero-copy tensor plane) — and checks
+the exactness gate the runtime core promises:
 
 * bit-identical outputs (both backends call the same stage kernels on
   the same split/stitch tiles), and
@@ -29,6 +30,7 @@ from repro.cluster.device import pi_cluster
 from repro.cost.comm import NetworkModel
 from repro.models.zoo import get_model
 from repro.nn.executor import Engine
+from repro.runtime.coordinator import ShmTransport
 from repro.runtime.core import InProcTransport, PipelineSession, SimTransport
 from repro.runtime.program import compile_plan
 from repro.runtime.trace import Tracer, canonical_trace, diff_traces
@@ -76,21 +78,39 @@ def run(
         simulated = s.run_batch(frames)
     virtual = sim_transport.now
 
+    tracer_shm = Tracer()
+    t0 = time.perf_counter()
+    with PipelineSession(
+        program, ShmTransport(model, engine.weights), tracer_shm
+    ) as s:
+        shared = s.run_batch(frames)
+    shm_wall = time.perf_counter() - t0
+
     failures = 0
-    for i, (a, b) in enumerate(zip(live, simulated)):
-        if not np.array_equal(a, b):
-            print(f"FAIL: frame {i} outputs differ between backends")
+    for other_name, outputs, tracer in (
+        ("sim", simulated, tracer_sim),
+        ("shm", shared, tracer_shm),
+    ):
+        for i, (a, b) in enumerate(zip(live, outputs)):
+            if not np.array_equal(a, b):
+                print(
+                    f"FAIL: frame {i} outputs differ (inproc vs {other_name})"
+                )
+                failures += 1
+        mismatch = diff_traces(tracer_live.events, tracer.events)
+        if mismatch:
+            print(
+                f"FAIL: canonical traces differ, inproc vs {other_name} "
+                f"({len(mismatch)} lines shown)"
+            )
+            for line in mismatch:
+                print(f"  {line}")
             failures += 1
-    mismatch = diff_traces(tracer_live.events, tracer_sim.events)
-    if mismatch:
-        print(f"FAIL: canonical traces differ ({len(mismatch)} lines shown)")
-        for line in mismatch:
-            print(f"  {line}")
-        failures += 1
 
     n_events = len(canonical_trace(tracer_live.events))
     print(
         f"inproc wall {wall * 1000:.1f} ms, sim virtual {virtual * 1000:.1f} ms, "
+        f"shm wall {shm_wall * 1000:.1f} ms, "
         f"{n_events} trace events per backend"
     )
     if failures == 0:

@@ -104,8 +104,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cluster_args(p)
     p.add_argument("--frames", type=int, default=2, help="frames to run")
     p.add_argument(
-        "--backend", choices=["inproc", "sim", "both"], default="both",
-        help="transport backend (both = run each and diff canonical traces)",
+        "--backend",
+        choices=["inproc", "sim", "shm", "both", "all"],
+        default="both",
+        help="transport backend (both = inproc+sim, all = inproc+sim+shm; "
+        "multi-backend runs diff canonical traces)",
     )
     p.add_argument("--hw", type=int, default=0,
                    help="override input resolution (0 = model default)")
@@ -364,10 +367,20 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     config = RuntimeConfig() if faults is not None else None
 
     backends = []
-    if args.backend in ("inproc", "both"):
+    if args.backend in ("inproc", "both", "all"):
         backends.append(("inproc", InProcTransport(engine, faults=faults)))
-    if args.backend in ("sim", "both"):
+    if args.backend in ("sim", "both", "all"):
         backends.append(("sim", SimTransport(engine, network, faults=faults)))
+    if args.backend in ("shm", "all"):
+        if faults is not None:
+            raise SystemExit(
+                "--crash is schedule-injected (inproc/sim backends only); "
+                "the shm backend crashes real worker processes via the "
+                "fault tests instead"
+            )
+        from repro.runtime.coordinator import ShmTransport
+
+        backends.append(("shm", ShmTransport(model, engine.weights)))
 
     runs = {}
     for name, transport in backends:
@@ -382,17 +395,24 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(format_timeline(tracer.events))
         print()
 
-    if args.backend == "both":
-        (out_a, ev_a), (out_b, ev_b) = runs["inproc"], runs["sim"]
-        mismatch = diff_traces(ev_a, ev_b)
-        exact = all(
-            np.array_equal(a, b) for a, b in zip(out_a, out_b)
-        )
-        if mismatch or not exact:
-            for line in mismatch:
-                print(line)
-            if not exact:
-                print("outputs differ between backends")
+    if len(runs) > 1:
+        names = list(runs)
+        base, (out_a, ev_a) = names[0], runs[names[0]]
+        failed = False
+        for other in names[1:]:
+            out_b, ev_b = runs[other]
+            mismatch = diff_traces(ev_a, ev_b)
+            exact = all(
+                np.array_equal(a, b) for a, b in zip(out_a, out_b)
+            )
+            if mismatch or not exact:
+                failed = True
+                print(f"{base} vs {other}:")
+                for line in mismatch:
+                    print(line)
+                if not exact:
+                    print("outputs differ between backends")
+        if failed:
             return 1
         print("backends agree: identical outputs, identical canonical traces")
     return 0

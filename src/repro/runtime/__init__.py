@@ -11,6 +11,7 @@ trace schema.
 from repro.runtime.coordinator import (
     DistributedPipeline,
     RuntimeStats,
+    ShmTransport,
     StageFailure,
     TcpTransport,
 )
@@ -19,6 +20,7 @@ from repro.runtime.core import (
     PipelineSession,
     SimTransport,
     Transport,
+    emit_stage_trace,
     execute_stage,
 )
 from repro.runtime.faults import (
@@ -61,8 +63,10 @@ from repro.runtime.trace import (
     format_timeline,
     trace_makespan,
 )
+from repro.runtime.shm import ShmChannel, ShmRing, SlotExhausted
 from repro.runtime.transport import (
     Channel,
+    FrameAssembler,
     TransportClosed,
     decode_message,
     encode_message,
@@ -79,6 +83,7 @@ __all__ = [
     "EVENT_KINDS",
     "FaultInjector",
     "FaultSchedule",
+    "FrameAssembler",
     "Hello",
     "InProcTransport",
     "PipelineSession",
@@ -89,8 +94,12 @@ __all__ = [
     "RuntimeConfig",
     "RuntimeStats",
     "Setup",
+    "ShmChannel",
+    "ShmRing",
+    "ShmTransport",
     "Shutdown",
     "SimTransport",
+    "SlotExhausted",
     "StageFailure",
     "StageProgram",
     "StageTiming",
@@ -111,6 +120,7 @@ __all__ = [
     "decode_message",
     "device_busy",
     "diff_traces",
+    "emit_stage_trace",
     "encode_message",
     "execute_stage",
     "format_timeline",

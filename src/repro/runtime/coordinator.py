@@ -1,27 +1,47 @@
 """Coordinator: drives a plan on real worker processes.
 
-Implements the paper's Fig. 6 workflow over the shared runtime core:
-the plan is compiled once into a :class:`~repro.runtime.program.PlanProgram`,
-a :class:`TcpTransport` carries each stage's tiles to its worker
-processes over framed TCP sockets, and each stage runs as a thread
-calling the same :func:`~repro.runtime.core.execute_stage` path the
-in-process and simulated backends use — so the distributed output is
-bit-identical to theirs.  Stages overlap on different tasks — a real
-inference pipeline, not a simulation.
+Implements the paper's Fig. 6 workflow over the shared runtime core.
+The plan is compiled once into a :class:`~repro.runtime.program.PlanProgram`
+and a process-backed transport carries each stage's tiles to its worker
+processes:
+
+* :class:`TcpTransport` — framed sockets end to end; tensors are
+  encoded into the stream (no-recopy sends, ``recv_into`` receives).
+* :class:`ShmTransport` — the same control sockets, but tensor
+  payloads live in shared-memory slot rings
+  (:mod:`repro.runtime.shm`): one memcpy on send, a zero-copy
+  ``np.ndarray`` view on receive.
+
+Both transports are *self-launching*: :meth:`Transport.open` spawns the
+worker processes, handshakes them, and ships each its compiled segment
+plus the weights it touches — so :class:`~repro.runtime.core.PipelineSession`
+and :class:`~repro.serve.server.PipelineServer` drive real processes
+through the exact ``configure() → open()`` flow they use for the
+in-process and simulated backends, fault ladder and tracing included.
+
+:class:`DistributedPipeline` keeps frames from *different* stages in
+flight concurrently.  Since this refactor it is event-driven: a single
+``selectors`` control loop owns every worker socket, dispatches each
+stage's tiles, collects results as they arrive, and advances frames
+stage to stage — no thread-per-stage blocking recv.  Stage compute
+still happens in the worker processes; the loop only moves
+control-plane bytes (and, on the TCP transport, tensor frames).
 
 Worker failure recovery (extension): if a worker dies mid-task, the
 transport redistributes its strip among the survivors
 (capacity-weighted), ships them new tile programs via
-:class:`Reconfigure`, and the stage replays the task.
+:class:`Reconfigure`, and the frame replays from that stage boundary.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import queue
+import selectors
 import socket
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -35,12 +55,18 @@ from repro.nn.weights import Weights, init_weights
 from repro.partition.branches import concat_channel_blocks
 from repro.partition.regions import Region
 from repro.partition.strips import weighted_partition
-from repro.runtime.core import StageTrace, TaskTiming, Transport, execute_stage
-from repro.runtime.faults import RuntimeConfig, StageFailure
+from repro.runtime.core import (
+    StageTrace,
+    TaskTiming,
+    Transport,
+    emit_stage_trace,
+)
+from repro.runtime.faults import DeviceDead, RuntimeConfig, StageFailure
 from repro.runtime.messages import (
     Hello,
     Reconfigure,
     Setup,
+    ShmAttach,
     Shutdown,
     TileResult,
     TileTask,
@@ -50,15 +76,24 @@ from repro.runtime.program import (
     PlanProgram,
     TaskSpec,
     compile_plan,
+    split_stage,
+    stitch_stage,
     task_weight_names,
 )
-from repro.runtime.trace import Tracer, coerce_tracer
+from repro.runtime.shm import ShmChannel, ShmRing
+from repro.runtime.trace import TraceEvent, Tracer, coerce_tracer
 from repro.runtime.transport import Channel, TransportClosed
 from repro.runtime.worker import worker_main
 
 # StageFailure moved to repro.runtime.faults; re-exported here for the
 # existing import sites.
-__all__ = ["DistributedPipeline", "RuntimeStats", "StageFailure", "TcpTransport"]
+__all__ = [
+    "DistributedPipeline",
+    "RuntimeStats",
+    "ShmTransport",
+    "StageFailure",
+    "TcpTransport",
+]
 
 _SENTINEL = object()
 
@@ -88,18 +123,26 @@ class _WorkerHandle:
     worker_id: int
     process: mp.Process
     task: TaskSpec
+    stage_index: int
     channel: Optional[Channel] = None
     alive: bool = True
+    #: Set when a repartition left the (healthy) worker with no work —
+    #: distinguishes "idled" from "connection lost" for the event loop.
+    retired: bool = False
 
 
 class TcpTransport(Transport):
     """The framed-socket backend: one worker process per task.
 
     Conforms to the core :class:`~repro.runtime.core.Transport`
-    protocol — :meth:`run_tasks` scatters :class:`TileTask` frames to
-    the stage's workers and gathers :class:`TileResult` frames — and
-    owns the failure-recovery state (per-stage epochs, survivor
-    repartitioning).
+    protocol and is *self-launching*: :meth:`open` spawns one forked
+    worker process per compiled task, handshakes them and ships their
+    setups, so any session/server can use it directly.
+    :meth:`run_tasks` scatters :class:`TileTask` frames to the stage's
+    workers and gathers :class:`TileResult` frames; a lost worker
+    surfaces as :class:`~repro.runtime.faults.DeviceDead`, which the
+    shared fault ladder repairs via :meth:`repartition` (per-stage
+    epochs discard stale results).
     """
 
     name = "tcp"
@@ -107,12 +150,21 @@ class TcpTransport(Transport):
     def __init__(
         self,
         model: Model,
-        stats: RuntimeStats,
-        stats_lock: threading.Lock,
+        weights: Optional[Weights] = None,
+        *,
+        seed: int = 0,
+        stats: Optional[RuntimeStats] = None,
+        stats_lock: Optional[threading.Lock] = None,
+        fail_after: "Optional[Dict[str, int]]" = None,
+        connect_timeout_s: float = 30.0,
     ) -> None:
         self.model = model
-        self.stats = stats
-        self.stats_lock = stats_lock
+        self.weights = weights
+        self._seed = seed
+        self.stats = stats if stats is not None else RuntimeStats()
+        self.stats_lock = stats_lock if stats_lock is not None else threading.Lock()
+        self.fail_after = dict(fail_after or {})
+        self.connect_timeout_s = connect_timeout_s
         self._handles: "List[List[_WorkerHandle]]" = []
         self._epochs: "List[int]" = []
         self._clock_epoch = time.perf_counter()
@@ -120,11 +172,24 @@ class TcpTransport(Transport):
         self._pending_lock = threading.Lock()
         self._monitor: Optional[threading.Thread] = None
         self._monitor_stop = threading.Event()
+        self._opened = False
+        self._torn_down = False
 
     def open(self, program: PlanProgram) -> None:
+        if self._opened:
+            raise RuntimeError("transport is already open")
         super().open(program)
+        if self.weights is None:
+            self.weights = init_weights(self.model, self._seed)
         self._epochs = [0] * program.n_stages
         self._clock_epoch = time.perf_counter()
+        try:
+            self._launch_workers(program)
+        except BaseException:
+            self._opened = True  # close() must tear down the partial spawn
+            self.close()
+            raise
+        self._opened = True
 
     def _now(self) -> float:
         return time.perf_counter() - self._clock_epoch
@@ -132,15 +197,113 @@ class TcpTransport(Transport):
     def clock(self) -> float:
         return self._now()
 
+    def penalty(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+    # -- worker lifecycle ----------------------------------------------
+    def _launch_workers(self, program: PlanProgram) -> None:
+        """Spawn, handshake and set up one worker process per task."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        host, port = listener.getsockname()
+        listener.listen(64)
+        listener.settimeout(self.connect_timeout_s)
+
+        worker_id = 0
+        idle_timeout = (
+            self._config.worker_idle_timeout_s
+            if self._config is not None
+            else None
+        )
+        ctx = mp.get_context("fork")
+        for stage in program.stages:
+            handles = []
+            for task in stage.tasks:
+                fail_after = self.fail_after.get(task.device_name)
+                process = ctx.Process(
+                    target=worker_main,
+                    args=(host, port, worker_id, fail_after, idle_timeout),
+                    daemon=True,
+                )
+                process.start()
+                handles.append(
+                    _WorkerHandle(worker_id, process, task, stage.index)
+                )
+                worker_id += 1
+            self.bind_stage(stage.index, handles)
+
+        # Accept connections and match them to handles via Hello.
+        by_id = {h.worker_id: h for h in self.all_handles()}
+        try:
+            for _ in range(len(by_id)):
+                conn, _addr = listener.accept()
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                channel = Channel(conn)
+                hello = channel.recv()
+                assert isinstance(hello, Hello)
+                by_id[hello.worker_id].channel = channel
+        finally:
+            listener.close()
+
+        # Transport-specific channel upgrade (the shm backend attaches
+        # its rings here), then ship setups: each worker gets its
+        # compiled program plus the weights its segment touches.
+        for handle in self.all_handles():
+            handle.channel = self._wrap_channel(handle)
+        for stage in program.stages:
+            if stage.branch:
+                # Ship the whole block's weights: a failure may later
+                # reassign any path to any surviving worker, and
+                # Reconfigure does not carry parameters.
+                unit = self.model.units[stage.start]
+                block_names = {
+                    layer.name for p in unit.paths for layer in p
+                }
+                subset = {
+                    name: params
+                    for name, params in self.weights.items()
+                    if name in block_names
+                }
+                for handle in self.alive_handles(stage.index):
+                    handle.channel.send(
+                        Setup(self.model, handle.task.program, subset)
+                    )
+                continue
+            for handle in self.alive_handles(stage.index):
+                names = task_weight_names(handle.task.program)
+                subset = {
+                    name: params
+                    for name, params in self.weights.items()
+                    if name in names
+                }
+                handle.channel.send(
+                    Setup(self.model, handle.task.program, subset)
+                )
+
+        # Fault-tolerance plumbing: bound worker recvs and start the
+        # liveness monitor (the handshake above ran unbounded so slow
+        # weight shipping never trips the timeout).
+        if self._config is not None:
+            if self._config.recv_timeout_s is not None:
+                for handle in self.all_handles():
+                    handle.channel.settimeout(self._config.recv_timeout_s)
+            self.start_heartbeat(self._config.heartbeat_interval_s)
+
+    def _wrap_channel(self, handle: _WorkerHandle) -> Channel:
+        """Hook: upgrade a freshly accepted worker channel."""
+        return handle.channel
+
     # -- heartbeats ----------------------------------------------------
     def start_heartbeat(self, interval_s: float) -> None:
         """Probe worker-process liveness every ``interval_s`` seconds.
 
         The monitor never mutates handles directly — it only flags
-        worker ids in a pending set, which each stage thread applies
-        (mark dead + repartition) at its next frame boundary.  That
-        keeps channel use and repartitioning on the stage threads,
-        where the epoch protocol already makes them safe.
+        worker ids in a pending set, which the driving loop/threads
+        apply (mark dead + repartition) at the next frame boundary.
+        That keeps channel use and repartitioning where the epoch
+        protocol already makes them safe.
         """
         if self._monitor is not None:
             return
@@ -179,6 +342,13 @@ class TcpTransport(Transport):
                 self._pending_dead.discard(h.worker_id)
         return bool(flagged)
 
+    def needs_repartition(self, stage_index: int) -> bool:
+        """A stage needs repair when the heartbeat flagged one of *its*
+        workers.  (The base-class check keys on dead device *names*,
+        which here would keep firing for every stage hosting a same-name
+        worker whose own process is perfectly healthy.)"""
+        return self.apply_heartbeats(stage_index)
+
     def bind_stage(self, stage_index: int, handles: "List[_WorkerHandle]") -> None:
         while len(self._handles) <= stage_index:
             self._handles.append([])
@@ -192,6 +362,9 @@ class TcpTransport(Transport):
         if not handles:
             raise StageFailure(f"stage {stage_index}: no workers left")
         return tuple(h.task for h in handles)
+
+    def stage_epoch(self, stage_index: int) -> int:
+        return self._epochs[stage_index]
 
     def run_tasks(
         self,
@@ -209,8 +382,9 @@ class TcpTransport(Transport):
                 handle.channel.send(TileTask(frame, tile, epoch))
             except OSError:  # includes TransportClosed / broken pipes
                 handle.alive = False
-                raise TransportClosed(
-                    f"worker {handle.worker_id} unreachable"
+                raise DeviceDead(
+                    handle.task.device_name,
+                    f"worker {handle.worker_id} unreachable",
                 ) from None
             send_spans.append((t0, self._now()))
         outs: "List[np.ndarray]" = []
@@ -221,7 +395,10 @@ class TcpTransport(Transport):
                     message = handle.channel.recv()
                 except TransportClosed:
                     handle.alive = False
-                    raise
+                    raise DeviceDead(
+                        handle.task.device_name,
+                        f"worker {handle.worker_id} connection lost",
+                    ) from None
                 if getattr(message, "epoch", epoch) < epoch:
                     continue  # stale result from before a repartition
                 break
@@ -248,7 +425,20 @@ class TcpTransport(Transport):
                     self.stats.worker_compute_s.get(handle.worker_id, 0.0)
                     + message.compute_s
                 )
+        outs = self.materialise_outputs(
+            stage_index, tuple(h.task for h in handles), outs
+        )
         return outs, StageTrace(entry, entry, self._now(), tuple(timings))
+
+    def materialise_outputs(
+        self,
+        stage_index: int,
+        tasks: "Sequence[TaskSpec]",
+        outs: "List[np.ndarray]",
+    ) -> "List[np.ndarray]":
+        """Hook: make result tiles safe to hand past the stitch (the
+        shm backend copies the one case where a slot view would escape)."""
+        return outs
 
     # ------------------------------------------------------------------
     def repartition(self, stage_index: int) -> None:
@@ -267,7 +457,8 @@ class TcpTransport(Transport):
             )
             for handle, group in zip(survivors, groups):
                 if not group:
-                    handle.alive = False
+                    handle.alive = False  # healthy, just out of work
+                    handle.retired = True
                     continue
                 program = compile_block_paths_cached(
                     self.model, stage.start, tuple(sorted(group))
@@ -290,6 +481,7 @@ class TcpTransport(Transport):
             region = Region.from_bounds(iv.start, iv.end, 0, w)
             if region.empty:
                 handle.alive = False  # nothing left for it to do
+                handle.retired = True
                 continue
             program = compile_segment_cached(
                 self.model, stage.start, stage.end, region
@@ -305,10 +497,19 @@ class TcpTransport(Transport):
         with self.stats_lock:
             self.stats.recoveries += 1
 
+    def rebind(self, program: PlanProgram) -> None:
+        raise NotImplementedError(
+            "process-backed transports cannot adopt a new plan mid-session "
+            "(workers hold compiled segments); restart the pipeline instead"
+        )
+
     def all_handles(self) -> "List[_WorkerHandle]":
         return [h for handles in self._handles for h in handles]
 
     def close(self) -> None:
+        if self._torn_down:
+            return
+        self._torn_down = True
         self.stop_heartbeat()
         for handle in self.all_handles():
             if handle.channel is not None:
@@ -323,68 +524,433 @@ class TcpTransport(Transport):
                 handle.process.terminate()
 
 
-class _StageRunner(threading.Thread):
-    """One pipeline stage: queue → shared core stage path → queue."""
+class ShmTransport(TcpTransport):
+    """Same worker processes, zero-copy tensor plane.
+
+    Each worker channel gets two shared-memory slot rings
+    (:class:`~repro.runtime.shm.ShmRing`) sized for the stage's full
+    input/output maps; tile payloads ride slots while control frames
+    stay on the socket.  The coordinator creates every ring and unlinks
+    them all in :meth:`close` — including after worker crashes and on
+    ``KeyboardInterrupt`` (an ``atexit`` hook covers hard exits).
+
+    ``slots_per_ring`` bounds the frames a channel can buffer; a full
+    ring blocks the sender, and :meth:`backpressure` reports the
+    highest send-ring occupancy so the serving layer can shed ahead of
+    the block.  ``slot_frames`` scales slots for cross-frame batches
+    (a batch bigger than ``slot_frames`` falls back to inline frames —
+    slower, never wrong).
+    """
+
+    name = "shm"
 
     def __init__(
         self,
-        index: int,
+        model: Model,
+        weights: Optional[Weights] = None,
+        *,
+        slots_per_ring: int = 4,
+        slot_frames: int = 1,
+        **kwargs,
+    ) -> None:
+        super().__init__(model, weights, **kwargs)
+        if slots_per_ring < 2:
+            # One slot can never recycle: a slot frees on the *next*
+            # control frame after its consumption.
+            raise ValueError("slots_per_ring must be >= 2")
+        if slot_frames < 1:
+            raise ValueError("slot_frames must be >= 1")
+        self.slots_per_ring = slots_per_ring
+        self.slot_frames = slot_frames
+        self._rings: "List[ShmRing]" = []
+        self._send_rings: "List[ShmRing]" = []
+
+    def _slot_bytes(self, stage_index: int) -> int:
+        """A slot fits the stage's largest possible tile: its full
+        input map or full output map (repartitions can grow any task's
+        tile up to either bound), times the batch headroom."""
+        stage = self._program.stages[stage_index]
+        if stage.start == 0:
+            in_shape = self.model.input_shape
+        else:
+            in_shape = self.model.out_shape(stage.start - 1)
+        in_bytes = int(np.prod(in_shape)) * 4
+        out_bytes = int(np.prod(stage.out_shape)) * 4
+        return max(in_bytes, out_bytes) * self.slot_frames
+
+    def _wrap_channel(self, handle: _WorkerHandle) -> Channel:
+        slot_bytes = self._slot_bytes(handle.stage_index)
+        to_worker = ShmRing.create(slot_bytes, self.slots_per_ring)
+        from_worker = ShmRing.create(slot_bytes, self.slots_per_ring)
+        self._rings.extend((to_worker, from_worker))
+        self._send_rings.append(to_worker)
+        handle.channel.send(
+            ShmAttach(
+                send_name=from_worker.name,
+                recv_name=to_worker.name,
+                slot_bytes=to_worker.slot_bytes,
+                n_slots=to_worker.n_slots,
+            )
+        )
+        return ShmChannel(
+            handle.channel.sock, send_ring=to_worker, recv_ring=from_worker
+        )
+
+    def materialise_outputs(
+        self,
+        stage_index: int,
+        tasks: "Sequence[TaskSpec]",
+        outs: "List[np.ndarray]",
+    ) -> "List[np.ndarray]":
+        # stitch_stage passes a single full-map tile through unchanged;
+        # a ring-slot view escaping as the stage output would be
+        # overwritten on slot reuse, so own it here.  Every other shape
+        # is copied by the stitch itself before the slot can recycle.
+        if len(tasks) == 1 and tasks[0].region is not None and outs:
+            region = tasks[0].region
+            stage = self.current_stage(stage_index)
+            if (
+                (region.height, region.width) == stage.out_shape[1:]
+                and outs[0].base is not None
+            ):
+                # .copy(), not ascontiguousarray — the slot view *is*
+                # contiguous, and ascontiguousarray would return it
+                # unchanged.
+                outs[0] = outs[0].copy()
+        return outs
+
+    def backpressure(self) -> float:
+        """Highest send-ring occupancy — 1.0 means the next frame's
+        send would block on slot acquire."""
+        if not self._send_rings:
+            return 0.0
+        return max(ring.occupancy() for ring in self._send_rings)
+
+    def close(self) -> None:
+        if self._torn_down:
+            return
+        super().close()  # workers shut down and detach first
+        for ring in self._rings:
+            ring.destroy()
+
+
+@dataclass
+class _InFlight:
+    """One frame being served by one stage, driven by the event loop."""
+
+    frame: int
+    x: np.ndarray
+    tasks: "Tuple[TaskSpec, ...]"
+    tiles: "List[np.ndarray]"
+    epoch: int
+    entry: float
+    deadline: Optional[float]
+    send_spans: "List[Tuple[float, float]]" = field(default_factory=list)
+    pos: "Dict[int, int]" = field(default_factory=dict)
+    outs: "List[Optional[np.ndarray]]" = field(default_factory=list)
+    timings: "List[Optional[TaskTiming]]" = field(default_factory=list)
+    filled: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return self.filled == len(self.tasks)
+
+
+class _EventLoop(threading.Thread):
+    """The single ``selectors``-driven control loop of the coordinator.
+
+    Owns every worker socket (non-blocking) plus a self-pipe for
+    submissions and shutdown.  Each stage serves one frame at a time
+    (FIFO per stage, matching the old thread-per-stage semantics) while
+    different stages overlap freely; results are collected as they
+    arrive — no blocking recv anywhere, so one thread drives every
+    in-flight frame.  Worker death (EOF, heartbeat flag, recv deadline)
+    triggers the same repartition-and-replay recovery the fault ladder
+    performs on the session path, guarded by the per-stage epochs.
+    """
+
+    def __init__(
+        self,
         program: PlanProgram,
         transport: TcpTransport,
-        in_queue: "queue.Queue",
-        out_queue: "queue.Queue",
         recover: bool,
         tracer: Optional[Tracer],
     ) -> None:
-        super().__init__(name=f"stage-{index}", daemon=True)
-        self.index = index
+        super().__init__(name="coordinator", daemon=True)
         self.program = program
         self.transport = transport
-        self.in_queue = in_queue
-        self.out_queue = out_queue
         self.recover = recover
         self.tracer = tracer
+        self.results: "queue.Queue" = queue.Queue()
         self.error: Optional[BaseException] = None
+        self._sel = selectors.DefaultSelector()
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._lock = threading.Lock()
+        self._submissions: "deque" = deque()
+        self._stopping = False
+        n = program.n_stages
+        self._queues: "List[deque]" = [deque() for _ in range(n)]
+        self._busy: "List[Optional[_InFlight]]" = [None] * n
+        self._registered: "Dict[int, _WorkerHandle]" = {}
 
+    # -- cross-thread interface ----------------------------------------
+    def submit(self, frame: int, x: np.ndarray) -> None:
+        with self._lock:
+            self._submissions.append((frame, x))
+        self._wake()
+
+    def shutdown(self) -> None:
+        with self._lock:
+            self._stopping = True
+        self._wake()
+
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send(b"\0")
+        except OSError:
+            pass
+
+    # -- loop body ------------------------------------------------------
     def run(self) -> None:
         try:
-            while True:
-                item = self.in_queue.get()
-                if item is _SENTINEL:
-                    self.out_queue.put(_SENTINEL)
-                    return
-                task_id, feature_map = item
-                output = self._process(task_id, feature_map)
-                self.out_queue.put((task_id, output))
-        except BaseException as exc:  # surface to the coordinator
-            self.error = exc
-            self.out_queue.put(_SENTINEL)
-
-    def _process(self, task_id: int, feature_map: np.ndarray) -> np.ndarray:
-        while True:
-            # Apply deaths flagged by the heartbeat monitor before the
-            # send would discover them the hard way (and desync a frame).
-            if self.transport.apply_heartbeats(self.index):
-                if not self.recover:
-                    raise StageFailure(
-                        f"stage {self.index}: worker died (heartbeat)"
+            self._sel.register(self._wake_r, selectors.EVENT_READ, None)
+            for handle in self.transport.all_handles():
+                if handle.alive and handle.channel is not None:
+                    handle.channel.set_nonblocking()
+                    self._sel.register(
+                        handle.channel.sock, selectors.EVENT_READ, handle
                     )
-                self.transport.repartition(self.index)
+                    self._registered[handle.worker_id] = handle
+            while True:
+                self._drain_submissions()
+                self._dispatch_ready()
+                if self._stopping and self._idle():
+                    return
+                for key, _events in self._sel.select(self._tick_timeout()):
+                    if key.data is None:
+                        self._drain_wake()
+                    else:
+                        self._service(key.data)
+                self._apply_heartbeats()
+                self._check_deadlines()
+        except BaseException as exc:  # surfaced at collect()
+            self.error = exc
+        finally:
+            self.results.put(_SENTINEL)
             try:
-                return execute_stage(
-                    self.transport,
-                    self.program,
-                    self.index,
-                    feature_map,
-                    task_id,
-                    self.tracer,
+                self._sel.close()
+            except OSError:
+                pass
+            self._wake_r.close()
+            self._wake_w.close()
+
+    def _idle(self) -> bool:
+        with self._lock:
+            if self._submissions:
+                return False
+        return all(b is None for b in self._busy) and not any(self._queues)
+
+    def _tick_timeout(self) -> "Optional[float]":
+        config = self.transport.config
+        timeout = config.heartbeat_interval_s if config is not None else None
+        deadlines = [
+            b.deadline for b in self._busy if b is not None and b.deadline
+        ]
+        if deadlines:
+            now = self.transport.clock()
+            nearest = max(0.0, min(deadlines) - now)
+            timeout = nearest if timeout is None else min(timeout, nearest)
+        return timeout
+
+    def _drain_wake(self) -> None:
+        try:
+            while self._wake_r.recv(4096):
+                pass
+        except (BlockingIOError, InterruptedError):
+            pass
+
+    def _drain_submissions(self) -> None:
+        with self._lock:
+            items, self._submissions = self._submissions, deque()
+        self._queues[0].extend(items)
+
+    def _dispatch_ready(self) -> None:
+        for stage_index in range(self.program.n_stages):
+            if self._busy[stage_index] is None and self._queues[stage_index]:
+                frame, x = self._queues[stage_index].popleft()
+                self._dispatch(stage_index, frame, x)
+
+    def _dispatch(self, stage_index: int, frame: int, x: np.ndarray) -> None:
+        transport = self.transport
+        tasks = transport.stage_tasks(stage_index)  # StageFailure if none
+        tiles = split_stage(tasks, x)
+        handles = transport.alive_handles(stage_index)
+        config = transport.config
+        entry = transport.clock()
+        deadline = (
+            entry + config.recv_timeout_s
+            if config is not None and config.recv_timeout_s is not None
+            else None
+        )
+        inflight = _InFlight(
+            frame, x, tasks, tiles,
+            transport.stage_epoch(stage_index), entry, deadline,
+            outs=[None] * len(tasks), timings=[None] * len(tasks),
+        )
+        self._busy[stage_index] = inflight
+        for i, (handle, tile) in enumerate(zip(handles, tiles)):
+            t0 = transport.clock()
+            try:
+                handle.channel.send(TileTask(frame, tile, inflight.epoch))
+            except OSError:
+                # _worker_lost repartitions and re-dispatches this very
+                # frame with a fresh task set; abandon this attempt.
+                self._worker_lost(handle)
+                return
+            inflight.send_spans.append((t0, transport.clock()))
+            inflight.pos[handle.worker_id] = i
+
+    def _service(self, handle: _WorkerHandle) -> None:
+        try:
+            messages = handle.channel.recv_ready()
+        except TransportClosed:
+            self._worker_lost(handle)
+            return
+        for message in messages:
+            self._on_message(handle, message)
+
+    def _on_message(self, handle: _WorkerHandle, message) -> None:
+        if isinstance(message, WorkerError):
+            raise RuntimeError(
+                f"worker {message.worker_id} failed task "
+                f"{message.task_id}: {message.message}"
+            )
+        if not isinstance(message, TileResult):
+            raise RuntimeError(
+                f"unexpected {type(message).__name__} from worker "
+                f"{handle.worker_id}"
+            )
+        stage_index = handle.stage_index
+        transport = self.transport
+        inflight = self._busy[stage_index]
+        if (
+            inflight is None
+            or message.epoch < transport.stage_epoch(stage_index)
+            or message.task_id != inflight.frame
+        ):
+            return  # stale result from before a repartition/replay
+        i = inflight.pos.get(handle.worker_id)
+        if i is None or inflight.outs[i] is not None:
+            return
+        recv_end = transport.clock()
+        span = inflight.send_spans[i]
+        inflight.outs[i] = message.tile
+        inflight.timings[i] = TaskTiming(
+            send=span,
+            compute=(max(span[1], recv_end - message.compute_s), recv_end),
+            recv=(recv_end, recv_end),
+        )
+        inflight.filled += 1
+        with transport.stats_lock:
+            transport.stats.worker_compute_s[handle.worker_id] = (
+                transport.stats.worker_compute_s.get(handle.worker_id, 0.0)
+                + message.compute_s
+            )
+        if inflight.complete:
+            self._complete(stage_index, inflight)
+
+    def _complete(self, stage_index: int, inflight: _InFlight) -> None:
+        transport = self.transport
+        outs = transport.materialise_outputs(
+            stage_index, inflight.tasks, list(inflight.outs)
+        )
+        st = StageTrace(
+            inflight.entry,
+            inflight.entry,
+            transport.clock(),
+            tuple(inflight.timings),
+        )
+        emit_stage_trace(
+            self.tracer, (inflight.frame,), stage_index,
+            inflight.tasks, inflight.tiles, outs, st,
+        )
+        out = stitch_stage(
+            transport.current_stage(stage_index), inflight.tasks, outs
+        )
+        self._busy[stage_index] = None
+        if stage_index + 1 < self.program.n_stages:
+            self._queues[stage_index + 1].append((inflight.frame, out))
+        else:
+            self.results.put((inflight.frame, out))
+
+    # -- failure handling ----------------------------------------------
+    def _worker_lost(self, handle: _WorkerHandle) -> None:
+        stage_index = handle.stage_index
+        handle.alive = False
+        if self._registered.pop(handle.worker_id, None) is not None:
+            try:
+                self._sel.unregister(handle.channel.sock)
+            except (KeyError, ValueError, OSError):
+                pass
+        if not self.recover:
+            raise StageFailure(
+                f"stage {stage_index}: worker connection lost"
+            )
+        transport = self.transport
+        if transport.mark_dead(handle.task.device_name) and self.tracer:
+            now = transport.clock()
+            self.tracer.emit(
+                TraceEvent(
+                    "device_dead", self._current_frame(stage_index),
+                    stage_index, handle.task.device_name, now, now,
                 )
-            except TransportClosed:
-                if not self.recover:
-                    raise StageFailure(
-                        f"stage {self.index}: worker connection lost"
-                    ) from None
-                self.transport.repartition(self.index)
+            )
+        transport.repartition(stage_index)  # StageFailure when none left
+        inflight, self._busy[stage_index] = self._busy[stage_index], None
+        if inflight is not None:
+            if self.tracer:
+                now = transport.clock()
+                self.tracer.emit(
+                    TraceEvent(
+                        "frame_replayed", inflight.frame, stage_index,
+                        handle.task.device_name, now, now,
+                    )
+                )
+            self._dispatch(stage_index, inflight.frame, inflight.x)
+
+    def _current_frame(self, stage_index: int) -> int:
+        inflight = self._busy[stage_index]
+        return inflight.frame if inflight is not None else -1
+
+    def _apply_heartbeats(self) -> None:
+        if self.transport.config is None:
+            return
+        for stage_index in range(self.program.n_stages):
+            self.transport.apply_heartbeats(stage_index)
+        lost = [
+            h for h in list(self._registered.values())
+            if not h.alive and not h.retired
+        ]
+        for handle in lost:
+            self._worker_lost(handle)
+
+    def _check_deadlines(self) -> None:
+        now = self.transport.clock()
+        for stage_index, inflight in enumerate(self._busy):
+            if inflight is None or inflight.deadline is None:
+                continue
+            if now <= inflight.deadline:
+                continue
+            # Declare the slowest missing worker dead; recovery
+            # re-dispatches with a fresh deadline for the survivors.
+            for handle in list(self._registered.values()):
+                if handle.stage_index != stage_index or not handle.alive:
+                    continue
+                i = inflight.pos.get(handle.worker_id)
+                if i is not None and inflight.outs[i] is None:
+                    self._worker_lost(handle)
+                    break
 
 
 class DistributedPipeline:
@@ -394,6 +960,11 @@ class DistributedPipeline:
 
         with DistributedPipeline(model, plan) as pipe:
             outputs, stats = pipe.run_batch(inputs)
+
+    ``transport`` selects the tensor plane: ``"tcp"`` (framed sockets)
+    or ``"shm"`` (shared-memory slot rings, zero-copy on the same
+    host).  Either way a single event-driven control loop coordinates
+    every stage's worker processes.
 
     ``trace`` follows the shared contract (``Tracer | bool | None``,
     see :func:`~repro.runtime.trace.coerce_tracer`): per-frame
@@ -418,6 +989,7 @@ class DistributedPipeline:
         connect_timeout_s: float = 30.0,
         trace=False,
         config: "Optional[RuntimeConfig]" = None,
+        transport: str = "tcp",
     ) -> None:
         self.model = model
         self.plan = plan
@@ -431,11 +1003,22 @@ class DistributedPipeline:
         self._stats_lock = threading.Lock()
         self._engine = Engine(model, self.weights)
         self._tracer = coerce_tracer(trace)
-        self.transport = TcpTransport(model, self.stats, self._stats_lock)
+        transports = {"tcp": TcpTransport, "shm": ShmTransport}
+        if transport not in transports:
+            raise ValueError(
+                f"unknown transport {transport!r} (use 'tcp' or 'shm')"
+            )
+        self.transport = transports[transport](
+            model,
+            self.weights,
+            stats=self.stats,
+            stats_lock=self._stats_lock,
+            fail_after=self.fail_after,
+            connect_timeout_s=connect_timeout_s,
+        )
         if config is not None:
             self.transport.configure(config)
-        self._stages: "List[_StageRunner]" = []
-        self._queues: "List[queue.Queue]" = []
+        self._loop: "Optional[_EventLoop]" = None
         self._submit_times: "Dict[int, float]" = {}
         self._next_task = 0
         self._started = False
@@ -452,103 +1035,10 @@ class DistributedPipeline:
         if self._started:
             return self
         self.transport.open(self.program)
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind(("127.0.0.1", 0))
-        host, port = listener.getsockname()
-        listener.listen(64)
-        listener.settimeout(self.connect_timeout_s)
-
-        # Spawn one worker process per compiled task.
-        worker_id = 0
-        idle_timeout = (
-            self.config.worker_idle_timeout_s
-            if self.config is not None
-            else None
+        self._loop = _EventLoop(
+            self.program, self.transport, self.recover, self._tracer
         )
-        ctx = mp.get_context("fork")
-        for stage in self.program.stages:
-            handles = []
-            for task in stage.tasks:
-                fail_after = self.fail_after.get(task.device_name)
-                process = ctx.Process(
-                    target=worker_main,
-                    args=(host, port, worker_id, fail_after, idle_timeout),
-                    daemon=True,
-                )
-                process.start()
-                handles.append(_WorkerHandle(worker_id, process, task))
-                worker_id += 1
-            self.transport.bind_stage(stage.index, handles)
-
-        # Accept connections and match them to handles via Hello.
-        by_id = {h.worker_id: h for h in self.transport.all_handles()}
-        try:
-            for _ in range(len(by_id)):
-                conn, _addr = listener.accept()
-                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-                channel = Channel(conn)
-                hello = channel.recv()
-                assert isinstance(hello, Hello)
-                by_id[hello.worker_id].channel = channel
-        finally:
-            listener.close()
-
-        # Ship setups: each worker gets its compiled program plus the
-        # weights its segment touches.
-        for stage in self.program.stages:
-            if stage.branch:
-                # Ship the whole block's weights: a failure may later
-                # reassign any path to any surviving worker, and
-                # Reconfigure does not carry parameters.
-                unit = self.model.units[stage.start]
-                block_names = {
-                    layer.name for p in unit.paths for layer in p
-                }
-                subset = {
-                    name: params
-                    for name, params in self.weights.items()
-                    if name in block_names
-                }
-                for handle in self.transport.alive_handles(stage.index):
-                    handle.channel.send(
-                        Setup(self.model, handle.task.program, subset)
-                    )
-                continue
-            for handle in self.transport.alive_handles(stage.index):
-                names = task_weight_names(handle.task.program)
-                subset = {
-                    name: params
-                    for name, params in self.weights.items()
-                    if name in names
-                }
-                handle.channel.send(
-                    Setup(self.model, handle.task.program, subset)
-                )
-
-        # Fault-tolerance plumbing: bound worker recvs and start the
-        # liveness monitor (the handshake above ran unbounded so slow
-        # weight shipping never trips the timeout).
-        if self.config is not None:
-            if self.config.recv_timeout_s is not None:
-                for handle in self.transport.all_handles():
-                    handle.channel.settimeout(self.config.recv_timeout_s)
-            self.transport.start_heartbeat(self.config.heartbeat_interval_s)
-
-        # Wire queues and stage threads.
-        self._queues = [queue.Queue() for _ in range(self.program.n_stages + 1)]
-        for index in range(self.program.n_stages):
-            runner = _StageRunner(
-                index,
-                self.program,
-                self.transport,
-                self._queues[index],
-                self._queues[index + 1],
-                self.recover,
-                self._tracer,
-            )
-            runner.start()
-            self._stages.append(runner)
+        self._loop.start()
         self._started = True
         return self
 
@@ -567,16 +1057,16 @@ class DistributedPipeline:
         if self._first_submit is None:
             self._first_submit = now
         self._submit_times[task_id] = now
-        self._queues[0].put((task_id, np.ascontiguousarray(x, dtype=np.float32)))
+        self._loop.submit(task_id, np.ascontiguousarray(x, dtype=np.float32))
         return task_id
 
     def collect(self, timeout_s: float = 120.0) -> Tuple[int, np.ndarray]:
         """Fetch one completed (task_id, output) from the final stage."""
-        item = self._queues[-1].get(timeout=timeout_s)
+        item = self._loop.results.get(timeout=timeout_s)
         if item is _SENTINEL:
-            for stage in self._stages:
-                if stage.error is not None:
-                    raise stage.error
+            self._loop.results.put(_SENTINEL)  # keep later collects failing
+            if self._loop.error is not None:
+                raise self._loop.error
             raise RuntimeError("pipeline terminated unexpectedly")
         task_id, features = item
         now = time.perf_counter()
@@ -604,9 +1094,8 @@ class DistributedPipeline:
             return
         self._closed = True
         if self._started:
-            self._queues[0].put(_SENTINEL)
-            for stage in self._stages:
-                stage.join(timeout=10.0)
+            self._loop.shutdown()
+            self._loop.join(timeout=10.0)
             self.transport.close()
 
     def __enter__(self) -> "DistributedPipeline":

@@ -7,13 +7,15 @@ and *what clock* stamps the trace.  :func:`execute_stage` owns the
 split/stitch and trace emission; a :class:`Transport` supplies task
 execution and timestamps:
 
-========================  =========================  ====================
-backend                   tasks run on               clock
-========================  =========================  ====================
-:class:`InProcTransport`  the shared thread pool     wall (perf_counter)
-``TcpTransport``          worker processes over TCP  wall (perf_counter)
-:class:`SimTransport`     inline, serially           virtual (Eq. 9 cost)
-========================  =========================  ====================
+========================  =============================  ====================
+backend                   tasks run on                   clock
+========================  =============================  ====================
+:class:`InProcTransport`  the shared thread pool         wall (perf_counter)
+``TcpTransport``          worker processes over TCP      wall (perf_counter)
+``ShmTransport``          worker processes, tensors in   wall (perf_counter)
+                          shared-memory slot rings
+:class:`SimTransport`     inline, serially               virtual (Eq. 9 cost)
+========================  =============================  ====================
 
 Because tiles, kernels and stitching are shared, all three produce
 bit-identical frame outputs, and their canonical traces (timestamp-free
@@ -62,6 +64,7 @@ __all__ = [
     "Transport",
     "InProcTransport",
     "SimTransport",
+    "emit_stage_trace",
     "execute_stage",
     "execute_stage_batch",
     "PipelineSession",
@@ -214,6 +217,17 @@ class Transport(ABC):
         self._program = program
         self._overrides.clear()
 
+    def backpressure(self) -> float:
+        """How loaded the transport's internal buffering is, in [0, 1].
+
+        ``0.0`` means admission can proceed freely; ``1.0`` means the
+        transport cannot absorb another frame without blocking.  The
+        shared-memory backend reports its slot-ring occupancy here; the
+        serving layer's admission control consults it (a full ring
+        sheds instead of queueing a frame that would stall a stage).
+        """
+        return 0.0
+
 
 def execute_stage(
     transport: Transport,
@@ -360,34 +374,54 @@ def _attempt_stage(
     tasks = transport.stage_tasks(stage_index)
     tiles = split_stage(tasks, x)
     outs, st = transport.run_tasks(stage_index, tiles, frames[0])
-    if tracer is not None:
-        b = len(frames)
-        events = []
-        for frame in frames:
-            events.append(
-                TraceEvent("enqueue", frame, stage_index, "", st.entry, st.start)
-            )
-            for task, tile, out, tt in zip(tasks, tiles, outs, st.tasks):
-                events.append(
-                    TraceEvent(
-                        "send", frame, stage_index, task.device_name,
-                        tt.send[0], tt.send[1], tile.nbytes // b,
-                    )
-                )
-                events.append(
-                    TraceEvent(
-                        "compute", frame, stage_index, task.device_name,
-                        tt.compute[0], tt.compute[1],
-                    )
-                )
-                events.append(
-                    TraceEvent(
-                        "recv", frame, stage_index, task.device_name,
-                        tt.recv[0], tt.recv[1], out.nbytes // b,
-                    )
-                )
-        tracer.extend(events)
+    emit_stage_trace(tracer, frames, stage_index, tasks, tiles, outs, st)
     return stitch_stage(stage, tasks, outs)
+
+
+def emit_stage_trace(
+    tracer: Optional[Tracer],
+    frames: "Tuple[int, ...]",
+    stage_index: int,
+    tasks: "Sequence[TaskSpec]",
+    tiles: "Sequence[np.ndarray]",
+    outs: "Sequence[np.ndarray]",
+    st: StageTrace,
+) -> None:
+    """Emit one stage attempt's events in canonical order.
+
+    Shared by :func:`_attempt_stage` and the event-driven coordinator,
+    so every backend — including one that gathers results out of order
+    off a selector — produces the same timestamp-free event sequence:
+    enqueue, then per task (in task order) send/compute/recv.
+    """
+    if tracer is None:
+        return
+    b = len(frames)
+    events = []
+    for frame in frames:
+        events.append(
+            TraceEvent("enqueue", frame, stage_index, "", st.entry, st.start)
+        )
+        for task, tile, out, tt in zip(tasks, tiles, outs, st.tasks):
+            events.append(
+                TraceEvent(
+                    "send", frame, stage_index, task.device_name,
+                    tt.send[0], tt.send[1], tile.nbytes // b,
+                )
+            )
+            events.append(
+                TraceEvent(
+                    "compute", frame, stage_index, task.device_name,
+                    tt.compute[0], tt.compute[1],
+                )
+            )
+            events.append(
+                TraceEvent(
+                    "recv", frame, stage_index, task.device_name,
+                    tt.recv[0], tt.recv[1], out.nbytes // b,
+                )
+            )
+    tracer.extend(events)
 
 
 class InProcTransport(Transport):

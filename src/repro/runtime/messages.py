@@ -20,6 +20,7 @@ from repro.nn.weights import Weights
 
 __all__ = [
     "Hello",
+    "ShmAttach",
     "Setup",
     "Reconfigure",
     "TileTask",
@@ -34,6 +35,23 @@ class Hello:
     """Worker → coordinator handshake."""
 
     worker_id: int
+
+
+@dataclass(frozen=True)
+class ShmAttach:
+    """Coordinator → worker: switch tile payloads to shared memory.
+
+    Sent right after the handshake (before :class:`Setup`) by the shm
+    transport.  ``send_name`` is the ring this worker writes its
+    results into, ``recv_name`` the ring it reads tiles from; both were
+    created (and will be unlinked) by the coordinator.  Geometry is
+    carried for validation — the rings' headers are authoritative.
+    """
+
+    send_name: str
+    recv_name: str
+    slot_bytes: int
+    n_slots: int
 
 
 @dataclass(frozen=True)

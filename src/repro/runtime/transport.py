@@ -24,16 +24,30 @@ Frame layout (after the 8-byte length)::
 Oversized frames are rejected from the length header *before* any
 payload allocation, and receives fill one preallocated buffer via
 ``socket.recv_into`` — large feature maps don't pay a per-chunk
-``bytes`` join.
+``bytes`` join.  On the send side array data travels as ``memoryview``s
+of the contiguous buffers straight into ``sendall`` — a multi-megabyte
+tensor frame is never duplicated into an intermediate ``bytes``.
+
+Two consumers build on the framing primitives:
+
+* :class:`FrameAssembler` re-parses the same length-prefixed stream
+  incrementally from arbitrary byte chunks, which is what lets a
+  ``selectors``-driven coordinator read many worker sockets without a
+  blocking recv per channel (see :meth:`Channel.recv_ready`);
+* the shared-memory channel (:mod:`repro.runtime.shm`) reuses the
+  skeleton pickler/unpickler via :func:`pickle_skeleton` /
+  :func:`unpickle_skeleton` and swaps the array plane for ring slots.
 """
 
 from __future__ import annotations
 
 import io
 import pickle
+import select
 import socket
 import struct
-from typing import Any, Dict, List, Set
+from collections import deque
+from typing import Any, Dict, List, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -41,9 +55,14 @@ __all__ = [
     "TransportClosed",
     "MAX_FRAME_BYTES",
     "encode_message",
+    "encode_parts",
     "decode_message",
     "send_message",
+    "send_parts",
     "recv_message",
+    "pickle_skeleton",
+    "unpickle_skeleton",
+    "FrameAssembler",
     "Channel",
 ]
 
@@ -111,29 +130,71 @@ class _RestrictedUnpickler(pickle.Unpickler):
         )
 
 
-def encode_message(message: Any) -> bytes:
-    """Serialise one message into a frame payload (no length prefix)."""
+def pickle_skeleton(message: Any) -> "Tuple[bytes, List[np.ndarray]]":
+    """Pickle a message's object skeleton, lifting out its arrays.
+
+    Returns ``(skeleton_bytes, arrays)``; each array is replaced in the
+    pickle stream by its index into ``arrays``.  The inverse is
+    :func:`unpickle_skeleton`.  This is the codec half every payload
+    plane shares — the framed codec carries the arrays as raw segments,
+    the shared-memory channel carries them as ring-slot references.
+    """
     arrays: "List[np.ndarray]" = []
     skeleton = io.BytesIO()
     _ArrayPickler(skeleton, arrays).dump(message)
-    parts: "List[bytes]" = [_PREAMBLE.pack(_CODEC_VERSION, len(arrays))]
+    return skeleton.getvalue(), arrays
+
+
+def unpickle_skeleton(data: Any, arrays: "Sequence[np.ndarray]") -> Any:
+    """Rebuild a message from its pickled skeleton and decoded arrays."""
+    if isinstance(data, memoryview):
+        data = bytes(data)
+    return _RestrictedUnpickler(io.BytesIO(data), list(arrays)).load()
+
+
+def require_wire_safe(arr: np.ndarray) -> None:
+    """Reject dtypes the raw-bytes array plane cannot carry."""
+    if arr.dtype.hasobject or arr.dtype.names is not None:
+        raise TypeError(
+            f"cannot encode array of dtype {arr.dtype} (object/"
+            "structured dtypes are not wire-safe)"
+        )
+
+
+def array_header(contiguous: np.ndarray, shape: "Tuple[int, ...]") -> bytes:
+    """The per-array descriptor (dtype descr, ndim, dims, nbytes)."""
+    descr = contiguous.dtype.str.encode("ascii")
+    parts = [_ARR_FIXED.pack(len(descr)), descr, _U8.pack(len(shape))]
+    for dim in shape:
+        parts.append(_U64.pack(dim))
+    parts.append(_U64.pack(contiguous.nbytes))
+    return b"".join(parts)
+
+
+def encode_parts(message: Any) -> "Tuple[List[Any], int]":
+    """Serialise one message into frame-payload parts plus total bytes.
+
+    Array data contributes flat ``memoryview``s of the contiguous
+    buffers — nothing tensor-sized is copied here; :func:`send_parts`
+    hands the views to ``sendall`` directly.  The views keep their
+    source arrays alive for as long as the parts list is.
+    """
+    skeleton, arrays = pickle_skeleton(message)
+    parts: "List[Any]" = [_PREAMBLE.pack(_CODEC_VERSION, len(arrays))]
     for arr in arrays:
-        if arr.dtype.hasobject or arr.dtype.names is not None:
-            raise TypeError(
-                f"cannot encode array of dtype {arr.dtype} (object/"
-                "structured dtypes are not wire-safe)"
-            )
+        require_wire_safe(arr)
         # ascontiguousarray promotes 0-d to 1-d; keep the true shape.
         contiguous = np.ascontiguousarray(arr)
-        descr = contiguous.dtype.str.encode("ascii")
-        parts.append(_ARR_FIXED.pack(len(descr)))
-        parts.append(descr)
-        parts.append(_U8.pack(arr.ndim))
-        for dim in arr.shape:
-            parts.append(_U64.pack(dim))
-        parts.append(_U64.pack(contiguous.nbytes))
-        parts.append(contiguous.tobytes())
-    parts.append(skeleton.getvalue())
+        parts.append(array_header(contiguous, arr.shape))
+        if contiguous.nbytes:
+            parts.append(memoryview(contiguous).cast("B"))
+    parts.append(skeleton)
+    return parts, sum(len(p) for p in parts)
+
+
+def encode_message(message: Any) -> bytes:
+    """Serialise one message into a frame payload (no length prefix)."""
+    parts, _total = encode_parts(message)
     return b"".join(parts)
 
 
@@ -176,19 +237,45 @@ def decode_message(payload: memoryview) -> Any:
     ).load()
 
 
+#: Parts below this coalesce into one buffer per ``sendall``; parts at
+#: or above it (tensor data) go to the socket as-is, uncopied.
+_COALESCE_BYTES = 1 << 20
+
+
+def send_parts(sock: socket.socket, parts: "List[Any]", total: int) -> None:
+    """Send one framed message from its encoded parts.
+
+    Small frames ship as a single coalesced ``sendall``; large frames
+    send the header first and then stream the parts, passing any
+    tensor-sized ``memoryview`` straight to ``sendall`` — the
+    no-recopy path now covers the whole encode+send pipeline.
+    """
+    if total > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"message of {total} bytes exceeds MAX_FRAME_BYTES"
+        )
+    header = _HEADER.pack(total)
+    if total < _COALESCE_BYTES:
+        sock.sendall(header + b"".join(parts))
+        return
+    sock.sendall(header)
+    small: "List[Any]" = []
+    for part in parts:
+        if isinstance(part, memoryview) and len(part) >= _COALESCE_BYTES:
+            if small:
+                sock.sendall(b"".join(small))
+                small = []
+            sock.sendall(part)
+        else:
+            small.append(part)
+    if small:
+        sock.sendall(b"".join(small))
+
+
 def send_message(sock: socket.socket, message: Any) -> None:
     """Serialise and send one framed message."""
-    payload = encode_message(message)
-    if len(payload) > MAX_FRAME_BYTES:
-        raise ValueError(
-            f"message of {len(payload)} bytes exceeds MAX_FRAME_BYTES"
-        )
-    header = _HEADER.pack(len(payload))
-    if len(payload) < (1 << 20):
-        sock.sendall(header + payload)
-    else:  # avoid re-copying multi-megabyte tensor frames
-        sock.sendall(header)
-        sock.sendall(payload)
+    parts, total = encode_parts(message)
+    send_parts(sock, parts, total)
 
 
 def _recv_exact_into(sock: socket.socket, buf: memoryview) -> None:
@@ -215,12 +302,86 @@ def recv_message(sock: socket.socket) -> Any:
     return decode_message(memoryview(payload))
 
 
+#: Bytes pulled off the socket per ``recv`` on the non-blocking path.
+_RECV_CHUNK = 1 << 16
+
+
+class FrameAssembler:
+    """Incremental parser for the length-prefixed frame stream.
+
+    Feed it byte chunks of any size (as a non-blocking socket hands
+    them out); it yields complete frame payloads.  Each payload is
+    filled into one preallocated ``bytearray`` — no quadratic joins,
+    one copy per byte, same as the blocking ``recv_into`` path.
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME_BYTES) -> None:
+        self._max = max_frame
+        self._header = bytearray()
+        self._payload: "bytearray | None" = None
+        self._filled = 0
+
+    @property
+    def idle(self) -> bool:
+        """True when no partial frame is buffered."""
+        return self._payload is None and not self._header
+
+    def feed(self, data) -> "List[memoryview]":
+        """Consume a chunk; return any payloads it completed."""
+        out: "List[memoryview]" = []
+        view = memoryview(data)
+        while view.nbytes:
+            if self._payload is None:
+                take = min(_HEADER.size - len(self._header), view.nbytes)
+                self._header += view[:take]
+                view = view[take:]
+                if len(self._header) < _HEADER.size:
+                    break
+                (length,) = _HEADER.unpack(self._header)
+                self._header.clear()
+                if length > self._max:
+                    raise ValueError(f"frame of {length} bytes exceeds limit")
+                if length < _PREAMBLE.size:
+                    raise ValueError(f"truncated frame: {length} byte payload")
+                self._payload = bytearray(length)
+                self._filled = 0
+            else:
+                take = min(len(self._payload) - self._filled, view.nbytes)
+                self._payload[self._filled : self._filled + take] = view[:take]
+                self._filled += take
+                view = view[take:]
+                if self._filled == len(self._payload):
+                    out.append(memoryview(self._payload))
+                    self._payload = None
+        return out
+
+
 class Channel:
-    """A connected socket with message framing and idempotent close."""
+    """A connected socket with message framing and idempotent close.
+
+    Blocking by default (the worker and session paths).  The
+    event-driven coordinator calls :meth:`set_nonblocking` once and
+    then drains with :meth:`recv_ready`; sends transparently revert to
+    blocking for their duration (frames must never be interleaved).
+    Subclasses override :meth:`_encode_parts` / :meth:`_decode` to swap
+    the payload plane (the shared-memory channel does).
+    """
 
     def __init__(self, sock: socket.socket) -> None:
         self._sock = sock
         self._closed = False
+        self._nonblocking = False
+        self._timeout: "float | None" = None
+        self._assembler: "FrameAssembler | None" = None
+        self._pending: "deque" = deque()
+        self._saw_eof = False
+
+    @property
+    def sock(self) -> socket.socket:
+        return self._sock
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
 
     def settimeout(self, seconds: "float | None") -> None:
         """Bound blocking sends/recvs (``None`` = block forever).
@@ -229,20 +390,102 @@ class Channel:
         timed-out :meth:`recv` reports :class:`TransportClosed` — the
         peer must be declared dead, not retried on the same socket.
         """
-        self._sock.settimeout(seconds)
+        self._timeout = seconds
+        if not self._nonblocking:
+            self._sock.settimeout(seconds)
+
+    def set_nonblocking(self) -> None:
+        """Switch to non-blocking reads (one-way; the event loop's mode).
+
+        Only legal between frames — switching mid-frame would desync
+        the codec, so the coordinator flips every channel right after
+        the handshake, before any tasks are in flight.
+        """
+        if self._assembler is not None and not self._assembler.idle:
+            raise RuntimeError("cannot switch modes mid-frame")
+        self._sock.setblocking(False)
+        self._nonblocking = True
+        if self._assembler is None:
+            self._assembler = FrameAssembler()
+
+    # -- codec hooks (overridden by the shared-memory channel) ---------
+    def _encode_parts(self, message: Any) -> "Tuple[List[Any], int]":
+        return encode_parts(message)
+
+    def _decode(self, payload: memoryview) -> Any:
+        return decode_message(payload)
 
     def send(self, message: Any) -> None:
         if self._closed:
             raise TransportClosed("channel is closed")
-        send_message(self._sock, message)
+        parts, total = self._encode_parts(message)
+        if self._nonblocking:
+            # A partial non-blocking send would interleave frames; do
+            # the whole send in blocking mode instead (the peer is a
+            # worker draining its socket, so this cannot deadlock).
+            self._sock.setblocking(True)
+            try:
+                send_parts(self._sock, parts, total)
+            finally:
+                self._sock.setblocking(False)
+        else:
+            send_parts(self._sock, parts, total)
 
     def recv(self) -> Any:
         if self._closed:
             raise TransportClosed("channel is closed")
+        if self._pending:
+            return self._pending.popleft()
+        if self._nonblocking:
+            while not self._pending:
+                ready, _, _ = select.select([self._sock], [], [], self._timeout)
+                if not ready:
+                    raise TransportClosed("recv timed out")
+                self._pending.extend(self.recv_ready())
+            return self._pending.popleft()
         try:
-            return recv_message(self._sock)
+            header = bytearray(_HEADER.size)
+            _recv_exact_into(self._sock, memoryview(header))
+            (length,) = _HEADER.unpack(header)
+            if length > MAX_FRAME_BYTES:
+                raise ValueError(f"frame of {length} bytes exceeds limit")
+            if length < _PREAMBLE.size:
+                raise ValueError(f"truncated frame: {length} byte payload")
+            payload = bytearray(length)
+            _recv_exact_into(self._sock, memoryview(payload))
+            return self._decode(memoryview(payload))
         except socket.timeout:
             raise TransportClosed("recv timed out") from None
+
+    def recv_ready(self) -> "List[Any]":
+        """Drain and decode whatever the socket holds, without blocking.
+
+        Returns possibly-empty lists until the peer closes, then raises
+        :class:`TransportClosed` (after delivering any messages that
+        arrived ahead of the close).
+        """
+        if self._closed:
+            raise TransportClosed("channel is closed")
+        if self._assembler is None:
+            self._assembler = FrameAssembler()
+        messages: "List[Any]" = []
+        while True:
+            try:
+                data = self._sock.recv(_RECV_CHUNK)
+            except (BlockingIOError, InterruptedError):
+                break
+            except socket.timeout:
+                break
+            except OSError as exc:
+                raise TransportClosed(str(exc)) from None
+            if not data:
+                self._saw_eof = True
+                break
+            for payload in self._assembler.feed(data):
+                messages.append(self._decode(payload))
+        if self._saw_eof and not messages:
+            raise TransportClosed("peer closed the connection")
+        return messages
 
     def close(self) -> None:
         if not self._closed:

@@ -18,11 +18,13 @@ from repro.runtime.messages import (
     Hello,
     Reconfigure,
     Setup,
+    ShmAttach,
     Shutdown,
     TileResult,
     TileTask,
     WorkerError,
 )
+from repro.runtime.shm import ShmChannel, ShmRing
 from repro.runtime.transport import Channel, TransportClosed
 
 __all__ = ["worker_main"]
@@ -49,9 +51,21 @@ def worker_main(
     channel = Channel(sock)
     if idle_timeout_s is not None:
         channel.settimeout(idle_timeout_s)
+    rings = []
     try:
         channel.send(Hello(worker_id))
         setup = channel.recv()
+        if isinstance(setup, ShmAttach):
+            # Zero-copy mode: attach to the coordinator's rings (never
+            # unlink them — they outlive this process) and swap the
+            # payload plane; the socket keeps carrying control frames.
+            send_ring = ShmRing.attach(setup.send_name)
+            recv_ring = ShmRing.attach(setup.recv_name)
+            rings = [send_ring, recv_ring]
+            channel = ShmChannel(sock, send_ring, recv_ring)
+            if idle_timeout_s is not None:
+                channel.settimeout(idle_timeout_s)
+            setup = channel.recv()
         if not isinstance(setup, Setup):
             raise RuntimeError(f"expected Setup, got {type(setup).__name__}")
         engine = Engine(setup.model, setup.weights)
@@ -91,3 +105,5 @@ def worker_main(
         return
     finally:
         channel.close()
+        for ring in rings:  # no-op after ShmChannel.close; never unlinks
+            ring.close()

@@ -7,6 +7,10 @@ per stage slot — so steady-state throughput approaches ``1/period``
 instead of the frame-at-a-time ``1/latency``.  A full queue triggers
 *backpressure* (``policy="block"``: admission waits for a slot) or
 *load shedding* (``policy="shed"``: the frame is rejected and reported).
+Under ``policy="shed"`` the threaded path also consults
+:meth:`~repro.runtime.core.Transport.backpressure` — a transport whose
+internal buffering is saturated (a full shared-memory slot ring) sheds
+at admission instead of queueing a frame that would stall a stage.
 
 Two execution strategies, selected by the transport's clock:
 
@@ -727,6 +731,12 @@ class PipelineServer:
             if cfg.policy == "block":
                 qs[0].put(item)
             else:
+                if transport.backpressure() >= 1.0:
+                    # The transport itself is saturated (e.g. a full
+                    # shm slot ring): queueing the frame would only
+                    # stall a stage thread on the send, so shed now.
+                    shed.append((index, arrival_t))
+                    continue
                 try:
                     qs[0].put_nowait(item)
                 except queue.Full:

@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
+import glob
+import os
+
 import numpy as np
 import pytest
 
 from repro.cluster.device import heterogeneous_cluster, pi_cluster
 from repro.cost.comm import NetworkModel
 from repro.models.toy import toy_chain
+from repro.runtime.shm import SHM_PREFIX
 
 
 @pytest.fixture
@@ -80,4 +84,34 @@ def _no_global_rng_use():
     assert same, (
         "test consumed NumPy's global RNG (np.random.*) — use an "
         "explicit np.random.default_rng(seed) generator instead"
+    )
+
+
+@pytest.fixture(autouse=True)
+def _no_shm_leaks():
+    """Resource-hygiene guard: fail any test that leaves a shared-memory
+    ring segment behind in ``/dev/shm``.
+
+    Every :class:`repro.runtime.shm.ShmRing` the creator side opens must
+    be unlinked by the time the test ends — through ``close()``, the
+    fault ladder, or the atexit sweep.  A leaked segment outlives the
+    process and eats tmpfs until reboot, so treat it as a test failure
+    (after best-effort cleanup so one leak doesn't cascade).
+    """
+    if not os.path.isdir("/dev/shm"):  # non-Linux: nothing to guard
+        yield
+        return
+    pattern = f"/dev/shm/{SHM_PREFIX}*"
+    before = set(glob.glob(pattern))
+    yield
+    leaked = set(glob.glob(pattern)) - before
+    for path in leaked:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    assert not leaked, (
+        f"test leaked shared-memory segments: {sorted(leaked)} — every "
+        "ShmRing creator must destroy() its rings (ShmTransport.close "
+        "does this; bare rings in tests must clean up explicitly)"
     )

@@ -1,12 +1,13 @@
 """Differential matrix: every scheme × model family × backend.
 
 The repo's strongest end-to-end guarantee, checked exhaustively: for
-every registered scheme and a small family of architectures, the three
+every registered scheme and a small family of architectures, the
 execution backends (in-process threads, virtual-clock simulator, local
-plan executor) produce **bit-identical** feature maps — equal to the
-plain ``Engine.forward_features`` reference — and report equivalent
-canonical traces.  Both frame-at-a-time and with multiple frames in
-flight through the serving layer.
+plan executor, and — in its own cells, since it forks real workers —
+the shared-memory transport) produce **bit-identical** feature maps —
+equal to the plain ``Engine.forward_features`` reference — and report
+equivalent canonical traces.  Both frame-at-a-time and with multiple
+frames in flight through the serving layer.
 """
 
 from __future__ import annotations
@@ -23,6 +24,7 @@ from repro.models.toy import toy_chain
 from repro.models.zoo import get_model
 from repro.nn.executor import Engine
 from repro.nn.weights import init_weights
+from repro.runtime.coordinator import ShmTransport
 from repro.runtime.core import InProcTransport, PipelineSession, SimTransport
 from repro.runtime.trace import Tracer, canonical_trace
 from repro.schemes import available_schemes, get_scheme
@@ -77,6 +79,8 @@ def _run_backend(backend, model_key, scheme_name, frame):
         return out, canonical_trace(executor.trace)
     if backend == "inproc":
         transport = InProcTransport(_engine(model_key))
+    elif backend == "shm":
+        transport = ShmTransport(_model(model_key), _weights(model_key))
     else:
         transport = SimTransport(_engine(model_key), NETWORK, compute=True)
     tracer = Tracer()
@@ -180,6 +184,59 @@ def test_single_frame_matrix(model_key, scheme_name):
 @pytest.mark.parametrize("model_key", ["toy", "vggish"])
 def test_frames_in_flight_matrix(model_key, scheme_name):
     _check_in_flight_cell(model_key, scheme_name)
+
+
+def _check_shm_cell(model_key, scheme_name):
+    """The shared-memory transport against the in-process reference.
+
+    Separate from the main matrix because every cell forks real worker
+    processes; the agreement contract is the same — bit-identical
+    outputs and identical canonical traces.
+    """
+    frame = _frame(model_key)
+    want, want_trace = _run_backend("inproc", model_key, scheme_name, frame)
+    out, trace = _run_backend("shm", model_key, scheme_name, frame)
+    assert np.array_equal(out, want), (
+        f"shm diverged from inproc for {scheme_name} on {model_key}"
+    )
+    assert trace == want_trace, (
+        f"shm canonical trace differs for {scheme_name} on {model_key}"
+    )
+
+
+@pytest.mark.parametrize("scheme_name", available_schemes())
+def test_single_frame_matrix_shm(scheme_name):
+    _check_shm_cell("toy", scheme_name)
+
+
+def test_frames_in_flight_shm():
+    """Multiple frames through the threaded server over shm workers."""
+    model_key, scheme_name, n_frames = "toy", "pico", 3
+    model = _model(model_key)
+    plan = _plan(model_key, scheme_name)
+    frames = [_frame(model_key, seed=100 + i) for i in range(n_frames)]
+    engine = _engine(model_key)
+    want = [engine.forward_features(f) for f in frames]
+    config = ServerConfig(queue_capacity=n_frames + 1, policy="block")
+    transport = ShmTransport(model, _weights(model_key))
+    server = PipelineServer.from_plan(model, plan, transport, config=config)
+    try:
+        result = server.serve(frames, arrivals=[0.0] * n_frames)
+    finally:
+        server.close()
+    assert len(result.completed) == n_frames
+    assert not result.failed and not result.shed
+    for i, w in enumerate(want):
+        assert np.array_equal(result.outputs[i], w), (
+            f"shm frame {i} diverged with {n_frames} in flight"
+        )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("scheme_name", available_schemes())
+@pytest.mark.parametrize("model_key", ["vggish", "resnetish"])
+def test_single_frame_matrix_shm_large(model_key, scheme_name):
+    _check_shm_cell(model_key, scheme_name)
 
 
 @pytest.mark.slow

@@ -1,0 +1,306 @@
+"""Shared-memory transport tests: ring mechanics, channel codec, pipeline.
+
+Covers the slot ring's wraparound and backpressure behaviour, the
+``ShmChannel`` control/payload plane split (slot vs inline vs loaned
+arrays, release piggyback), resource hygiene (unlink on close and on
+interrupt-style sweeps), and end-to-end bit-exactness of
+``ShmTransport`` against the in-process reference.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster.device import heterogeneous_cluster, pi_cluster
+from repro.cost.comm import NetworkModel
+from repro.models.toy import toy_chain
+from repro.nn.executor import Engine
+from repro.nn.weights import init_weights
+from repro.runtime.coordinator import DistributedPipeline, ShmTransport
+from repro.runtime.core import InProcTransport, PipelineSession
+from repro.runtime.messages import Hello, TileTask
+from repro.runtime.program import compile_plan
+from repro.runtime.shm import (
+    MIN_SLOT_PAYLOAD,
+    SHM_PREFIX,
+    ShmChannel,
+    ShmRing,
+    SlotExhausted,
+    cleanup_rings,
+)
+from repro.schemes.pico import PicoScheme
+
+NET = NetworkModel.from_mbps(50.0)
+
+
+@pytest.fixture
+def ring():
+    r = ShmRing.create(slot_bytes=1 << 16, n_slots=3)
+    yield r
+    r.destroy()
+
+
+class TestShmRing:
+    def test_geometry_and_attach(self, ring):
+        assert ring.n_slots == 3
+        assert ring.slot_bytes >= 1 << 16
+        other = ShmRing.attach(ring.name)
+        try:
+            assert (other.slot_bytes, other.n_slots) == (
+                ring.slot_bytes,
+                ring.n_slots,
+            )
+        finally:
+            other.close()
+
+    def test_wraparound_keeps_data_intact(self, ring, rng):
+        """Cycling through the ring many times never corrupts a tensor."""
+        for i in range(ring.n_slots * 4):
+            arr = rng.standard_normal((64, 32)).astype(np.float32) + i
+            slot = ring.acquire(timeout=1.0)
+            ring.write(slot, arr)
+            out = ring.view(slot, arr.dtype.str, arr.shape, arr.nbytes)
+            np.testing.assert_array_equal(out, arr)
+            ring.release(slot)
+
+    def test_exhaustion_raises(self, ring):
+        slots = [ring.acquire(timeout=1.0) for _ in range(ring.n_slots)]
+        with pytest.raises(SlotExhausted):
+            ring.acquire(timeout=0.05)
+        for slot in slots:
+            ring.release(slot)
+
+    def test_acquire_blocks_until_release(self, ring):
+        """A full ring is backpressure: acquire waits for the release."""
+        slots = [ring.acquire(timeout=1.0) for _ in range(ring.n_slots)]
+        timer = threading.Timer(0.05, ring.release, args=(slots.pop(),))
+        timer.start()
+        got = ring.acquire(timeout=5.0)  # must not raise
+        timer.join()
+        for slot in slots + [got]:
+            ring.release(slot)
+
+    def test_double_release_rejected(self, ring):
+        slot = ring.acquire(timeout=1.0)
+        ring.release(slot)
+        with pytest.raises(ValueError):
+            ring.release(slot)
+
+    def test_oversized_write_rejected(self, ring):
+        big = np.zeros(ring.slot_bytes + 1, dtype=np.uint8)
+        slot = ring.acquire(timeout=1.0)
+        with pytest.raises(ValueError):
+            ring.write(slot, big)
+        ring.release(slot)
+
+    def test_destroy_unlinks_segment(self):
+        ring = ShmRing.create(slot_bytes=4096, n_slots=2)
+        path = f"/dev/shm/{ring.name}"
+        assert os.path.exists(path)
+        ring.destroy()
+        assert not os.path.exists(path)
+        ring.destroy()  # idempotent
+
+    def test_cleanup_rings_sweeps_creators(self):
+        """The atexit / interrupt sweep unlinks every live creator ring."""
+        rings = [ShmRing.create(slot_bytes=4096, n_slots=2) for _ in range(2)]
+        paths = [f"/dev/shm/{r.name}" for r in rings]
+        assert all(os.path.exists(p) for p in paths)
+        cleanup_rings()
+        assert not any(os.path.exists(p) for p in paths)
+
+
+def _channel_pair(slot_bytes=1 << 20, n_slots=3, **kwargs):
+    """Two ShmChannels over a socketpair sharing a crossed ring pair."""
+    sa, sb = socket.socketpair()
+    a_to_b = ShmRing.create(slot_bytes, n_slots)
+    b_to_a = ShmRing.create(slot_bytes, n_slots)
+    cha = ShmChannel(sa, send_ring=a_to_b, recv_ring=b_to_a, **kwargs)
+    chb = ShmChannel(sb, send_ring=b_to_a, recv_ring=a_to_b, **kwargs)
+
+    def teardown():
+        cha.close()
+        chb.close()
+        a_to_b.destroy()
+        b_to_a.destroy()
+
+    return cha, chb, teardown
+
+
+def _recv_threaded(channel):
+    """Recv on a thread so large inline sends can't deadlock the pair."""
+    box = {}
+
+    def read():
+        box["msg"] = channel.recv()
+
+    t = threading.Thread(target=read)
+    t.start()
+    return t, box
+
+
+class TestShmChannel:
+    def test_slot_roundtrip_and_release_piggyback(self, rng):
+        cha, chb, teardown = _channel_pair()
+        try:
+            arr = rng.standard_normal((128, 128)).astype(np.float32)
+            cha.send(TileTask(7, arr))
+            assert cha.occupancy() > 0  # payload rides a slot
+            msg = chb.recv()
+            np.testing.assert_array_equal(msg.tile, arr)
+            del msg  # drop the slot view so teardown can unmap
+            # The consumed slot is announced on B's next send and the
+            # release applies when A decodes that frame.
+            chb.send(Hello(0))
+            cha.recv()
+            assert cha.occupancy() == 0
+        finally:
+            teardown()
+
+    def test_small_array_ships_inline(self, rng):
+        cha, chb, teardown = _channel_pair()
+        try:
+            arr = np.arange(4, dtype=np.float32)  # < MIN_SLOT_PAYLOAD
+            assert arr.nbytes < MIN_SLOT_PAYLOAD
+            cha.send(TileTask(1, arr))
+            assert cha.occupancy() == 0
+            np.testing.assert_array_equal(chb.recv().tile, arr)
+        finally:
+            teardown()
+
+    def test_oversized_array_falls_back_inline(self, rng):
+        cha, chb, teardown = _channel_pair(slot_bytes=1 << 12)
+        try:
+            arr = rng.standard_normal((64, 64)).astype(np.float32)
+            assert arr.nbytes > cha.send_ring.slot_bytes
+            t, box = _recv_threaded(chb)
+            cha.send(TileTask(2, arr))
+            t.join(timeout=10.0)
+            assert cha.occupancy() == 0
+            np.testing.assert_array_equal(box["msg"].tile, arr)
+        finally:
+            teardown()
+
+    def test_non_slot_types_ship_inline(self, rng):
+        cha, chb, teardown = _channel_pair(slot_types=())
+        try:
+            arr = rng.standard_normal((64, 64)).astype(np.float32)
+            t, box = _recv_threaded(chb)
+            cha.send(TileTask(3, arr))
+            t.join(timeout=10.0)
+            assert cha.occupancy() == 0
+            np.testing.assert_array_equal(box["msg"].tile, arr)
+        finally:
+            teardown()
+
+    def test_loan_slot_zero_copy_send(self, rng):
+        """A loaned view is produced in place: send skips the memcpy."""
+        cha, chb, teardown = _channel_pair()
+        try:
+            view = cha.loan_slot((64, 64), np.float32)
+            assert cha.occupancy() > 0  # the loan owns its slot already
+            view[:] = rng.standard_normal((64, 64)).astype(np.float32)
+            expect = view.copy()
+            cha.send(TileTask(4, view))
+            msg = chb.recv()
+            np.testing.assert_array_equal(msg.tile, expect)
+            del msg, view  # drop slot views so teardown can unmap
+            chb.send(Hello(0))
+            cha.recv()
+            assert cha.occupancy() == 0  # loaned slot released normally
+        finally:
+            teardown()
+
+    def test_loan_sent_twice_copies_second_time(self, rng):
+        """Only the first send of a loan is zero-copy; resends fall back
+        to the ordinary acquire+write path with fresh slots."""
+        cha, chb, teardown = _channel_pair()
+        try:
+            view = cha.loan_slot((64, 64), np.float32)
+            view.fill(3.0)
+            cha.send(TileTask(5, view))
+            cha.send(TileTask(6, view))  # same buffer, no loan left
+            first, second = chb.recv(), chb.recv()
+            np.testing.assert_array_equal(first.tile, second.tile)
+            del first, second, view  # drop slot views before unmap
+        finally:
+            teardown()
+
+
+class TestShmTransportPipeline:
+    @pytest.fixture
+    def model(self):
+        return toy_chain(4, 1, input_hw=32, in_channels=3, base_channels=8)
+
+    def _frames(self, model, n, seed=21):
+        rng = np.random.default_rng(seed)
+        return [
+            rng.standard_normal(model.input_shape).astype(np.float32)
+            for _ in range(n)
+        ]
+
+    def test_session_matches_inproc_past_ring_wrap(self, model):
+        """More frames than ring slots: wraparound stays bit-exact."""
+        weights = init_weights(model, seed=5)
+        cluster = heterogeneous_cluster([1200, 1000, 800])
+        program = compile_plan(model, PicoScheme().plan(model, cluster, NET))
+        frames = self._frames(model, 6)
+        with PipelineSession(program, InProcTransport(Engine(model, weights))) as s:
+            refs = s.run_batch(frames)
+        transport = ShmTransport(model, weights, slots_per_ring=2)
+        with PipelineSession(program, transport) as s:
+            outs = s.run_batch(frames)
+        for out, ref in zip(outs, refs):
+            np.testing.assert_array_equal(out, ref)
+
+    def test_single_worker_stage_output_owns_its_buffer(self, model):
+        """The stitch pass-through must not leak a live slot view."""
+        weights = init_weights(model, seed=5)
+        program = compile_plan(
+            model, PicoScheme().plan(model, pi_cluster(1, 1000), NET)
+        )
+        frames = self._frames(model, 2)
+        transport = ShmTransport(model, weights)
+        with PipelineSession(program, transport) as s:
+            outs = s.run_batch(frames)
+        for out in outs:
+            assert out.base is None  # a copy, not a view into the ring
+
+    def test_distributed_pipeline_shm_backend(self, model):
+        weights = init_weights(model, seed=5)
+        plan = PicoScheme().plan(model, pi_cluster(2, 1000), NET)
+        frames = self._frames(model, 3)
+        engine = Engine(model, weights)
+        refs = [engine.forward_features(x) for x in frames]
+        with DistributedPipeline(
+            model, plan, weights=weights, transport="shm"
+        ) as pipe:
+            outs, stats = pipe.run_batch(frames)
+        for out, ref in zip(outs, refs):
+            np.testing.assert_allclose(out, ref, atol=1e-4, rtol=1e-4)
+        assert stats.throughput > 0
+
+    def test_close_unlinks_all_rings(self, model):
+        weights = init_weights(model, seed=5)
+        plan = PicoScheme().plan(model, pi_cluster(2, 1000), NET)
+        transport = ShmTransport(model, weights)
+        program = compile_plan(model, plan)
+        transport.open(program)
+        names = [ring.name for ring in transport._rings]
+        assert names and all(
+            os.path.exists(f"/dev/shm/{n}") for n in names
+        )
+        transport.close()
+        assert not any(os.path.exists(f"/dev/shm/{n}") for n in names)
+
+    def test_slots_per_ring_validation(self, model):
+        weights = init_weights(model, seed=5)
+        with pytest.raises(ValueError):
+            ShmTransport(model, weights, slots_per_ring=1)
+        with pytest.raises(ValueError):
+            ShmTransport(model, weights, slot_frames=0)
