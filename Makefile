@@ -1,7 +1,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: install test test-fast test-slow bench bench-json bench-serve bench-batch bench-transport trace-smoke fault-smoke report examples all
+.PHONY: install test test-fast test-slow bench bench-json bench-serve bench-batch bench-transport bench-fleet trace-smoke fault-smoke fleet-smoke report examples all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -23,6 +23,7 @@ bench-json:
 	python -m repro.bench.planner --out BENCH_planner.json
 	python -m repro.bench.serve --out BENCH_serve.json
 	python -m repro.bench.batch --out BENCH_batch.json
+	python -m repro.bench.fleet --out BENCH_fleet.json
 
 bench-serve:
 	python -m repro.bench.serve --out BENCH_serve.json
@@ -33,11 +34,17 @@ bench-batch:
 bench-transport:
 	python -m repro.bench.transport --out BENCH_transport.json
 
+bench-fleet:
+	python -m repro.bench.fleet --out BENCH_fleet.json
+
 trace-smoke:
 	python -m repro.bench.trace_smoke --hw 64 --frames 2 --devices 4
 
 fault-smoke:
 	python -m repro.bench.fault_smoke --frames 4 --devices 4
+
+fleet-smoke:
+	python -m repro.bench.fleet --quick --out /tmp/BENCH_fleet_smoke.json
 
 report:
 	python -m repro report --out report.md

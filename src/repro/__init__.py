@@ -341,11 +341,10 @@ def _simulate_batched(
 
 
 def simulate_plan(*args, **kwargs):
-    """Deprecated alias — use :func:`repro.simulate`."""
+    """Deprecated alias — use :func:`repro.simulate`. Removed in 2.0."""
     warnings.warn(
-        "repro.simulate_plan is deprecated; use repro.simulate(model, "
-        "plan_or_scheme, cluster, arrivals=...) — it also supports the "
-        "serving-layer micro-batching knobs (max_batch=, batch_timeout=)",
+        "repro.simulate_plan is deprecated and will be removed in repro "
+        "2.0; use repro.simulate",
         DeprecationWarning,
         stacklevel=2,
     )
@@ -353,11 +352,10 @@ def simulate_plan(*args, **kwargs):
 
 
 def simulate_adaptive(*args, **kwargs):
-    """Deprecated alias — use :func:`repro.simulate`."""
+    """Deprecated alias — use :func:`repro.simulate`. Removed in 2.0."""
     warnings.warn(
-        "repro.simulate_adaptive is deprecated; use repro.simulate(model, "
-        "switcher, arrivals=...) — batched serving lives in "
-        "repro.serve.PipelineServer (max_batch=, batch_timeout=)",
+        "repro.simulate_adaptive is deprecated and will be removed in "
+        "repro 2.0; use repro.simulate",
         DeprecationWarning,
         stacklevel=2,
     )

@@ -114,12 +114,53 @@ class AdaptiveSwitcher:
         #: Cross-frame batch sizes the switcher may recommend; ``(1,)``
         #: keeps batching off and reproduces the PR-5 switcher exactly.
         self.batch_candidates = tuple(sorted(set(int(b) for b in batch_candidates)))
+        #: Fleet grant: when set, only candidates whose plans stay
+        #: within this device set are eligible (None = unrestricted).
+        self._granted: "Optional[frozenset]" = None
         self._active = self.choose(self.tracker.rate)
         self._active_batch = self.choose_batch(self.tracker.rate)
 
     @property
     def active(self) -> CandidatePlan:
         return self._active
+
+    @property
+    def granted(self) -> "Optional[frozenset]":
+        return self._granted
+
+    def grant(self, devices: "Optional[Sequence[str]]") -> CandidatePlan:
+        """Restrict switching to plans within ``devices`` (fleet mode).
+
+        A fleet scheduler leases each tenant a device subset; from then
+        on the tenant's switcher may only activate a candidate whose
+        plan touches granted devices — switching onto hardware the
+        scheduler gave another tenant exclusively is not allowed.
+        ``None`` lifts the restriction.  If the currently active plan
+        falls outside the new grant, the best eligible candidate is
+        activated immediately.  Raises :class:`ValueError` when no
+        candidate fits the grant.
+        """
+        self._granted = None if devices is None else frozenset(devices)
+        if self._granted is not None and not self._eligible():
+            names = sorted(self._granted)
+            self._granted = None
+            raise ValueError(
+                f"no candidate plan fits the granted devices {names}"
+            )
+        if not self._allowed(self._active):
+            self._active = self.choose(self.tracker.rate)
+            self._active_batch = self.choose_batch(self.tracker.rate)
+        return self._active
+
+    def _allowed(self, candidate: CandidatePlan) -> bool:
+        if self._granted is None:
+            return True
+        return all(
+            d.name in self._granted for d in candidate.plan.all_devices
+        )
+
+    def _eligible(self) -> "Tuple[CandidatePlan, ...]":
+        return tuple(c for c in self.candidates if self._allowed(c))
 
     @property
     def active_batch(self) -> int:
@@ -156,9 +197,11 @@ class AdaptiveSwitcher:
         backlog — a sudden burst shows up in the queue long before the
         EWMA rate catches up.  Ties — including the overload case where
         every estimate is infinite — break towards the shorter period,
-        i.e. the plan with the most throughput headroom."""
+        i.e. the plan with the most throughput headroom.  Under a fleet
+        :meth:`grant` only candidates within the granted devices
+        compete."""
         return min(
-            self.candidates,
+            self._eligible(),
             key=lambda c: (self._score(c, arrival_rate, queue_depth), c.period),
         )
 

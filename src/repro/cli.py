@@ -10,6 +10,7 @@ Subcommands::
     python -m repro timeline vgg16 --devices 8
     python -m repro trace vgg16 --devices 4 --frames 2 --backend both
     python -m repro serve vgg16 --hw 64 --load 0.7 --frames 200
+    python -m repro fleet --tenant cam:vgg16:2.0:5.0 --tenant iot:resnet18:6.0:1.5
 
 Frequencies are per-device MHz; ``--freqs`` takes a comma list for a
 heterogeneous cluster and overrides ``--devices/--freq``.
@@ -25,7 +26,6 @@ import numpy as np
 
 from repro.adaptive.switcher import build_apico_switcher
 from repro.cluster.device import Cluster, heterogeneous_cluster, pi_cluster
-from repro.cluster.simulator import simulate_adaptive, simulate_plan
 from repro.core.plan import plan_cost
 from repro.core.serialize import dump_plan
 from repro.cost.comm import NetworkModel
@@ -160,6 +160,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sim backend: skip kernels, timing only")
 
     p = sub.add_parser(
+        "fleet",
+        help="co-schedule several tenants' pipelines on one shared pool",
+    )
+    _add_cluster_args(p)
+    p.add_argument(
+        "--tenant", action="append", default=[],
+        metavar="NAME:MODEL:RATE:SLO[:PRIORITY]",
+        help="a tenant request class (repeatable): model from the zoo, "
+             "Poisson rate in frames/s, latency SLO in seconds, optional "
+             "placement priority (higher places first)",
+    )
+    p.add_argument("--hw", type=int, default=0,
+                   help="override input resolution for every model "
+                        "(0 = model defaults)")
+    p.add_argument("--frames", type=int, default=32,
+                   help="frames per tenant")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--compute", action="store_true",
+                   help="run real kernels in the virtual clock "
+                        "(default: timing only)")
+
+    p = sub.add_parser(
         "experiment", help="run a paper experiment harness (fast config)"
     )
     p.add_argument(
@@ -255,19 +277,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"({60 * rate:.1f} tasks/min, {len(arrivals)} tasks)\n"
     )
     print(f"{'scheme':>7s} {'avg lat':>9s} {'p95 lat':>9s}")
+    from repro import simulate
+
     for name, scheme in (
         ("EFL", EarlyFusedScheme()),
         ("OFL", OptimalFusedScheme()),
         ("PICO", PicoScheme()),
     ):
-        plan = scheme.plan(model, cluster, network)
-        sim = simulate_plan(model, plan, network, arrivals, plan_name=name)
+        sim = simulate(
+            model, scheme, cluster, network=network, arrivals=arrivals
+        )
         print(
             f"{name:>7s} {sim.avg_latency:>8.2f}s "
             f"{sim.percentile_latency(95):>8.2f}s"
         )
     switcher = build_apico_switcher(model, cluster, network)
-    sim = simulate_adaptive(model, switcher, network, arrivals)
+    sim = simulate(model, switcher, network=network, arrivals=arrivals)
     usage = ", ".join(f"{k}:{v}" for k, v in sorted(sim.plan_usage.items()))
     print(
         f"{'APICO':>7s} {sim.avg_latency:>8.2f}s "
@@ -527,6 +552,98 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenants(specs: "Sequence[str]"):
+    """``NAME:MODEL:RATE:SLO[:PRIORITY]`` specs → TenantClass list."""
+    from repro.fleet import TenantClass
+
+    tenants = []
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) not in (4, 5):
+            raise SystemExit(
+                f"--tenant expects NAME:MODEL:RATE:SLO[:PRIORITY], "
+                f"got {spec!r}"
+            )
+        try:
+            tenants.append(
+                TenantClass(
+                    name=parts[0],
+                    model=parts[1],
+                    rate=float(parts[2]),
+                    slo=float(parts[3]),
+                    priority=int(parts[4]) if len(parts) == 5 else 0,
+                )
+            )
+        except ValueError as exc:
+            raise SystemExit(f"--tenant {spec!r}: {exc}") from None
+    return tenants
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import FleetScheduler, FleetServer, ModelRegistry
+    from repro.runtime.core import SimTransport
+    from repro.workload.arrivals import poisson_arrivals_count
+
+    if not args.tenant:
+        raise SystemExit("fleet needs at least one --tenant spec")
+    tenants = _parse_tenants(args.tenant)
+    cluster = _cluster_from_args(args)
+    network = NetworkModel.from_mbps(args.mbps)
+
+    registry = ModelRegistry()
+    for tenant in tenants:
+        model = (
+            get_model(tenant.model, input_hw=args.hw) if args.hw
+            else get_model(tenant.model)
+        )
+        registry.register(tenant.model, model, seed=args.seed)
+
+    scheduler = FleetScheduler(registry, cluster, network)
+    parent = SimTransport(
+        registry.get(tenants[0].model).engine, network,
+        compute=args.compute,
+    )
+    rng = np.random.default_rng(args.seed)
+    with FleetServer(registry, scheduler, parent) as fleet:
+        placements = fleet.admit(tenants)
+        print(
+            f"{'tenant':>10s} {'model':>10s} {'devices':>24s} "
+            f"{'period':>9s} {'est lat':>9s} {'SLO':>7s}"
+        )
+        for tenant in tenants:
+            pl = placements[tenant.name]
+            mark = "ok" if pl.meets_slo else "MISS"
+            print(
+                f"{tenant.name:>10s} {tenant.model:>10s} "
+                f"{','.join(pl.devices):>24s} {pl.period:>8.3f}s "
+                f"{pl.estimate:>8.3f}s {mark:>7s}"
+            )
+        workloads = {
+            t.name: (
+                args.frames,
+                poisson_arrivals_count(t.rate, args.frames, rng),
+            )
+            for t in tenants
+        }
+        result = fleet.serve(workloads)
+    print()
+    attainment = result.attainment()
+    for tenant in tenants:
+        tr = result.tenants[tenant.name]
+        print(
+            f"{tenant.name}: {len(tr.result.completed)} done, "
+            f"{len(tr.result.shed)} shed, "
+            f"{attainment[tenant.name]:.0%} in SLO, "
+            f"goodput {tr.goodput:.2f}/s"
+        )
+    print(
+        f"fleet: {result.completed} completions "
+        f"({result.in_slo} in SLO) over {result.makespan:.2f}s — "
+        f"aggregate goodput {result.aggregate_goodput:.2f}/s"
+    )
+    return 0
+
+
 def _cmd_timeline(args: argparse.Namespace) -> int:
     model = get_model(args.model)
     cluster = _cluster_from_args(args)
@@ -554,6 +671,8 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
         return _cmd_trace(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "report":

@@ -11,9 +11,17 @@ reproduces that knob.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
 
-__all__ = ["Device", "Cluster", "raspberry_pi", "pi_cluster", "heterogeneous_cluster"]
+__all__ = [
+    "Device",
+    "Cluster",
+    "DeviceLease",
+    "DevicePool",
+    "raspberry_pi",
+    "pi_cluster",
+    "heterogeneous_cluster",
+]
 
 #: Effective single-core FLOP/s per Hz for a Cortex-A72 running NNPACK
 #: convolutions.  Only sets the absolute time unit; every paper result we
@@ -90,6 +98,137 @@ class Cluster:
     def sorted_by_capacity(self, descending: bool = True) -> Tuple[Device, ...]:
         return tuple(
             sorted(self.devices, key=lambda d: d.capacity, reverse=descending)
+        )
+
+    def subset(self, names: "Sequence[str]") -> "Cluster":
+        """The sub-cluster holding exactly ``names`` (cluster order)."""
+        wanted = set(names)
+        unknown = wanted - {d.name for d in self.devices}
+        if unknown:
+            raise KeyError(f"unknown devices: {sorted(unknown)}")
+        return Cluster(tuple(d for d in self.devices if d.name in wanted))
+
+
+@dataclass(frozen=True)
+class DeviceLease:
+    """One tenant's grant on one device.
+
+    ``share`` is the capacity fraction the scheduler granted — ``1.0``
+    for an exclusive device, ``1/k`` when ``k`` tenant pipelines share
+    it (the contention model: a shared single-core device time-slices
+    fairly, so each holder sees proportionally scaled capacity).
+    """
+
+    device: str
+    tenant: str
+    share: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.share <= 1.0:
+            raise ValueError(f"lease share must be in (0, 1], got {self.share}")
+
+
+class DevicePool:
+    """Occupancy-tracked view of a :class:`Cluster` shared by tenants.
+
+    The fleet scheduler places every tenant pipeline through this book:
+    :meth:`lease` records which tenant holds which devices, and
+    :meth:`effective` answers what capacity a holder actually sees —
+    the device's nominal capacity divided by its occupancy, the
+    scaled-effective-capacity contention model the placement re-costing
+    uses.  Dead devices (:meth:`mark_dead`) leave every tenant's lease
+    set and stop being offered, which is what turns one death into a
+    fleet-wide re-placement of every affected tenant.
+    """
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self._by_name: "Dict[str, Device]" = {d.name: d for d in cluster}
+        self._holders: "Dict[str, List[str]]" = {d.name: [] for d in cluster}
+        self._dead: "Set[str]" = set()
+
+    # -- liveness ------------------------------------------------------
+    def mark_dead(self, name: str) -> "Tuple[str, ...]":
+        """Retire a device; returns the tenants whose leases it voids."""
+        if name not in self._by_name:
+            raise KeyError(f"unknown device {name!r}")
+        affected = tuple(self._holders[name])
+        self._dead.add(name)
+        self._holders[name] = []
+        return affected
+
+    @property
+    def dead(self) -> "frozenset":
+        return frozenset(self._dead)
+
+    def alive(self) -> "Tuple[Device, ...]":
+        return tuple(d for d in self.cluster if d.name not in self._dead)
+
+    # -- leases --------------------------------------------------------
+    def occupancy(self, name: str) -> int:
+        """How many tenants currently hold ``name``."""
+        return len(self._holders[name])
+
+    def holders(self, name: str) -> "Tuple[str, ...]":
+        return tuple(self._holders[name])
+
+    def devices_of(self, tenant: str) -> "Tuple[str, ...]":
+        return tuple(
+            name
+            for name, holders in sorted(self._holders.items())
+            if tenant in holders
+        )
+
+    def lease(self, tenant: str, names: "Sequence[str]") -> "Tuple[DeviceLease, ...]":
+        """Grant ``tenant`` every device in ``names`` (idempotent)."""
+        leases = []
+        for name in names:
+            if name not in self._by_name:
+                raise KeyError(f"unknown device {name!r}")
+            if name in self._dead:
+                raise ValueError(f"device {name!r} is dead")
+            if tenant not in self._holders[name]:
+                self._holders[name].append(tenant)
+            leases.append(
+                DeviceLease(name, tenant, 1.0 / len(self._holders[name]))
+            )
+        return tuple(leases)
+
+    def release(self, tenant: str) -> None:
+        """Void every lease ``tenant`` holds."""
+        for holders in self._holders.values():
+            if tenant in holders:
+                holders.remove(tenant)
+
+    # -- contention-scaled views ---------------------------------------
+    def effective(self, name: str, extra_holders: int = 0) -> Device:
+        """``name`` as its holders see it: capacity / occupancy.
+
+        ``extra_holders`` previews the capacity *after* that many more
+        tenants join — the scheduler scores candidate placements with
+        ``extra_holders=1`` before committing a lease.
+        """
+        device = self._by_name[name]
+        k = max(1, len(self._holders[name]) + extra_holders)
+        if k == 1:
+            return device
+        return Device(device.name, device.capacity / k, device.alpha)
+
+    def effective_cluster(
+        self, names: "Sequence[str]", extra_holders: int = 0
+    ) -> Cluster:
+        """A contention-scaled :class:`Cluster` over ``names``."""
+        return Cluster(
+            tuple(self.effective(n, extra_holders) for n in names)
+        )
+
+    def candidates(self) -> "Tuple[Device, ...]":
+        """Live devices, least-occupied first (capacity breaks ties)."""
+        return tuple(
+            sorted(
+                self.alive(),
+                key=lambda d: (self.occupancy(d.name), -d.capacity, d.name),
+            )
         )
 
 

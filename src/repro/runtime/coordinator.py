@@ -194,6 +194,22 @@ class TcpTransport(Transport):
     def _now(self) -> float:
         return time.perf_counter() - self._clock_epoch
 
+    def _tenant_view(self, engine: "Optional[Engine]" = None) -> "TcpTransport":
+        # Each tenant view launches its own worker processes for its
+        # own program; fleet-wide they pool stats and (via the base
+        # class) the shared dead-device set.
+        model = engine.model if engine is not None else self.model
+        weights = engine.weights if engine is not None else self.weights
+        return type(self)(
+            model,
+            weights,
+            seed=self._seed,
+            stats=self.stats,
+            stats_lock=self.stats_lock,
+            fail_after=self.fail_after,
+            connect_timeout_s=self.connect_timeout_s,
+        )
+
     def clock(self) -> float:
         return self._now()
 
@@ -564,6 +580,21 @@ class ShmTransport(TcpTransport):
         self.slot_frames = slot_frames
         self._rings: "List[ShmRing]" = []
         self._send_rings: "List[ShmRing]" = []
+
+    def _tenant_view(self, engine: "Optional[Engine]" = None) -> "ShmTransport":
+        model = engine.model if engine is not None else self.model
+        weights = engine.weights if engine is not None else self.weights
+        return ShmTransport(
+            model,
+            weights,
+            slots_per_ring=self.slots_per_ring,
+            slot_frames=self.slot_frames,
+            seed=self._seed,
+            stats=self.stats,
+            stats_lock=self.stats_lock,
+            fail_after=self.fail_after,
+            connect_timeout_s=self.connect_timeout_s,
+        )
 
     def _slot_bytes(self, stage_index: int) -> int:
         """A slot fits the stage's largest possible tile: its full

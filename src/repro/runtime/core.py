@@ -119,8 +119,11 @@ class Transport(ABC):
     def open(self, program: PlanProgram) -> None:
         self._program = program
         self._overrides: "dict" = {}
-        self._dead: "set" = set()
-        self._dead_lock = threading.Lock()
+        if not getattr(self, "_fleet_shared", False):
+            # Tenant views (open_tenant) arrive with the fleet-wide
+            # dead-device set pre-installed; opening must not fork it.
+            self._dead: "set" = set()
+            self._dead_lock = threading.Lock()
 
     def close(self) -> None:  # pragma: no cover - default no-op
         pass
@@ -227,6 +230,55 @@ class Transport(ABC):
         sheds instead of queueing a frame that would stall a stage).
         """
         return 0.0
+
+    # -- multi-tenant views --------------------------------------------
+    def open_tenant(self, engine: "Optional[Engine]" = None) -> "Transport":
+        """A per-tenant view of this transport for fleet serving.
+
+        Fleet serving runs several concurrent programs over one shared
+        backend.  Each tenant gets its own *view* — a fresh transport of
+        the same backend class, returned **unopened** so the tenant's
+        session/server binds it to that tenant's program through the
+        normal ``configure() → open()`` flow — while the failure state
+        is fleet-wide: every view shares this parent's dead-device set
+        and its lock (preserved across the view's ``open``), so a death
+        discovered while serving one tenant immediately makes
+        ``needs_repartition`` true for every other tenant whose plan
+        touches that device.
+
+        ``engine`` supplies the tenant's model engine when it differs
+        from the parent's (multi-model fleets).  The parent acts as the
+        factory and shared-state holder; it need not be opened itself.
+        """
+        if not hasattr(self, "_dead"):
+            # Parent used purely as a factory: seed the shared fleet
+            # state without requiring an open() on the parent itself.
+            self._dead = set()
+            self._dead_lock = threading.Lock()
+        if not hasattr(self, "_tenant_views"):
+            self._tenant_views: "List[Transport]" = []
+        view = self._tenant_view(engine)
+        view.configure(self._config)
+        view._dead = self._dead
+        view._dead_lock = self._dead_lock
+        view._fleet_shared = True
+        self._tenant_views.append(view)
+        return view
+
+    def _tenant_view(self, engine: "Optional[Engine]") -> "Transport":
+        """Backend hook: a fresh unbound transport for one tenant."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support tenant views"
+        )
+
+    @property
+    def tenant_views(self) -> "Tuple[Transport, ...]":
+        return tuple(getattr(self, "_tenant_views", ()))
+
+    def close_tenants(self) -> None:
+        for view in getattr(self, "_tenant_views", ()):
+            view.close()
+        self._tenant_views = []
 
 
 def execute_stage(
@@ -458,6 +510,9 @@ class InProcTransport(Transport):
     def _now(self) -> float:
         return time.perf_counter() - self._epoch
 
+    def _tenant_view(self, engine: "Optional[Engine]") -> "InProcTransport":
+        return InProcTransport(engine or self.engine, self.faults)
+
     def clock(self) -> float:
         return self._now()
 
@@ -610,6 +665,19 @@ class SimTransport(Transport):
         self._frame_ready = 0.0
         self._last_submit = 0.0
         self._virtual_now = 0.0
+
+    def _tenant_view(self, engine: "Optional[Engine]") -> "SimTransport":
+        # Each tenant keeps its own virtual stage servers: contention
+        # is modelled up front by the scheduler's occupancy-scaled
+        # capacities, not by interleaving tenants on one clock.
+        return SimTransport(
+            engine or self.engine,
+            self.network,
+            self.options,
+            self.faults,
+            self.compute,
+            self.batch_amortized,
+        )
 
     @property
     def now(self) -> float:

@@ -7,10 +7,12 @@ per stage slot — so steady-state throughput approaches ``1/period``
 instead of the frame-at-a-time ``1/latency``.  A full queue triggers
 *backpressure* (``policy="block"``: admission waits for a slot) or
 *load shedding* (``policy="shed"``: the frame is rejected and reported).
-Under ``policy="shed"`` the threaded path also consults
-:meth:`~repro.runtime.core.Transport.backpressure` — a transport whose
-internal buffering is saturated (a full shared-memory slot ring) sheds
-at admission instead of queueing a frame that would stall a stage.
+Both policies additionally consult
+:meth:`~repro.runtime.core.Transport.backpressure` on the threaded
+path — a transport whose internal buffering is saturated (a full
+shared-memory slot ring) sheds at admission under ``"shed"`` and
+delays admission under ``"block"``, instead of queueing a frame that
+would stall a stage on the send.
 
 Two execution strategies, selected by the transport's clock:
 
@@ -462,11 +464,15 @@ class PipelineServer:
         and shed sets match what the threaded server produces under
         unambiguous spacing.
 
-        One documented deviation from the per-frame server: under
-        ``policy="block"`` a blocked arrival first forces the forming
-        batch to launch (its completion time is needed to compute the
-        unblock instant), then starts a new batch — a blocked frame
-        never joins the batch it waited behind.
+        Under ``policy="block"`` the unblock instant matches the
+        threaded block semantics: when enough *in-flight* completions
+        alone drain the system below the bound, the blocked frame
+        admits at the freeing completion and may still join the forming
+        batch it waited behind (exactly as a threaded arrival enters
+        the admission queue while the entrance holds the window open).
+        Only when draining requires the forming batch's own members to
+        complete — their departure times do not exist until the batch
+        runs — is the batch forced to launch first.
         """
         cfg = self.config
         session = self._session
@@ -535,10 +541,20 @@ class PipelineServer:
                 if cfg.policy == "shed":
                     records.append(FrameRecord(index, t, "shed"))
                     continue
-                # Backpressure: the unblock instant needs the pending
-                # batch's completion time — force it to launch first
-                # (see the docstring's documented deviation).
-                if pending:
+                # Backpressure: the system must drain ``needed`` frames
+                # below the bound before this arrival admits.
+                needed = depth - cfg.queue_capacity + 1
+                if needed <= len(in_system):
+                    # In-flight completions alone free the slot: admit
+                    # at the needed-th oldest completion.  The frame may
+                    # still join the forming batch below — matching the
+                    # threaded server, where a blocked arrival enters
+                    # the queue while the entrance window is open.
+                    admit_at = sorted(in_system)[needed - 1]
+                else:
+                    # Draining needs the forming batch's own members to
+                    # depart; their completion times only exist once the
+                    # batch runs, so it must launch now.
                     launch()
                     in_system = [c for c in completions if c > t]
                     depth = len(in_system)
@@ -548,8 +564,6 @@ class PipelineServer:
                         admit_at = sorted(in_system)[
                             depth - cfg.queue_capacity
                         ]
-                else:
-                    admit_at = sorted(in_system)[depth - cfg.queue_capacity]
             else:
                 admit_at = t
             admit_at = max(admit_at, last_admit)
@@ -729,6 +743,12 @@ class PipelineServer:
             arrival_t = transport.clock()
             item = (index, x0)
             if cfg.policy == "block":
+                # Closed-loop backpressure also honours the transport's
+                # own buffering: a saturated shm slot ring would stall a
+                # stage thread on the send, so admission waits for the
+                # ring to drain as well as for a queue slot.
+                while transport.backpressure() >= 1.0:
+                    time.sleep(0.0005)
                 qs[0].put(item)
             else:
                 if transport.backpressure() >= 1.0:

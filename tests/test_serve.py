@@ -544,3 +544,112 @@ class TestBatchedServing:
             (r.frame, r.status, r.admitted_at, r.completion, r.batch)
             for r in got.records
         ]
+
+
+# ---------------------------------------------------------------------------
+# Transport backpressure at admission (threaded path, both policies)
+# ---------------------------------------------------------------------------
+
+
+class _SaturatedTransport(InProcTransport):
+    """An InProc transport whose internal buffering reports saturated
+    for the first ``release_after`` backpressure polls."""
+
+    def __init__(self, engine, release_after):
+        super().__init__(engine)
+        self.release_after = release_after
+        self.polls = 0
+
+    def backpressure(self):
+        self.polls += 1
+        return 1.0 if self.polls <= self.release_after else 0.0
+
+
+class TestTransportBackpressure:
+    def test_block_waits_for_transport_to_drain(self, model, weights,
+                                                program):
+        transport = _SaturatedTransport(Engine(model, weights), 3)
+        server = PipelineServer(
+            program, transport,
+            ServerConfig(queue_capacity=4, policy="block"),
+        )
+        result = server.serve(2, arrivals=[0.0, 0.0])
+        server.close()
+        assert transport.polls > 3, "block admission must poll backpressure"
+        assert len(result.completed) == 2
+        assert not result.shed and not result.failed
+
+    def test_shed_on_saturated_transport(self, model, weights, program):
+        # saturated for exactly the first frame's admission poll
+        transport = _SaturatedTransport(Engine(model, weights), 1)
+        server = PipelineServer(
+            program, transport,
+            ServerConfig(queue_capacity=4, policy="shed"),
+        )
+        result = server.serve(3, arrivals=[0.0, 0.0, 0.0])
+        server.close()
+        assert [r.frame for r in result.shed] == [0]
+        assert len(result.completed) == 2
+
+
+# ---------------------------------------------------------------------------
+# Virtual block + batching matches the threaded block semantics
+# ---------------------------------------------------------------------------
+
+
+class TestVirtualBlockBatched:
+    def test_unblocked_frame_rides_the_forming_batch(self, model, weights,
+                                                     net, program):
+        """A frame blocked at a full system admits at the freeing
+        completion and still joins the batch it waited behind — the
+        virtual replay of a threaded arrival entering the admission
+        queue while the entrance window is open."""
+        cfg = ServerConfig(queue_capacity=2, policy="block", max_batch=2,
+                           batch_timeout=0.0)
+        probe = _sim_server(model, weights, net, program, cfg)
+        first = probe.serve(2, arrivals=[0.0, 0.0])
+        probe.close()
+        c = max(r.completion for r in first.completed)
+
+        window = ServerConfig(queue_capacity=3, policy="block", max_batch=2,
+                              batch_timeout=20.0 * c)
+        server = _sim_server(model, weights, net, program, window)
+        # frames 0+1 fill a batch at t=0 and complete at c; frame 2
+        # admits mid-flight and holds the window open; frame 3 arrives
+        # to a full system and must wait for the in-flight batch
+        result = server.serve(4, arrivals=[0.0, 0.0, 0.5 * c, 0.6 * c])
+        server.close()
+
+        records = {r.frame: r for r in result.completed}
+        assert len(records) == 4 and not result.shed and not result.failed
+        assert records[2].batch == 2 and records[3].batch == 2
+        assert records[2].admitted_at == pytest.approx(0.5 * c)
+        # frame 3 unblocked exactly when the first batch departed ...
+        assert records[3].admitted_at == pytest.approx(c)
+        # ... and rode the same batch as the frame it queued behind
+        assert records[3].completion == records[2].completion
+
+    def test_blocked_batched_bit_exact_vs_unbatched(self, model, weights,
+                                                    net, program):
+        rng = np.random.default_rng(21)
+        frames = [
+            rng.standard_normal(model.input_shape).astype(np.float32)
+            for _ in range(6)
+        ]
+        base = _sim_server(
+            model, weights, net, program,
+            ServerConfig(queue_capacity=2, policy="block"), compute=True,
+        )
+        baseline = base.serve(frames, arrivals=[0.0] * 6)
+        base.close()
+        batched = _sim_server(
+            model, weights, net, program,
+            ServerConfig(queue_capacity=2, policy="block", max_batch=3,
+                         batch_timeout=0.01),
+            compute=True,
+        )
+        got = batched.serve(frames, arrivals=[0.0] * 6)
+        batched.close()
+        assert len(got.completed) == 6 == len(baseline.completed)
+        for i in range(6):
+            assert np.array_equal(got.outputs[i], baseline.outputs[i])
