@@ -1,7 +1,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: install test test-fast test-slow bench bench-json bench-serve bench-batch bench-transport bench-fleet trace-smoke fault-smoke fleet-smoke report examples all
+.PHONY: install test test-fast test-slow bench bench-json bench-serve bench-batch bench-transport bench-fleet bench-sim trace-smoke fault-smoke fleet-smoke sim-smoke report examples all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -24,6 +24,7 @@ bench-json:
 	python -m repro.bench.serve --out BENCH_serve.json
 	python -m repro.bench.batch --out BENCH_batch.json
 	python -m repro.bench.fleet --out BENCH_fleet.json
+	python -m repro.bench.sim --out BENCH_sim.json
 
 bench-serve:
 	python -m repro.bench.serve --out BENCH_serve.json
@@ -37,6 +38,9 @@ bench-transport:
 bench-fleet:
 	python -m repro.bench.fleet --out BENCH_fleet.json
 
+bench-sim:
+	python -m repro.bench.sim --out BENCH_sim.json
+
 trace-smoke:
 	python -m repro.bench.trace_smoke --hw 64 --frames 2 --devices 4
 
@@ -45,6 +49,9 @@ fault-smoke:
 
 fleet-smoke:
 	python -m repro.bench.fleet --quick --out /tmp/BENCH_fleet_smoke.json
+
+sim-smoke:
+	python -m repro.bench.sim --quick --out /tmp/BENCH_sim_smoke.json
 
 report:
 	python -m repro report --out report.md

@@ -11,8 +11,8 @@ throughput from a real testbed's.
 
 from __future__ import annotations
 
+import repro
 from repro.cluster.device import pi_cluster
-from repro.cluster.simulator import simulate_plan
 from repro.core.plan import plan_cost
 from repro.cost.comm import NetworkModel
 from repro.cost.flops import CostOptions
@@ -30,8 +30,9 @@ def sweep(mbps_values):
         plan = PicoScheme().plan(model, cluster, net)
         paper = plan_cost(model, plan, net).period
         bound = plan_cost(model, plan, net, CostOptions(shared_medium=True)).period
-        sim = simulate_plan(
-            model, plan, net, saturation_arrivals(40), shared_medium=True
+        sim = repro.simulate(
+            model, plan, network=net, arrivals=saturation_arrivals(40),
+            shared_medium=True,
         ).steady_state(5)
         measured = 1.0 / sim.throughput
         rows.append((mbps, paper, bound, measured))

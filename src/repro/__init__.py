@@ -22,8 +22,6 @@ Quick start::
     print(result.avg_latency, result.throughput)
 """
 
-import warnings
-
 from repro.adaptive import AdaptiveSwitcher, build_apico_switcher
 from repro.cluster import (
     Cluster,
@@ -72,12 +70,30 @@ from repro.schemes import (
     get_scheme,
 )
 from repro.serve import FrameRecord, PipelineServer, ServeResult, ServerConfig
-from repro.workload import poisson_arrivals, uniform_arrivals
+from repro.sim import (
+    ChurnEvent,
+    NetworkLink,
+    SimResult,
+    SimStats,
+    TaskRecord,
+    Topology,
+    correlated_churn,
+    simulate_scenario,
+)
+from repro.workload import (
+    ArrivalProcess,
+    available_arrivals,
+    get_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "AdaptiveSwitcher",
+    "ArrivalProcess",
+    "ChurnEvent",
     "Cluster",
     "CostOptions",
     "Device",
@@ -88,6 +104,7 @@ __all__ = [
     "FrameRecord",
     "InProcTransport",
     "LayerWiseScheme",
+    "NetworkLink",
     "NetworkModel",
     "OptimalFusedScheme",
     "PicoScheme",
@@ -101,17 +118,24 @@ __all__ = [
     "ServeResult",
     "ServerConfig",
     "ShmTransport",
+    "SimResult",
+    "SimStats",
     "SimTransport",
     "StagePlan",
+    "TaskRecord",
     "TcpTransport",
+    "Topology",
     "Tracer",
+    "available_arrivals",
     "available_schemes",
     "bfs_optimal",
     "build_apico_switcher",
     "churn_replanner",
     "compile_plan",
+    "correlated_churn",
     "dump_plan",
     "evaluate",
+    "get_arrivals",
     "get_model",
     "get_scheme",
     "heterogeneous_cluster",
@@ -125,8 +149,7 @@ __all__ = [
     "render_plan",
     "render_timeline",
     "simulate",
-    "simulate_adaptive",
-    "simulate_plan",
+    "simulate_scenario",
     "uniform_arrivals",
     "utilization_table",
     "wifi_50mbps",
@@ -156,6 +179,7 @@ def simulate(
     cluster=None,
     *,
     network=None,
+    topology=None,
     arrivals=None,
     options=None,
     faults=None,
@@ -196,15 +220,44 @@ def simulate(
     ``queue_capacity``; it is not supported together with ``faults``,
     ``shared_medium``, ``measured_services`` or a switcher replay.
 
-    Subsumes the deprecated :func:`simulate_plan` /
-    :func:`simulate_adaptive` split.
+    ``topology`` — a :class:`Topology` — routes transfers over named
+    links with per-link FIFO contention instead of the flat shared
+    medium; the call then delegates to :func:`simulate_scenario`
+    (which also takes churn and lazy arrival processes directly).
+    ``arrivals`` may be an :class:`~repro.workload.ArrivalProcess` as
+    well as a list of submit times.
+
+    The pre-2.0 ``simulate_plan`` / ``simulate_adaptive`` aliases are
+    gone; the module-level originals live on in
+    :mod:`repro.cluster.simulator` for internal use.
     """
-    network = network or wifi_50mbps()
-    options = options or CostOptions()
     if arrivals is None:
         raise ValueError(
-            "simulate() needs arrivals= (task submit times, in seconds)"
+            "simulate() needs arrivals= (task submit times, in seconds, "
+            "or an ArrivalProcess)"
         )
+    if topology is not None:
+        incompatible = {
+            "faults": faults is not None and not faults.empty,
+            "shared_medium": shared_medium,
+            "measured_services": measured_services is not None,
+            "max_batch": max_batch > 1,
+        }
+        offending = [k for k, v in incompatible.items() if v]
+        if offending:
+            raise ValueError(
+                f"topology= is not supported with {', '.join(offending)}; "
+                "use simulate_scenario's churn= for topology-aware faults"
+            )
+        return simulate_scenario(
+            model, plan_or_scheme, cluster,
+            topology=topology, network=network, arrivals=arrivals,
+            options=options, trace=trace, queue_capacity=queue_capacity,
+        )
+    network = network or wifi_50mbps()
+    options = options or CostOptions()
+    if isinstance(arrivals, ArrivalProcess) or hasattr(arrivals, "times"):
+        arrivals = arrivals.sample()
     if max_batch > 1:
         if faults is not None and not faults.empty:
             raise ValueError("max_batch > 1 is not supported with faults=")
@@ -338,25 +391,3 @@ def _simulate_batched(
         served.trace,
         tuple(r.frame for r in served.shed),
     )
-
-
-def simulate_plan(*args, **kwargs):
-    """Deprecated alias — use :func:`repro.simulate`. Removed in 2.0."""
-    warnings.warn(
-        "repro.simulate_plan is deprecated and will be removed in repro "
-        "2.0; use repro.simulate",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _simulate_plan(*args, **kwargs)
-
-
-def simulate_adaptive(*args, **kwargs):
-    """Deprecated alias — use :func:`repro.simulate`. Removed in 2.0."""
-    warnings.warn(
-        "repro.simulate_adaptive is deprecated and will be removed in "
-        "repro 2.0; use repro.simulate",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _simulate_adaptive(*args, **kwargs)

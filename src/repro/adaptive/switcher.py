@@ -336,7 +336,14 @@ def build_apico_switcher(
     """Plan the default APICO candidate set: PICO (pipelined) plus the
     paper's chosen one-stage scheme, AOFL/OFL (§IV-C: "we choose [8] as
     the one-stage scheme").  ``batch_candidates`` additionally lets the
-    switcher score cross-frame batch sizes for the active plan."""
+    switcher score cross-frame batch sizes for the active plan.
+
+    ``network`` may also be a :class:`~repro.sim.topology.Topology`;
+    the candidates are costed against its flat summary
+    (:func:`~repro.cost.comm.coerce_network`)."""
+    from repro.cost.comm import coerce_network
+
+    network = coerce_network(network)
     if schemes is None:
         schemes = (PicoScheme(), OptimalFusedScheme())
     # Prewarm the shared segment table: every candidate scheme (and any

@@ -7,6 +7,7 @@ Subcommands::
     python -m repro plan vgg16 --devices 8 --freq 600 [--save plan.json]
     python -m repro compare yolov2 --devices 8 --freq 600
     python -m repro simulate vgg16 --load 1.2 --horizon 600
+    python -m repro sim vgg16 --topology star --arrivals flash-crowd
     python -m repro timeline vgg16 --devices 8
     python -m repro trace vgg16 --devices 4 --frames 2 --backend both
     python -m repro serve vgg16 --hw 64 --load 0.7 --frames 200
@@ -91,6 +92,58 @@ def build_parser() -> argparse.ArgumentParser:
                    help="arrival rate as a fraction of EFL capacity")
     p.add_argument("--horizon", type=float, default=600.0, help="seconds")
     p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "sim",
+        help="scenario simulator: multi-hop topologies, arrival "
+             "processes, device churn",
+    )
+    p.add_argument("model")
+    _add_cluster_args(p)
+    p.add_argument("--scheme", type=str, default="pico",
+                   help="scheme name from the registry (pico, lw, efl, ofl)")
+    p.add_argument(
+        "--topology", choices=["one-link", "star", "mesh", "fat-tree"],
+        default="one-link",
+        help="network shape; one-link is the classic shared WLAN",
+    )
+    p.add_argument("--contended", action="store_true",
+                   help="one-link only: serialise every stage's transfer "
+                        "on the shared medium (802.11-style token)")
+    p.add_argument("--latency-ms", type=float, default=0.0,
+                   help="per-link latency for multi-hop topologies")
+    p.add_argument("--arrivals", type=str, default="poisson",
+                   help="arrival process from the workload registry "
+                        "(poisson, uniform, saturation, day-night, "
+                        "diurnal, flash-crowd, trace-replay)")
+    p.add_argument("--rate", type=float, default=0.0,
+                   help="base arrival rate in tasks/s "
+                        "(0 = --load of the plan's 1/period)")
+    p.add_argument("--load", type=float, default=0.7,
+                   help="base rate as a fraction of the plan's capacity")
+    p.add_argument("--peak", type=float, default=0.0,
+                   help="peak rate for diurnal/flash-crowd/day-night "
+                        "(0 = 4x the base rate)")
+    p.add_argument("--horizon", type=float, default=60.0, help="seconds")
+    p.add_argument("--tasks", type=int, default=0,
+                   help="count bound for poisson/saturation/trace-replay "
+                        "(0 = horizon-bound; saturation defaults to 40)")
+    p.add_argument("--trace", type=str, default="",
+                   help="submit-time file for --arrivals trace-replay "
+                        "(one float per line, # comments)")
+    p.add_argument(
+        "--churn", action="append", default=[],
+        metavar="DEVICE:TIME[:REJOIN]",
+        help="DEVICE leaves at TIME seconds and, with :REJOIN, comes "
+             "back REJOIN seconds later; each change re-plans the "
+             "survivors (repeatable)",
+    )
+    p.add_argument("--capacity", type=int, default=0,
+                   help="admission queue bound (0 = unbounded)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--stats", action="store_true",
+                   help="constant-memory counters instead of per-task "
+                        "records (the million-request mode)")
 
     p = sub.add_parser("timeline", help="draw the pipeline Gantt chart")
     p.add_argument("model")
@@ -298,6 +351,164 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"{'APICO':>7s} {sim.avg_latency:>8.2f}s "
         f"{sim.percentile_latency(95):>8.2f}s  ({usage})"
     )
+    print(
+        "\nnote: this compares the schemes on the classic one-link WLAN; "
+        "`repro sim` runs the\nfull scenario simulator (multi-hop "
+        "topologies, arrival processes, device churn)."
+    )
+    return 0
+
+
+def _parse_churn(specs: "Sequence[str]"):
+    """``DEVICE:TIME[:REJOIN]`` specs → ChurnEvent tuple."""
+    from repro.sim import ChurnEvent
+
+    events = []
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            raise SystemExit(
+                f"--churn expects DEVICE:TIME[:REJOIN], got {spec!r}"
+            )
+        try:
+            leave_at = float(parts[1])
+            events.append(ChurnEvent(leave_at, parts[0], "leave"))
+            if len(parts) == 3:
+                events.append(
+                    ChurnEvent(leave_at + float(parts[2]), parts[0], "join")
+                )
+        except ValueError as exc:
+            raise SystemExit(f"--churn {spec!r}: {exc}") from None
+    return tuple(sorted(events, key=lambda e: (e.time, e.device)))
+
+
+def _build_arrival_process(args: argparse.Namespace, rate: float):
+    """Map the ``sim`` flags onto a registry arrival process."""
+    from repro.workload import available_arrivals, get_arrivals
+
+    name = args.arrivals.strip().lower().replace("_", "-").replace(" ", "-")
+    peak = args.peak if args.peak > 0 else 4.0 * rate
+    horizon = args.horizon
+    if name == "poisson":
+        if args.tasks > 0:
+            return get_arrivals(name, rate=rate, n_tasks=args.tasks)
+        return get_arrivals(name, rate=rate, horizon_s=horizon)
+    if name == "uniform":
+        return get_arrivals(name, rate=rate, horizon_s=horizon)
+    if name == "saturation":
+        return get_arrivals(name, n_tasks=args.tasks or 40)
+    if name == "day-night":
+        return get_arrivals(
+            name, light_rate=rate, heavy_rate=peak,
+            phase_duration_s=horizon / 2.0,
+        )
+    if name == "diurnal":
+        return get_arrivals(
+            name, base_rate=rate, peak_rate=peak,
+            period_s=horizon, horizon_s=horizon,
+        )
+    if name == "flash-crowd":
+        return get_arrivals(
+            name, base_rate=rate, peak_rate=peak,
+            t_start=horizon / 4.0, ramp_s=horizon / 8.0,
+            hold_s=horizon / 4.0, decay_s=horizon / 8.0,
+            horizon_s=horizon,
+        )
+    if name == "trace-replay":
+        if not args.trace:
+            raise SystemExit("--arrivals trace-replay needs --trace FILE")
+        return get_arrivals(
+            name, source=args.trace, n_tasks=args.tasks or None
+        )
+    raise SystemExit(
+        f"--arrivals {args.arrivals!r} has no CLI mapping; available: "
+        + ", ".join(n for n in available_arrivals() if n != "composite")
+    )
+
+
+def _cmd_sim(args: argparse.Namespace) -> int:
+    from repro.runtime.trace import Tracer
+    from repro.schemes import get_scheme
+    from repro.sim import SimResult, Topology, simulate_scenario
+
+    model = get_model(args.model)
+    cluster = _cluster_from_args(args)
+    names = [d.name for d in cluster]
+    latency_s = args.latency_ms / 1e3
+    if args.contended and args.topology != "one-link":
+        raise SystemExit("--contended only applies to --topology one-link")
+    if args.topology == "one-link":
+        topology = Topology.bus(
+            NetworkModel.from_mbps(args.mbps, latency_s),
+            contended=args.contended,
+        )
+    elif args.topology == "star":
+        topology = Topology.star(names, mbps=args.mbps, latency_s=latency_s)
+    elif args.topology == "mesh":
+        topology = Topology.mesh(names, mbps=args.mbps, latency_s=latency_s)
+    else:
+        topology = Topology.fat_tree(
+            names, mbps=args.mbps, latency_s=latency_s
+        )
+    network = topology.as_network_model()
+
+    scheme = get_scheme(args.scheme)
+    plan = scheme.plan(model, cluster, network)
+    cost = plan_cost(model, plan, network)
+    rate = args.rate if args.rate > 0 else args.load / cost.period
+    process = _build_arrival_process(args, rate)
+    churn = _parse_churn(args.churn)
+    tracer = Tracer() if churn else None
+
+    print(
+        f"topology {topology.name}: {len(topology.links)} link(s), "
+        f"{len(topology.nodes)} node(s)"
+        + (f", entry {topology.entry}" if topology.entry else "")
+    )
+    print(
+        f"workload {args.arrivals}: base rate {rate:.2f}/s over "
+        f"{args.horizon:g}s "
+        f"({args.scheme} period {cost.period:.3f}s on the flat summary)"
+    )
+    result = simulate_scenario(
+        model, scheme, cluster,
+        topology=topology, arrivals=process, churn=churn,
+        trace=tracer, queue_capacity=args.capacity or None,
+        seed=args.seed, keep_records=not args.stats,
+    )
+
+    is_full = isinstance(result, SimResult)
+    shed = len(result.shed) if is_full else result.shed_count
+    print(
+        f"served: {result.completed} done, {shed} shed "
+        f"of {result.submitted} over {result.makespan:.2f}s "
+        f"({result.throughput:.2f}/s)"
+    )
+    if is_full:
+        if result.tasks:
+            print(
+                f"latency: avg {result.avg_latency:.3f}s, "
+                f"p95 {result.percentile_latency(95):.3f}s, "
+                f"max {result.max_latency:.3f}s"
+            )
+        usage = ", ".join(
+            f"{k}:{v}" for k, v in sorted(result.plan_usage.items())
+        )
+        if usage:
+            print(f"plan usage: {usage}")
+    else:
+        print(
+            f"latency: avg {result.avg_latency:.3f}s, "
+            f"max {result.max_latency:.3f}s  "
+            f"({result.n_events} events, constant memory)"
+        )
+    if tracer is not None:
+        from repro.runtime.trace import RECOVERY_KINDS
+
+        recovery = [e for e in tracer.events if e.kind in RECOVERY_KINDS]
+        print(f"churn: {len(recovery)} recovery event(s)")
+        for event in recovery:
+            print(f"  t={event.start:8.2f}s {event.kind:>12s} {event.device}")
     return 0
 
 
@@ -665,6 +876,8 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
         return _cmd_compare(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "sim":
+        return _cmd_sim(args)
     if args.command == "timeline":
         return _cmd_timeline(args)
     if args.command == "trace":

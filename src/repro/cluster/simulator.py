@@ -16,15 +16,21 @@ plan at service boundaries: tasks already inside the pipeline finish
 under the plan that started them (model segments must be re-shipped
 before a switch in a real deployment), while the unstarted backlog
 migrates to the new plan.
+
+Since 2.0 the event loop itself lives in :mod:`repro.sim.engine`
+(where it also handles multi-hop topologies, lazy million-request
+workloads and churn scenarios — see
+:func:`repro.sim.simulate_scenario`); the functions here are the
+legacy single-WLAN adapters, bit-compatible with the pre-2.0 loop:
+the plain mode folds communication into stage service, and
+``shared_medium=True`` rides every stage's transfer over one token
+link.  :class:`SimResult` / :class:`TaskRecord` moved to
+:mod:`repro.sim.result` and are re-exported here.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from collections import deque
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from repro.core.plan import PipelinePlan
 
@@ -35,117 +41,15 @@ from repro.cost.flops import CostOptions, DEFAULT_OPTIONS
 from repro.models.graph import Model
 from repro.runtime.timing import PlanTiming, plan_timing
 from repro.runtime.trace import TraceEvent, Tracer, coerce_tracer
+from repro.sim.engine import run_scenario, token_bus_transmissions
+from repro.sim.result import SimResult, TaskRecord
+from repro.sim.topology import NetworkLink
 
 __all__ = ["TaskRecord", "SimResult", "simulate_plan", "simulate_adaptive"]
 
-
-@dataclass(frozen=True)
-class TaskRecord:
-    """One task's journey through the cluster."""
-
-    task_id: int
-    arrival: float
-    started: float
-    completion: float
-    plan_name: str
-
-    @property
-    def latency(self) -> float:
-        return self.completion - self.arrival
-
-    @property
-    def waiting(self) -> float:
-        return self.started - self.arrival
-
-
-@dataclass
-class SimResult:
-    """Aggregate simulation output."""
-
-    tasks: List[TaskRecord]
-    makespan: float
-    device_busy: Dict[str, float]
-    plan_usage: Dict[str, int] = field(default_factory=dict)
-    #: Collected trace events (empty unless the run passed ``trace=``).
-    trace: Tuple[TraceEvent, ...] = ()
-    #: Task ids refused admission (only when ``queue_capacity`` was set).
-    shed: Tuple[int, ...] = ()
-
-    @property
-    def completed(self) -> int:
-        return len(self.tasks)
-
-    @property
-    def submitted(self) -> int:
-        return len(self.tasks) + len(self.shed)
-
-    @property
-    def avg_latency(self) -> float:
-        if not self.tasks:
-            return 0.0
-        return sum(t.latency for t in self.tasks) / len(self.tasks)
-
-    @property
-    def max_latency(self) -> float:
-        return max((t.latency for t in self.tasks), default=0.0)
-
-    def percentile_latency(self, q: float) -> float:
-        """Latency percentile ``q`` in [0, 100] (nearest-rank)."""
-        if not 0 <= q <= 100:
-            raise ValueError("percentile must be in [0, 100]")
-        if not self.tasks:
-            return 0.0
-        ordered = sorted(t.latency for t in self.tasks)
-        rank = min(len(ordered) - 1, max(0, int(round(q / 100 * (len(ordered) - 1)))))
-        return ordered[rank]
-
-    @property
-    def throughput(self) -> float:
-        """Completed tasks per second of makespan."""
-        if self.makespan <= 0:
-            return 0.0
-        return self.completed / self.makespan
-
-    def utilization(self, device_name: str) -> float:
-        """Busy fraction of a device over the makespan."""
-        if self.makespan <= 0:
-            return 0.0
-        return self.device_busy.get(device_name, 0.0) / self.makespan
-
-    def steady_state(self, warmup_tasks: int) -> "SimResult":
-        """A view with the first ``warmup_tasks`` completions dropped.
-
-        Pipeline fill-up biases short runs: the first tasks see an empty
-        pipeline (low latency) while throughput over the whole makespan
-        under-counts the filled regime.  The trimmed view measures the
-        post-warm-up window; device-busy totals are scaled by the kept
-        task fraction (exact for deterministic service times).
-        """
-        if warmup_tasks < 0:
-            raise ValueError("warmup_tasks must be non-negative")
-        if warmup_tasks == 0 or warmup_tasks >= len(self.tasks):
-            return self
-        by_completion = sorted(self.tasks, key=lambda t: t.completion)
-        kept = by_completion[warmup_tasks:]
-        window_start = by_completion[warmup_tasks - 1].completion
-        fraction = len(kept) / len(self.tasks)
-        return SimResult(
-            tasks=sorted(kept, key=lambda t: t.task_id),
-            makespan=self.makespan - window_start,
-            device_busy={k: v * fraction for k, v in self.device_busy.items()},
-            plan_usage=dict(self.plan_usage),
-            trace=self.trace,
-            shed=self.shed,
-        )
-
-
-@dataclass
-class _InFlight:
-    task_id: int
-    arrival: float
-    started: float
-    timing: PlanTiming
-    entry: float = 0.0  # when the task joined its current stage queue
+#: The legacy shared-medium WLAN: one token link every transfer rides.
+#: Durations come from the timing tables, so the bandwidth is nominal.
+_TOKEN_LINK = NetworkLink("wlan", "*", "*", 1.0)
 
 
 def _run_event_loop(
@@ -156,173 +60,22 @@ def _run_event_loop(
     tracer: Optional[Tracer] = None,
     queue_capacity: Optional[int] = None,
 ) -> SimResult:
-    """Shared event loop for plain and adaptive simulations.
+    """The legacy single-WLAN event loop (adapter over the engine).
 
-    Plan switches happen at service boundaries: when no stage is
-    mid-service and every waiting task is still unstarted (in the first
-    stage's queue), the backlog migrates to the newly desired plan.
-    Tasks already inside the pipeline always finish under the plan that
-    started them.
-
-    ``queue_capacity`` bounds the number of tasks in the system
-    (queued *or* in service, the M/D/1/K convention): an arrival that
-    finds ``queue_capacity`` tasks in flight is shed — recorded in
-    ``SimResult.shed`` and emitted as a ``shed`` trace event — instead
-    of joining the first stage's queue.
-
-    With ``shared_medium=True`` the WLAN becomes an explicit resource:
-    a stage's communication phase must hold the single network token
-    before its compute phase runs, so transfers of concurrent stages
-    serialise — the event-level counterpart of the analytic
-    ``CostOptions(shared_medium=True)`` bound.  (The model folds
-    scatter+gather into one leading phase; the stage total is
-    unchanged, only the contention window shifts.)
+    See :func:`repro.sim.engine.run_scenario` for the mechanics; this
+    sorts the materialised arrival list and maps ``shared_medium`` to
+    the engine's folded / single-token communication modes.
     """
-    counter = itertools.count()
-    heap: "List[Tuple[float, int, str, object]]" = []
-    for task_id, t in enumerate(sorted(arrivals)):
-        heapq.heappush(heap, (float(t), next(counter), "arrival", task_id))
-
-    current = initial_timing
-    desired = initial_timing
-    queues: "List[Deque[_InFlight]]" = [deque() for _ in range(current.n_stages)]
-    busy: "List[bool]" = [False] * current.n_stages
-    device_busy: "Dict[str, float]" = {}
-    plan_usage: "Dict[str, int]" = {}
-    records: "List[TaskRecord]" = []
-    shed: "List[int]" = []
-    in_system = 0
-    makespan = 0.0
-
-    def maybe_swap() -> None:
-        nonlocal current, queues, busy
-        if desired is current:
-            return
-        if any(busy) or any(len(q) for q in queues[1:]):
-            return  # tasks mid-pipeline must finish first
-        if net_busy or net_queue:
-            return  # transfers in flight
-        backlog = queues[0]
-        current = desired
-        queues = [deque() for _ in range(current.n_stages)]
-        busy = [False] * current.n_stages
-        for task in backlog:
-            task.timing = current
-            queues[0].append(task)
-
-    net_busy = False
-    net_queue: "Deque[Tuple[int, _InFlight]]" = deque()
-
-    def try_net(now: float) -> None:
-        nonlocal net_busy
-        if net_busy or not net_queue:
-            return
-        stage_idx, task = net_queue.popleft()
-        net_busy = True
-        heapq.heappush(
-            heap,
-            (
-                now + task.timing.stages[stage_idx].comm,
-                next(counter),
-                "net_done",
-                (stage_idx, task),
-            ),
-        )
-
-    def try_start(stage_idx: int, now: float) -> None:
-        nonlocal makespan
-        timing = current
-        if busy[stage_idx] or not queues[stage_idx]:
-            return
-        task = queues[stage_idx].popleft()
-        assert task.timing is timing, "task queued under a stale timing"
-        busy[stage_idx] = True
-        if stage_idx == 0 and task.started < 0:
-            task.started = now
-        if tracer is not None:
-            tracer.emit(
-                TraceEvent(
-                    "enqueue", task.task_id, stage_idx, "", task.entry, now
-                )
-            )
-        for name, t_comp in timing.stages[stage_idx].busy_shares:
-            device_busy[name] = device_busy.get(name, 0.0) + t_comp
-            if tracer is not None:
-                tracer.emit(
-                    TraceEvent(
-                        "compute", task.task_id, stage_idx, name,
-                        now, now + t_comp,
-                    )
-                )
-        if shared_medium:
-            net_queue.append((stage_idx, task))
-            try_net(now)
-            return
-        service = timing.stages[stage_idx].service
-        heapq.heappush(
-            heap, (now + service, next(counter), "done", (stage_idx, task))
-        )
-
-    while heap:
-        now, _, kind, payload = heapq.heappop(heap)
-        if kind == "arrival":
-            task_id = payload
-            desired = pick_timing(now, in_system)
-            maybe_swap()
-            if queue_capacity is not None and in_system >= queue_capacity:
-                shed.append(task_id)
-                if tracer is not None:
-                    tracer.emit(TraceEvent("shed", task_id, 0, "", now, now))
-                continue
-            in_system += 1
-            makespan = max(makespan, now)
-            task = _InFlight(task_id, now, -1.0, current, entry=now)
-            queues[0].append(task)
-            try_start(0, now)
-        elif kind == "net_done":
-            stage_idx, task = payload  # type: ignore[misc]
-            makespan = max(makespan, now)
-            net_busy = False
-            heapq.heappush(
-                heap,
-                (
-                    now + task.timing.stages[stage_idx].comp,
-                    next(counter),
-                    "done",
-                    (stage_idx, task),
-                ),
-            )
-            try_net(now)
-        else:
-            stage_idx, task = payload  # type: ignore[misc]
-            makespan = max(makespan, now)
-            busy[stage_idx] = False
-            if stage_idx == task.timing.n_stages - 1:
-                in_system -= 1
-                plan_usage[task.timing.name] = (
-                    plan_usage.get(task.timing.name, 0) + 1
-                )
-                records.append(
-                    TaskRecord(
-                        task.task_id, task.arrival, task.started, now,
-                        task.timing.name,
-                    )
-                )
-            else:
-                task.entry = now
-                queues[stage_idx + 1].append(task)
-                try_start(stage_idx + 1, now)
-            maybe_swap()
-            # A swap may have replaced the queues with the new plan's
-            # (possibly shorter) stage list; only restart valid stages.
-            if stage_idx < len(queues):
-                try_start(stage_idx, now)
-            try_start(0, now)
-
-    records.sort(key=lambda r: r.task_id)
-    trace = tracer.events if tracer is not None else ()
-    return SimResult(
-        records, makespan, device_busy, plan_usage, trace, tuple(shed)
+    transmissions_for = (
+        token_bus_transmissions(_TOKEN_LINK) if shared_medium else None
+    )
+    return run_scenario(
+        iter(sorted(float(t) for t in arrivals)),
+        initial_timing,
+        pick_timing,
+        transmissions_for=transmissions_for,
+        tracer=tracer,
+        queue_capacity=queue_capacity,
     )
 
 
@@ -360,6 +113,8 @@ def simulate_plan(
     like an adaptive plan switch.  Frame-level faults (delay, drop,
     flaky link) have no event-level counterpart here — use the
     frame-accurate :class:`~repro.runtime.core.SimTransport` for those.
+    For *time-triggered* churn, correlated bursts and devices joining
+    mid-run, see :func:`repro.sim.simulate_scenario`.
 
     ``trace`` is the shared ``Tracer | bool | None`` contract; events
     land in ``SimResult.trace``.

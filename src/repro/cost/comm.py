@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from repro.partition.regions import Region
 
-__all__ = ["NetworkModel", "region_bytes", "wifi_50mbps"]
+__all__ = ["NetworkModel", "coerce_network", "region_bytes", "wifi_50mbps"]
 
 
 @dataclass(frozen=True)
@@ -44,6 +44,29 @@ class NetworkModel:
         if nbytes <= 0:
             return 0.0
         return self.per_message_latency_s + nbytes / self.bandwidth_bytes_per_s
+
+
+def coerce_network(network) -> "NetworkModel":
+    """Normalise a ``network=`` argument to a flat :class:`NetworkModel`.
+
+    ``None`` means the paper's 50 Mbps WiFi; a
+    :class:`~repro.sim.topology.Topology` collapses through its
+    ``as_network_model()`` summary (bottleneck bandwidth, mean link
+    latency) — the planners cost against the flat view while the event
+    engine charges the real per-link times.  Duck-typed so the cost
+    layer never imports the topology layer.
+    """
+    if network is None:
+        return wifi_50mbps()
+    if isinstance(network, NetworkModel):
+        return network
+    collapse = getattr(network, "as_network_model", None)
+    if callable(collapse):
+        return collapse()
+    raise TypeError(
+        "network must be a NetworkModel, a Topology or None, not "
+        f"{type(network).__name__}"
+    )
 
 
 def region_bytes(channels: int, region: Region, bytes_per_value: int = 4) -> int:

@@ -69,9 +69,13 @@ class FleetScheduler:
         network: NetworkModel,
         options: Optional[CostOptions] = None,
     ) -> None:
+        from repro.cost.comm import coerce_network
+
         self.registry = registry
         self.cluster = cluster
-        self.network = network
+        # A Topology collapses to its flat summary for placement costing
+        # (the event engine charges the real per-link times).
+        self.network = coerce_network(network)
         self.options = options if options is not None else registry.options
         self.pool = DevicePool(cluster)
         self.tenants: "Dict[str, TenantClass]" = {}

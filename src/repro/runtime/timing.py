@@ -104,6 +104,49 @@ class PlanTiming:
             return self.latency
         return sum(st.batched_service(batch, amortized) for st in self.stages)
 
+    def stage_transfers(
+        self, network: "NetworkModel", entry: Optional[str] = None
+    ) -> "Tuple[Tuple[Tuple[str, str, float], ...], ...]":
+        """Per-virtual-stage ``(src, dst, nbytes)`` transfers for the
+        topology-aware simulator.
+
+        The flat cost model (Eq. 7–8) folds each device's scatter and
+        gather traffic into one communication time ``t_comm``; this
+        inverts that time back to a byte count under ``network`` —
+        ``(t_comm - latency) × bandwidth`` — so branch stages and head
+        phases need no special-casing.  Each stage's transfers
+        originate at the previous stage's *anchor* (its
+        fastest-capacity device, where the serial head is billed; the
+        first stage's source is ``entry``, or its own anchor when
+        ``entry`` is None, which makes the transfer a no-op route).
+        Exclusive plans collapse into the single virtual stage, same
+        as their timing table.
+        """
+        def invert(t_comm: float) -> float:
+            if t_comm <= 0:
+                return 0.0
+            wire = t_comm - network.per_message_latency_s
+            return max(0.0, wire) * network.bandwidth_bytes_per_s
+
+        per_real = []
+        prev_anchor = entry
+        for sc in self.cost.stage_costs:
+            if not sc.devices:
+                per_real.append(())
+                continue
+            anchor = max(
+                sc.devices, key=lambda dc: dc.device.capacity
+            ).device.name
+            src = prev_anchor if prev_anchor is not None else anchor
+            per_real.append(tuple(
+                (src, dc.device.name, invert(dc.t_comm))
+                for dc in sc.devices
+            ))
+            prev_anchor = anchor
+        if self.mode == "pipelined":
+            return tuple(per_real)
+        return (tuple(t for stage in per_real for t in stage),)
+
 
 def plan_timing(
     model: "Model",

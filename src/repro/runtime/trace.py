@@ -52,15 +52,16 @@ __all__ = [
 EVENT_KINDS = ("enqueue", "send", "compute", "recv")
 
 #: Recovery event kinds, emitted by the fault-tolerance layer only:
-#: ``device_dead`` the first time a device is declared dead, ``retry``
-#: per backoff attempt after a transient failure, ``frame_replayed``
-#: when a stage replays a frame from its input boundary after a
-#: repartition, and ``replan``/``degraded`` when the session adopts a
-#: fresh plan over the survivors (or a single-device fallback).
-#: Fault-free runs never emit these, so the four-kind canonical gate
-#: (``make trace-smoke``) is unchanged.
-RECOVERY_KINDS = ("device_dead", "retry", "frame_replayed", "replan",
-                  "degraded")
+#: ``device_dead`` the first time a device is declared dead,
+#: ``device_join`` when scenario churn brings a device (back) into the
+#: cluster, ``retry`` per backoff attempt after a transient failure,
+#: ``frame_replayed`` when a stage replays a frame from its input
+#: boundary after a repartition, and ``replan``/``degraded`` when the
+#: session adopts a fresh plan over the survivors (or a single-device
+#: fallback).  Fault-free runs never emit these, so the four-kind
+#: canonical gate (``make trace-smoke``) is unchanged.
+RECOVERY_KINDS = ("device_dead", "device_join", "retry", "frame_replayed",
+                  "replan", "degraded")
 
 #: Admission-control event kinds, emitted by the serving layer and the
 #: bounded-queue simulator: ``shed`` when an arrival is rejected because

@@ -1,0 +1,41 @@
+"""Planet-scale scenario simulation: topologies, workloads, churn.
+
+The :mod:`repro.cluster.simulator` event loop grew up: this package
+generalises it from "one shared-bandwidth LAN, a list of arrival
+times" to full scenarios —
+
+* :mod:`repro.sim.topology` — named :class:`NetworkLink` objects with
+  bandwidth / latency / jitter / loss, ``star`` / ``mesh`` /
+  ``fat-tree`` builders, shortest-path routing and per-link FIFO
+  contention.  The old single :class:`~repro.cost.comm.NetworkModel`
+  is the degenerate one-link topology (:meth:`Topology.bus`),
+  bit-compatible with the pre-2.0 simulator.
+* :mod:`repro.workload.processes` — lazy :class:`ArrivalProcess`
+  generators (diurnal, flash crowd, trace replay, composite) that
+  scale to millions of requests without materialising them.
+* :mod:`repro.sim.scenario` — correlated device churn and mobility
+  (devices leaving and joining mid-run), driven through the same
+  replan ladder as the fault-tolerance layer.
+* :mod:`repro.sim.engine` — the shared event loop itself, consumed by
+  both this package and the legacy :func:`simulate_plan` /
+  :func:`simulate_adaptive` adapters.
+
+:func:`simulate_scenario` is the front door.
+"""
+
+from repro.sim.engine import run_scenario
+from repro.sim.result import SimResult, SimStats, TaskRecord
+from repro.sim.scenario import ChurnEvent, correlated_churn, simulate_scenario
+from repro.sim.topology import NetworkLink, Topology
+
+__all__ = [
+    "ChurnEvent",
+    "NetworkLink",
+    "SimResult",
+    "SimStats",
+    "TaskRecord",
+    "Topology",
+    "correlated_churn",
+    "run_scenario",
+    "simulate_scenario",
+]

@@ -1,0 +1,280 @@
+"""Scenario composition: topology × workload × churn → one run.
+
+:func:`simulate_scenario` is the 2.0 front door to the event engine.
+It accepts everything :func:`repro.simulate` does for the plan side —
+a scheme name, a :class:`~repro.schemes.Scheme`, a ready
+:class:`~repro.core.plan.PipelinePlan` or an
+:class:`~repro.adaptive.switcher.AdaptiveSwitcher` — and adds the
+scenario dimensions:
+
+* ``topology`` — a :class:`~repro.sim.topology.Topology`; transfers
+  route hop by hop with per-link FIFO contention.  The default
+  :meth:`Topology.bus` reproduces the pre-2.0 single-WLAN simulator
+  bit for bit.
+* ``arrivals`` — a lazy :class:`~repro.workload.ArrivalProcess` (or a
+  plain list of submit times).
+* ``churn`` — :class:`ChurnEvent` entries: devices leave and join
+  mid-run, and each change re-plans the survivors through the same
+  replan/degraded ladder the fault-tolerance layer uses, emitting
+  ``device_dead`` / ``device_join`` / ``replan`` / ``degraded`` trace
+  events.  :func:`correlated_churn` builds the correlated-failure
+  bursts (a rack power cut, a WiFi segment dropping) that independent
+  per-device fault schedules cannot express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cost.comm import NetworkModel, wifi_50mbps
+from repro.cost.flops import CostOptions, DEFAULT_OPTIONS
+from repro.runtime.timing import PlanTiming, plan_timing
+from repro.runtime.trace import TraceEvent, coerce_tracer
+from repro.sim.engine import Transmission, run_scenario, token_bus_transmissions
+from repro.sim.topology import Topology
+from repro.workload.processes import ArrivalProcess
+
+__all__ = ["ChurnEvent", "correlated_churn", "simulate_scenario"]
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One device leaving or (re)joining the cluster at ``time``."""
+
+    time: float
+    device: str
+    kind: str = "leave"
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("churn time must be non-negative")
+        if self.kind not in ("leave", "join"):
+            raise ValueError(
+                f"churn kind must be 'leave' or 'join', not {self.kind!r}"
+            )
+
+
+def correlated_churn(
+    devices: "Sequence[str]",
+    at: float,
+    stagger_s: float = 0.0,
+    rejoin_after: Optional[float] = None,
+) -> "Tuple[ChurnEvent, ...]":
+    """A correlated failure burst: ``devices`` all leave around ``at``
+    (``stagger_s`` apart, modelling detection skew), and optionally all
+    rejoin ``rejoin_after`` seconds later — the rack-power-cut /
+    WiFi-segment-drop pattern."""
+    if not devices:
+        raise ValueError("a churn burst needs at least one device")
+    events: "List[ChurnEvent]" = []
+    for i, device in enumerate(devices):
+        leave_at = at + i * stagger_s
+        events.append(ChurnEvent(leave_at, device, "leave"))
+        if rejoin_after is not None:
+            events.append(ChurnEvent(leave_at + rejoin_after, device, "join"))
+    return tuple(sorted(events, key=lambda e: (e.time, e.device)))
+
+
+def _topology_transmissions(topology: Topology, network: NetworkModel):
+    """Per-stage :class:`Transmission` templates: invert the flat-model
+    communication times back to bytes, then route anchor → device over
+    the topology (see :meth:`PlanTiming.stage_transfers`)."""
+
+    def for_timing(timing: PlanTiming):
+        return tuple(
+            tuple(
+                Transmission(topology.route(src, dst), nbytes)
+                for src, dst, nbytes in stage
+            )
+            for stage in timing.stage_transfers(network, entry=topology.entry)
+        )
+
+    return for_timing
+
+
+def simulate_scenario(
+    model,
+    plan_or_scheme,
+    cluster=None,
+    *,
+    topology: Optional[Topology] = None,
+    network: Optional[NetworkModel] = None,
+    arrivals=None,
+    options: Optional[CostOptions] = None,
+    churn: "Sequence[ChurnEvent]" = (),
+    trace=None,
+    queue_capacity: Optional[int] = None,
+    seed: int = 0,
+    sample_network: bool = False,
+    keep_records: bool = True,
+):
+    """Simulate one scenario; see the module docstring.
+
+    ``arrivals`` is an :class:`~repro.workload.ArrivalProcess`
+    (streamed lazily under ``numpy.random.default_rng(seed)``) or a
+    plain sequence of submit times.  ``sample_network=True`` samples
+    per-link jitter and loss instead of charging their deterministic
+    expectations.  ``keep_records=False`` returns a constant-memory
+    :class:`~repro.sim.result.SimStats` instead of a full
+    :class:`~repro.sim.result.SimResult` — the million-request mode.
+
+    Churn needs a scheme (or scheme name) plus ``cluster`` so the
+    survivors can be re-planned; a device whose first churn event is a
+    ``join`` starts outside the cluster and enters mid-run (mobility).
+    """
+    from repro.adaptive.switcher import AdaptiveSwitcher
+    from repro.schemes import Scheme, get_scheme
+
+    tracer = coerce_tracer(trace)
+    if topology is None:
+        topology = Topology.bus(network or wifi_50mbps())
+    network = network or topology.as_network_model()
+    options = options or DEFAULT_OPTIONS
+    churn_events = tuple(churn)
+
+    if arrivals is None:
+        raise ValueError(
+            "simulate_scenario() needs arrivals= (an ArrivalProcess or "
+            "a sequence of submit times)"
+        )
+    if isinstance(arrivals, ArrivalProcess) or hasattr(arrivals, "times"):
+        arrival_iter: "Iterator[float]" = arrivals.times(
+            np.random.default_rng(seed)
+        )
+    else:
+        arrival_iter = iter(sorted(float(t) for t in arrivals))
+
+    if topology.is_bus and not topology.contended:
+        transmissions_for = None
+    elif topology.is_bus:
+        transmissions_for = token_bus_transmissions(topology.links[0])
+    else:
+        transmissions_for = _topology_transmissions(topology, network)
+    link_rng = (
+        np.random.default_rng(seed + 1) if sample_network else None
+    )
+
+    # -- resolve the plan side ----------------------------------------
+    scheme = None
+    if isinstance(plan_or_scheme, str):
+        plan_or_scheme = get_scheme(plan_or_scheme)
+    if isinstance(plan_or_scheme, AdaptiveSwitcher):
+        if churn_events:
+            raise ValueError(
+                "churn= is not supported with an AdaptiveSwitcher replay; "
+                "pass a scheme so the survivors can be re-planned"
+            )
+        switcher = plan_or_scheme
+        timings = switcher.plan_timings(model, network, options)
+        initial = timings[switcher.active.name]
+
+        def pick(now: float, depth: int) -> PlanTiming:
+            active = switcher.on_arrival(now, queue_depth=depth)
+            return timings[active.name]
+
+        return run_scenario(
+            arrival_iter, initial, pick,
+            transmissions_for=transmissions_for, tracer=tracer,
+            queue_capacity=queue_capacity, rng=link_rng,
+            keep_records=keep_records,
+        )
+    if isinstance(plan_or_scheme, Scheme):
+        scheme = plan_or_scheme
+        if cluster is None:
+            raise ValueError("a scheme needs cluster= to plan over")
+    if scheme is None and churn_events:
+        raise ValueError(
+            "simulating churn needs a scheme (or scheme name) to re-plan "
+            "the survivors — a bare plan cannot be rebuilt"
+        )
+
+    # -- initial live set (devices joining later start outside) -------
+    if churn_events and cluster is not None:
+        names = {d.name for d in cluster}
+        unknown = sorted(
+            {e.device for e in churn_events} - names
+        )
+        if unknown:
+            raise ValueError(
+                f"churn names devices not in the cluster: "
+                f"{', '.join(unknown)}"
+            )
+        first_kind: "Dict[str, str]" = {}
+        for event in sorted(churn_events, key=lambda e: e.time):
+            first_kind.setdefault(event.device, event.kind)
+        live = {
+            name for name in names
+            if first_kind.get(name, "leave") != "join"
+        }
+        if not live:
+            raise ValueError("every device joins mid-run; none left to plan")
+    else:
+        live = {d.name for d in cluster} if cluster is not None else set()
+
+    if scheme is not None:
+        from repro.cluster.device import Cluster
+
+        members = tuple(d for d in cluster if d.name in live)
+        plan = scheme.plan(model, Cluster(members), network, options)
+        base_name = scheme.name
+    else:
+        plan = plan_or_scheme
+        base_name = plan.mode
+    timing = plan_timing(model, plan, network, options, name=base_name)
+    state = {"timing": timing}
+
+    def on_churn(now: float, event: ChurnEvent) -> Optional[PlanTiming]:
+        from repro.cluster.device import Cluster
+        from repro.runtime.faults import StageFailure
+        from repro.schemes.base import PlanningError
+        from repro.schemes.local import local_fallback_plan
+
+        if event.kind == "leave":
+            if event.device not in live:
+                return None
+            live.discard(event.device)
+            if tracer is not None:
+                tracer.emit(
+                    TraceEvent("device_dead", -1, 0, event.device, now, now)
+                )
+        else:
+            if event.device in live:
+                return None
+            live.add(event.device)
+            if tracer is not None:
+                tracer.emit(
+                    TraceEvent("device_join", -1, 0, event.device, now, now)
+                )
+        survivors = tuple(d for d in cluster if d.name in live)
+        if not survivors:
+            raise StageFailure("every device in the cluster is dead")
+        try:
+            fresh = scheme.plan(model, Cluster(survivors), network, options)
+            kind = "replan"
+        except PlanningError:
+            best = max(survivors, key=lambda d: d.capacity)
+            fresh = local_fallback_plan(model, best)
+            kind = "degraded"
+        state["timing"] = plan_timing(
+            model, fresh, network, options, name=f"{base_name}+{kind}"
+        )
+        if tracer is not None:
+            dead = ",".join(sorted({d.name for d in cluster} - live))
+            tracer.emit(TraceEvent(kind, -1, 0, dead, now, now))
+        return state["timing"]
+
+    return run_scenario(
+        arrival_iter,
+        timing,
+        lambda now, depth: state["timing"],
+        transmissions_for=transmissions_for,
+        churn=[(e.time, e) for e in churn_events],
+        on_churn=on_churn if churn_events else None,
+        tracer=tracer,
+        queue_capacity=queue_capacity,
+        rng=link_rng,
+        keep_records=keep_records,
+    )

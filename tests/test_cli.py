@@ -84,6 +84,78 @@ class TestSimulate:
         for scheme in ("EFL", "OFL", "PICO", "APICO"):
             assert scheme in out
 
+    def test_points_at_the_scenario_simulator(self, capsys):
+        code, out = run_cli(
+            capsys, "simulate", "fig13_toy", "--devices", "4", "--freq", "800",
+            "--load", "0.5", "--horizon", "10",
+        )
+        assert code == 0
+        assert "repro sim" in out
+
+
+class TestSim:
+    def test_one_link_default(self, capsys):
+        code, out = run_cli(
+            capsys, "sim", "fig13_toy", "--devices", "4", "--freq", "800",
+            "--horizon", "20",
+        )
+        assert code == 0
+        assert "topology wlan" in out
+        assert "served:" in out
+        assert "plan usage:" in out
+
+    def test_star_with_churn_prints_recovery(self, capsys):
+        code, out = run_cli(
+            capsys, "sim", "fig13_toy", "--devices", "4", "--freq", "800",
+            "--topology", "star", "--arrivals", "flash-crowd",
+            "--horizon", "20", "--rate", "0.5",
+            "--churn", "pi2:5:10",
+        )
+        assert code == 0
+        assert "topology star" in out
+        assert "device_dead" in out
+        assert "device_join" in out
+        assert "replan" in out
+
+    def test_trace_replay_from_file(self, capsys, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# recorded\n0.5\n1.0\n2.5\n")
+        code, out = run_cli(
+            capsys, "sim", "fig13_toy", "--devices", "4", "--freq", "800",
+            "--arrivals", "trace-replay", "--trace", str(path),
+        )
+        assert code == 0
+        assert "3 done" in out
+
+    def test_trace_replay_requires_file(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(
+                capsys, "sim", "fig13_toy", "--devices", "4",
+                "--arrivals", "trace-replay",
+            )
+
+    def test_stats_mode_constant_memory(self, capsys):
+        code, out = run_cli(
+            capsys, "sim", "fig13_toy", "--devices", "4", "--freq", "800",
+            "--horizon", "10", "--stats",
+        )
+        assert code == 0
+        assert "constant memory" in out
+
+    def test_contended_rejected_off_one_link(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(
+                capsys, "sim", "fig13_toy", "--devices", "4",
+                "--topology", "mesh", "--contended",
+            )
+
+    def test_unknown_arrivals_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(
+                capsys, "sim", "fig13_toy", "--devices", "4",
+                "--arrivals", "zipf",
+            )
+
 
 class TestTimeline:
     def test_draws_stages(self, capsys):

@@ -410,33 +410,32 @@ class TestSimulateDispatch:
         assert result.completed == 4
 
 
-class TestDeprecationShims:
+class TestShimsRemoved:
+    """The 1.x ``simulate_plan``/``simulate_adaptive`` deprecation
+    shims were removed in 2.0 (use :func:`repro.simulate`); the
+    module-level originals in :mod:`repro.cluster.simulator` remain
+    the internal API."""
+
     ARRIVALS = (0.0, 0.05, 0.1)
 
-    def test_simulate_plan_shim(self, model, plan, net):
-        with pytest.warns(DeprecationWarning):
-            shim = repro.simulate_plan(model, plan, net, self.ARRIVALS)
-        real = real_simulate_plan(model, plan, net, self.ARRIVALS)
-        assert shim.makespan == pytest.approx(real.makespan)
+    def test_shims_gone_from_package(self):
+        assert not hasattr(repro, "simulate_plan")
+        assert not hasattr(repro, "simulate_adaptive")
+        assert "simulate_plan" not in repro.__all__
+        assert "simulate_adaptive" not in repro.__all__
 
-    def test_simulate_adaptive_shim(self, model, cluster, net):
-        from repro.adaptive.switcher import build_apico_switcher
-
-        with pytest.warns(DeprecationWarning):
-            shim = repro.simulate_adaptive(
-                model, build_apico_switcher(model, cluster, net),
-                net, self.ARRIVALS,
-            )
-        real = real_simulate_adaptive(
-            model, build_apico_switcher(model, cluster, net),
-            net, self.ARRIVALS,
+    def test_simulate_matches_module_function(self, model, plan, net):
+        unified = repro.simulate(
+            model, plan, network=net, arrivals=self.ARRIVALS
         )
-        assert shim.makespan == pytest.approx(real.makespan)
+        real = real_simulate_plan(model, plan, net, self.ARRIVALS)
+        assert unified.makespan == pytest.approx(real.makespan)
 
     def test_module_functions_do_not_warn(self, model, plan, net):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             real_simulate_plan(model, plan, net, self.ARRIVALS)
+            real_simulate_adaptive  # still importable internal API
 
 
 class TestCoerceTracer:

@@ -1,0 +1,241 @@
+"""Tests for the 2.0 scenario simulator.
+
+The load-bearing guarantee: the degenerate one-link topology
+reproduces the pre-2.0 single-WLAN simulator **bit for bit** — full
+``SimResult`` equality including traces, shed lists and device-busy
+totals — across schemes, both communication modes and admission
+control.  On top of that: churn replanning, mobility joins, multi-hop
+behaviour and the constant-memory stats mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adaptive.switcher import build_apico_switcher
+from repro.cluster.device import pi_cluster
+from repro.cluster.simulator import simulate_adaptive, simulate_plan
+from repro.cost.comm import NetworkModel
+from repro.models.toy import toy_chain
+from repro.runtime.trace import Tracer
+from repro.schemes.early_fused import EarlyFusedScheme
+from repro.schemes.pico import PicoScheme
+from repro.sim import (
+    ChurnEvent,
+    SimResult,
+    SimStats,
+    Topology,
+    correlated_churn,
+    simulate_scenario,
+)
+from repro.workload.arrivals import poisson_arrivals
+from repro.workload.processes import PoissonProcess
+
+
+@pytest.fixture
+def net():
+    return NetworkModel.from_mbps(50.0)
+
+
+@pytest.fixture
+def model():
+    return toy_chain(6, 1, input_hw=32, in_channels=3)
+
+
+@pytest.fixture
+def cluster():
+    return pi_cluster(4, 800)
+
+
+def arrivals_list(rate=2.0, horizon=20.0, seed=5):
+    return poisson_arrivals(rate, horizon, np.random.default_rng(seed))
+
+
+class TestOneLinkDifferential:
+    """The degenerate topology IS the old simulator, bit for bit."""
+
+    @pytest.mark.parametrize("scheme_cls", [PicoScheme, EarlyFusedScheme])
+    @pytest.mark.parametrize("contended", [False, True])
+    @pytest.mark.parametrize("queue_capacity", [None, 3])
+    def test_plan_replay_is_bit_identical(
+        self, model, cluster, net, scheme_cls, contended, queue_capacity
+    ):
+        plan = scheme_cls().plan(model, cluster, net)
+        arrivals = arrivals_list()
+        old = simulate_plan(
+            model, plan, net, arrivals, shared_medium=contended,
+            trace=True, queue_capacity=queue_capacity,
+        )
+        new = simulate_scenario(
+            model, plan,
+            topology=Topology.bus(net, contended=contended),
+            network=net, arrivals=arrivals, trace=True,
+            queue_capacity=queue_capacity,
+        )
+        assert isinstance(new, SimResult)
+        assert new == old  # full dataclass equality, trace included
+
+    def test_adaptive_replay_is_bit_identical(self, model, cluster, net):
+        arrivals = arrivals_list(rate=4.0)
+        old = simulate_adaptive(
+            model, build_apico_switcher(model, cluster, net), net, arrivals
+        )
+        new = simulate_scenario(
+            model, build_apico_switcher(model, cluster, net),
+            topology=Topology.bus(net), network=net, arrivals=arrivals,
+        )
+        assert new == old
+
+    def test_lazy_process_matches_materialised_list(self, model, cluster, net):
+        plan = PicoScheme().plan(model, cluster, net)
+        legacy = poisson_arrivals(2.0, 20.0, np.random.default_rng(7))
+        old = simulate_plan(model, plan, net, legacy)
+        new = simulate_scenario(
+            model, plan, topology=Topology.bus(net), network=net,
+            arrivals=PoissonProcess(2.0, horizon_s=20.0), seed=7,
+        )
+        assert new == old
+
+
+class TestChurn:
+    def test_correlated_burst_replans_and_rejoins(self, model, cluster, net):
+        churn = correlated_churn(
+            ["pi2", "pi3"], at=4.0, stagger_s=0.5, rejoin_after=8.0
+        )
+        tracer = Tracer()
+        result = simulate_scenario(
+            model, PicoScheme(), cluster,
+            topology=Topology.bus(net), network=net,
+            arrivals=arrivals_list(rate=1.0, horizon=25.0),
+            churn=churn, trace=tracer,
+        )
+        kinds = [e.kind for e in tracer.events if e.frame == -1]
+        assert kinds.count("device_dead") == 2
+        assert kinds.count("device_join") == 2
+        assert kinds.count("replan") + kinds.count("degraded") == 4
+        assert result.completed == result.submitted
+        # The backlog migrates onto replanned pipelines eventually.
+        assert any(name.startswith("PICO") for name in result.plan_usage)
+
+    def test_scheme_accepted_by_name(self, model, cluster, net):
+        result = simulate_scenario(
+            model, "pico", cluster,
+            topology=Topology.bus(net), network=net,
+            arrivals=[0.0, 1.0],
+            churn=[ChurnEvent(2.0, "pi3", "leave")],
+        )
+        assert result.completed == 2
+
+    def test_join_only_device_starts_outside(self, model, cluster, net):
+        tracer = Tracer()
+        result = simulate_scenario(
+            model, PicoScheme(), cluster,
+            topology=Topology.bus(net), network=net,
+            arrivals=arrivals_list(rate=1.0, horizon=10.0),
+            churn=[ChurnEvent(5.0, "pi3", "join")],
+            trace=tracer,
+        )
+        kinds = [e.kind for e in tracer.events if e.frame == -1]
+        assert kinds == ["device_join", "replan"]
+        assert result.completed == result.submitted
+
+    def test_churn_needs_a_scheme(self, model, cluster, net):
+        plan = PicoScheme().plan(model, cluster, net)
+        with pytest.raises(ValueError, match="scheme"):
+            simulate_scenario(
+                model, plan, cluster,
+                topology=Topology.bus(net), network=net, arrivals=[0.0],
+                churn=[ChurnEvent(1.0, "pi0", "leave")],
+            )
+
+    def test_churn_unknown_device_rejected(self, model, cluster, net):
+        with pytest.raises(ValueError, match="not in the cluster"):
+            simulate_scenario(
+                model, PicoScheme(), cluster,
+                topology=Topology.bus(net), network=net, arrivals=[0.0],
+                churn=[ChurnEvent(1.0, "ghost", "leave")],
+            )
+
+    def test_correlated_churn_validates(self):
+        with pytest.raises(ValueError):
+            correlated_churn([], at=1.0)
+        events = correlated_churn(["a", "b"], at=2.0, stagger_s=1.0)
+        assert [e.time for e in events] == [2.0, 3.0]
+
+
+class TestMultiHop:
+    def test_star_runs_and_contends(self, model, cluster, net):
+        arrivals = arrivals_list(rate=1.0, horizon=10.0)
+        bus = simulate_scenario(
+            model, PicoScheme(), cluster,
+            topology=Topology.bus(net), network=net, arrivals=arrivals,
+        )
+        star = simulate_scenario(
+            model, PicoScheme(), cluster,
+            topology=Topology.star([d.name for d in cluster], mbps=50.0),
+            arrivals=arrivals,
+        )
+        assert star.completed == len(arrivals)
+        # Two store-and-forward hops per transfer plus per-link FIFO
+        # contention can only slow things down vs the folded one-link run.
+        assert star.avg_latency >= bus.avg_latency - 1e-9
+
+    def test_tighter_links_hurt(self, model, cluster):
+        arrivals = arrivals_list(rate=1.0, horizon=10.0)
+        names = [d.name for d in cluster]
+        fast = simulate_scenario(
+            model, PicoScheme(), cluster,
+            topology=Topology.star(names, mbps=500.0), arrivals=arrivals,
+        )
+        slow = simulate_scenario(
+            model, PicoScheme(), cluster,
+            topology=Topology.star(names, mbps=5.0), arrivals=arrivals,
+        )
+        assert slow.makespan > fast.makespan
+
+    def test_sampled_network_stays_deterministic_per_seed(self, model, cluster):
+        names = [d.name for d in cluster]
+        topo = Topology.star(names, mbps=50.0, jitter_s=0.002, loss=0.05)
+        kwargs = dict(
+            topology=topo, arrivals=[0.0, 1.0, 2.0], sample_network=True,
+        )
+        a = simulate_scenario(model, PicoScheme(), cluster, seed=3, **kwargs)
+        b = simulate_scenario(model, PicoScheme(), cluster, seed=3, **kwargs)
+        assert a == b
+
+
+class TestStatsMode:
+    def test_stats_agree_with_records(self, model, cluster, net):
+        arrivals = arrivals_list(rate=2.0, horizon=15.0)
+        kwargs = dict(
+            topology=Topology.bus(net), network=net, arrivals=arrivals,
+            queue_capacity=4,
+        )
+        full = simulate_scenario(model, PicoScheme(), cluster, **kwargs)
+        stats = simulate_scenario(
+            model, PicoScheme(), cluster, keep_records=False, **kwargs
+        )
+        assert isinstance(stats, SimStats)
+        assert stats.completed == full.completed
+        assert stats.shed_count == len(full.shed)
+        assert stats.makespan == full.makespan
+        assert stats.avg_latency == pytest.approx(full.avg_latency)
+        assert stats.max_latency == pytest.approx(full.max_latency)
+        assert stats.device_busy == full.device_busy
+        assert stats.n_events > 0
+
+
+class TestValidation:
+    def test_arrivals_required(self, model, cluster, net):
+        with pytest.raises(ValueError, match="arrivals"):
+            simulate_scenario(
+                model, PicoScheme(), cluster, topology=Topology.bus(net)
+            )
+
+    def test_scheme_needs_cluster(self, model, net):
+        with pytest.raises(ValueError, match="cluster"):
+            simulate_scenario(
+                model, PicoScheme(), topology=Topology.bus(net),
+                arrivals=[0.0],
+            )
