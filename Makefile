@@ -1,7 +1,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: install test test-fast test-slow bench bench-json bench-serve bench-batch bench-transport bench-fleet bench-sim trace-smoke fault-smoke fleet-smoke sim-smoke report examples all
+.PHONY: install test test-fast test-slow bench bench-json bench-serve bench-batch bench-transport bench-fleet bench-sim bench-exact exact-smoke trace-smoke fault-smoke fleet-smoke sim-smoke report examples all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -25,6 +25,7 @@ bench-json:
 	python -m repro.bench.batch --out BENCH_batch.json
 	python -m repro.bench.fleet --out BENCH_fleet.json
 	python -m repro.bench.sim --out BENCH_sim.json
+	python -m repro.bench.exact --out BENCH_exact.json
 
 bench-serve:
 	python -m repro.bench.serve --out BENCH_serve.json
@@ -40,6 +41,13 @@ bench-fleet:
 
 bench-sim:
 	python -m repro.bench.sim --out BENCH_sim.json
+
+bench-exact:
+	python -m repro.bench.exact --out BENCH_exact.json
+
+exact-smoke:
+	python -m repro.bench.exact --quick --out /tmp/BENCH_exact_smoke.json
+	python -m repro.bench.exact --check BENCH_exact.json --quick
 
 trace-smoke:
 	python -m repro.bench.trace_smoke --hw 64 --frames 2 --devices 4

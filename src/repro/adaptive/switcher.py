@@ -340,12 +340,19 @@ def build_apico_switcher(
 
     ``network`` may also be a :class:`~repro.sim.topology.Topology`;
     the candidates are costed against its flat summary
-    (:func:`~repro.cost.comm.coerce_network`)."""
+    (:func:`~repro.cost.comm.coerce_network`).  ``schemes`` entries may
+    be :class:`Scheme` instances or registry names (``"iop"``, ...)."""
     from repro.cost.comm import coerce_network
 
     network = coerce_network(network)
     if schemes is None:
         schemes = (PicoScheme(), OptimalFusedScheme())
+    else:
+        from repro.schemes import get_scheme
+
+        schemes = tuple(
+            get_scheme(s) if isinstance(s, str) else s for s in schemes
+        )
     # Prewarm the shared segment table: every candidate scheme (and any
     # later online re-plan for the same model) draws its stage costs
     # from this single vectorized table instead of rebuilding FLOP

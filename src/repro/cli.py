@@ -12,6 +12,7 @@ Subcommands::
     python -m repro trace vgg16 --devices 4 --frames 2 --backend both
     python -m repro serve vgg16 --hw 64 --load 0.7 --frames 200
     python -m repro fleet --tenant cam:vgg16:2.0:5.0 --tenant iot:resnet18:6.0:1.5
+    python -m repro gap resnet34 --freqs 1500,900,600
 
 Frequencies are per-device MHz; ``--freqs`` takes a comma list for a
 heterogeneous cluster and overrides ``--devices/--freq``.
@@ -48,6 +49,31 @@ def _cluster_from_args(args: argparse.Namespace) -> Cluster:
     return pi_cluster(args.devices, args.freq)
 
 
+def _add_planner_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--planner", choices=["greedy", "exact"], default="greedy",
+        help="pipeline planner: greedy = Algorithm 1+2 (default), exact "
+             "= branch-and-bound heterogeneous search (pico scheme, "
+             "small clusters only)",
+    )
+
+
+def _scheme_from_args(args: argparse.Namespace):
+    """The scheme instance for ``--scheme`` honouring ``--planner``."""
+    from repro.schemes import get_scheme
+
+    if getattr(args, "planner", "greedy") == "exact":
+        if args.scheme.strip().lower() != "pico":
+            raise SystemExit(
+                "--planner exact replaces the PICO pipeline planner; "
+                "it does not apply to --scheme " + args.scheme
+            )
+        from repro.core.exact import ExactScheme
+
+        return ExactScheme()
+    return get_scheme(args.scheme)
+
+
 def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--devices", type=int, default=8, help="device count")
     parser.add_argument("--freq", type=float, default=600.0, help="CPU MHz")
@@ -73,7 +99,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("model")
     _add_cluster_args(p)
     p.add_argument("--scheme", type=str, default="pico",
-                   help="scheme name from the registry (pico, lw, efl, ofl)")
+                   help="scheme name from the registry "
+                        "(pico, lw, efl, ofl, iop)")
     p.add_argument("--t-lim", type=float, default=0.0,
                    help="pipeline latency bound in seconds (0 = none, "
                         "pico only)")
@@ -101,7 +128,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("model")
     _add_cluster_args(p)
     p.add_argument("--scheme", type=str, default="pico",
-                   help="scheme name from the registry (pico, lw, efl, ofl)")
+                   help="scheme name from the registry "
+                        "(pico, lw, efl, ofl, iop)")
+    _add_planner_arg(p)
     p.add_argument(
         "--topology", choices=["one-link", "star", "mesh", "fat-tree"],
         default="one-link",
@@ -167,7 +196,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override input resolution (0 = model default)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--scheme", type=str, default="pico",
-                   help="scheme name from the registry (pico, lw, efl, ofl)")
+                   help="scheme name from the registry "
+                        "(pico, lw, efl, ofl, iop)")
     p.add_argument(
         "--crash", action="append", default=[], metavar="DEVICE:FRAME",
         help="inject a crash: kill DEVICE from frame FRAME on "
@@ -180,7 +210,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("model")
     _add_cluster_args(p)
     p.add_argument("--scheme", type=str, default="pico",
-                   help="scheme name from the registry (pico, lw, efl, ofl)")
+                   help="scheme name from the registry "
+                        "(pico, lw, efl, ofl, iop)")
+    _add_planner_arg(p)
     p.add_argument("--hw", type=int, default=0,
                    help="override input resolution (0 = model default)")
     p.add_argument(
@@ -224,6 +256,10 @@ def build_parser() -> argparse.ArgumentParser:
              "Poisson rate in frames/s, latency SLO in seconds, optional "
              "placement priority (higher places first)",
     )
+    p.add_argument("--scheme", type=str, default="pico",
+                   help="scheme used for every tenant's pipeline "
+                        "(pico, lw, efl, ofl, iop)")
+    _add_planner_arg(p)
     p.add_argument("--hw", type=int, default=0,
                    help="override input resolution for every model "
                         "(0 = model defaults)")
@@ -233,6 +269,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compute", action="store_true",
                    help="run real kernels in the virtual clock "
                         "(default: timing only)")
+
+    p = sub.add_parser(
+        "gap",
+        help="greedy vs exact planner: the optimality gap on one cell",
+    )
+    p.add_argument("model")
+    _add_cluster_args(p)
+    p.add_argument("--period-bound", type=float, default=0.0,
+                   help="prune the search against this period in seconds "
+                        "(0 = none; the incumbent greedy plan is always "
+                        "returned when everything prunes)")
 
     p = sub.add_parser(
         "experiment", help="run a paper experiment harness (fast config)"
@@ -428,7 +475,6 @@ def _build_arrival_process(args: argparse.Namespace, rate: float):
 
 def _cmd_sim(args: argparse.Namespace) -> int:
     from repro.runtime.trace import Tracer
-    from repro.schemes import get_scheme
     from repro.sim import SimResult, Topology, simulate_scenario
 
     model = get_model(args.model)
@@ -452,7 +498,7 @@ def _cmd_sim(args: argparse.Namespace) -> int:
         )
     network = topology.as_network_model()
 
-    scheme = get_scheme(args.scheme)
+    scheme = _scheme_from_args(args)
     plan = scheme.plan(model, cluster, network)
     cost = plan_cost(model, plan, network)
     rate = args.rate if args.rate > 0 else args.load / cost.period
@@ -658,7 +704,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.adaptive.queueing import stable, validate_md1
     from repro.nn.executor import Engine
     from repro.runtime.core import InProcTransport, SimTransport
-    from repro.schemes import get_scheme
     from repro.serve import PipelineServer, ServerConfig
     from repro.workload.arrivals import poisson_arrivals, poisson_arrivals_count
 
@@ -668,7 +713,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     cluster = _cluster_from_args(args)
     network = NetworkModel.from_mbps(args.mbps)
-    plan = get_scheme(args.scheme).plan(model, cluster, network)
+    plan = _scheme_from_args(args).plan(model, cluster, network)
     cost = plan_cost(model, plan, network)
     rate = args.rate if args.rate > 0 else args.load / cost.period
     rng = np.random.default_rng(args.seed)
@@ -815,8 +860,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         compute=args.compute,
     )
     rng = np.random.default_rng(args.seed)
+    schemes = {t.name: _scheme_from_args(args) for t in tenants}
     with FleetServer(registry, scheduler, parent) as fleet:
-        placements = fleet.admit(tenants)
+        placements = fleet.admit(tenants, schemes=schemes)
         print(
             f"{'tenant':>10s} {'model':>10s} {'devices':>24s} "
             f"{'period':>9s} {'est lat':>9s} {'SLO':>7s}"
@@ -855,6 +901,43 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gap(args: argparse.Namespace) -> int:
+    import math
+    import time
+
+    from repro.core.exact import plan_exact
+
+    model = get_model(args.model)
+    cluster = _cluster_from_args(args)
+    network = NetworkModel.from_mbps(args.mbps)
+    greedy_plan = PicoScheme().plan(model, cluster, network)
+    greedy = plan_cost(model, greedy_plan, network)
+    bound = args.period_bound if args.period_bound > 0 else math.inf
+    t0 = time.perf_counter()
+    exact = plan_exact(model, cluster, network, period_bound=bound)
+    search_s = time.perf_counter() - t0
+    print(
+        f"greedy (Algorithm 1+2): period {greedy.period:.6f}s over "
+        f"{greedy_plan.n_stages} stage(s)"
+    )
+    print(
+        f"exact (branch-and-bound): period {exact.period:.6f}s over "
+        f"{exact.n_stages} stage(s)  "
+        f"[{exact.nodes} nodes, {exact.pruned} pruned, {search_s:.3f}s]"
+    )
+    print(f"optimality gap: {exact.gap:.2%}")
+    if not exact.improved:
+        print("greedy plan is optimal for this cell")
+    else:
+        for stage in exact.stages:
+            devices = ",".join(d.name for d in stage.devices)
+            print(
+                f"  units [{stage.start}, {stage.end}) on {devices}: "
+                f"{stage.cost:.6f}s"
+            )
+    return 0
+
+
 def _cmd_timeline(args: argparse.Namespace) -> int:
     model = get_model(args.model)
     cluster = _cluster_from_args(args)
@@ -886,6 +969,8 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
         return _cmd_serve(args)
     if args.command == "fleet":
         return _cmd_fleet(args)
+    if args.command == "gap":
+        return _cmd_gap(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "report":

@@ -38,12 +38,20 @@ class StagePlan:
     blocks): entry ``i`` lists the block paths device ``i`` executes
     over the full spatial map, and each assignment's region is the full
     output map.  Branch stages must cover exactly one (block) unit.
+
+    ``channel_groups`` switches the stage to *channel-parallel* mode
+    (Interleaved Operator Partitioning, arXiv:2409.07693): entry ``i``
+    is the half-open output-channel interval ``[lo, hi)`` device ``i``
+    produces over the full spatial map.  Like branch stages, channel
+    stages cover exactly one unit and each assignment's region is the
+    full output map; an empty interval (``lo == hi``) idles the device.
     """
 
     start: int
     end: int
     assignments: Tuple[Assignment, ...]
     path_groups: Optional[Tuple[Tuple[int, ...], ...]] = None
+    channel_groups: Optional[Tuple[Tuple[int, int], ...]] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "assignments", tuple(self.assignments))
@@ -51,6 +59,34 @@ class StagePlan:
             raise ValueError(f"empty stage segment [{self.start}, {self.end})")
         if not self.assignments:
             raise ValueError("stage needs at least one device")
+        if self.path_groups is not None and self.channel_groups is not None:
+            raise ValueError(
+                "a stage is branch-parallel or channel-parallel, not both"
+            )
+        if self.channel_groups is not None:
+            object.__setattr__(
+                self,
+                "channel_groups",
+                tuple((int(lo), int(hi)) for lo, hi in self.channel_groups),
+            )
+            if self.end != self.start + 1:
+                raise ValueError("channel-parallel stages cover exactly one unit")
+            if len(self.channel_groups) != len(self.assignments):
+                raise ValueError(
+                    "channel_groups must align one-to-one with assignments"
+                )
+            spans = []
+            for lo, hi in self.channel_groups:
+                if lo < 0 or hi < lo:
+                    raise ValueError(f"bad channel interval [{lo}, {hi})")
+                if hi > lo:
+                    spans.append((lo, hi))
+            spans.sort()
+            for (_, prev_hi), (lo, _) in zip(spans, spans[1:]):
+                if lo < prev_hi:
+                    raise ValueError(
+                        "channel intervals must be pairwise disjoint"
+                    )
         if self.path_groups is not None:
             object.__setattr__(
                 self, "path_groups", tuple(tuple(g) for g in self.path_groups)
@@ -130,6 +166,12 @@ class PipelinePlan:
                     ",".join(str(p) for p in g) or "-" for g in stage.path_groups
                 )
                 kind = f" [branch-parallel: paths {groups}]"
+            elif stage.channel_groups is not None:
+                groups = "/".join(
+                    f"{lo}:{hi}" if hi > lo else "-"
+                    for lo, hi in stage.channel_groups
+                )
+                kind = f" [channel-parallel: channels {groups}]"
             lines.append(
                 f"  stage {i}: units [{stage.start}, {stage.end}) on "
                 f"{len(stage.assignments)} device(s): {names}{kind}"
@@ -177,6 +219,25 @@ def plan_cost(
                         (device, group)
                         for (device, _), group in zip(
                             stage.assignments, stage.path_groups
+                        )
+                    ),
+                    network,
+                    options,
+                    with_head=with_head,
+                )
+            )
+            continue
+        if stage.channel_groups is not None:
+            from repro.cost.stage_cost import channel_stage_time
+
+            costs.append(
+                channel_stage_time(
+                    model,
+                    stage.start,
+                    tuple(
+                        (device, interval)
+                        for (device, _), interval in zip(
+                            stage.assignments, stage.channel_groups
                         )
                     ),
                     network,

@@ -60,6 +60,11 @@ def plan_to_dict(plan: PipelinePlan) -> "Dict[str, Any]":
                     }
                     for device, region in stage.assignments
                 ],
+                **(
+                    {"channel_groups": [list(g) for g in stage.channel_groups]}
+                    if stage.channel_groups is not None
+                    else {}
+                ),
             }
             for stage in plan.stages
         ],
@@ -81,6 +86,11 @@ def plan_from_dict(data: "Dict[str, Any]") -> PipelinePlan:
                     _region_from_dict(a["out_region"]),
                 )
                 for a in stage["assignments"]
+            ),
+            channel_groups=(
+                tuple(tuple(g) for g in stage["channel_groups"])
+                if stage.get("channel_groups") is not None
+                else None
             ),
         )
         for stage in data["stages"]

@@ -30,6 +30,7 @@ from repro.partition.regions import Region
 from repro.partition.strips import equal_partition, strip_regions
 
 __all__ = ["DeviceCost", "StageCost", "stage_time", "branch_stage_time",
+           "channel_stage_time", "channel_slice_flops",
            "homogeneous_stage_time", "single_device_time"]
 
 Assignment = Tuple[Device, Region]
@@ -179,6 +180,115 @@ def branch_stage_time(
                 device,
                 Region.full(oh, ow),
                 in_region,
+                flops,
+                flops,  # disjoint channels: nothing is redundant
+                device.compute_time(flops),
+                network.transfer_time(nbytes),
+            )
+        )
+    t_head = 0.0
+    if with_head and options.include_head and model.head:
+        fastest = max((dc.device for dc in device_costs), key=lambda d: d.capacity)
+        t_head = fastest.compute_time(head_flops(model))
+    return StageCost(
+        unit_index,
+        unit_index + 1,
+        tuple(device_costs),
+        t_comp=max(dc.t_comp for dc in device_costs),
+        t_comm=sum(dc.t_comm for dc in device_costs),
+        t_head=t_head,
+    )
+
+
+def channel_slice_flops(
+    model: Model,
+    unit_index: int,
+    lo: int,
+    hi: int,
+    options: CostOptions = DEFAULT_OPTIONS,
+) -> float:
+    """FLOPs for producing output channels ``[lo, hi)`` of one layer
+    unit over its full spatial map.
+
+    Eq. 2 is linear in ``c_out``, so a channel slice's cost is exactly
+    the channel share of the full-map cost — computed in integer
+    arithmetic so the vectorized table can reproduce it bit-for-bit.
+    """
+    from repro.models.graph import LayerUnit
+    from repro.models.layers import ConvSpec, PoolSpec
+
+    unit = model.units[unit_index]
+    if not isinstance(unit, LayerUnit):
+        raise ValueError(
+            f"channel-parallel stages need a layer unit, got {unit.name!r}"
+        )
+    if hi <= lo:
+        return 0.0
+    _, oh, ow = model.out_shape(unit_index)
+    layer = unit.layer
+    kh, kw = layer.kernel_size
+    if isinstance(layer, ConvSpec):
+        in_per_group = layer.in_channels // layer.groups
+        return float(kh * kw * in_per_group * (hi - lo) * oh * ow)
+    assert isinstance(layer, PoolSpec)
+    if not options.include_pool:
+        return 0.0
+    return float(kh * kw * (hi - lo) * oh * ow)
+
+
+def channel_stage_time(
+    model: Model,
+    unit_index: int,
+    assignments: "Sequence[Tuple[Device, Tuple[int, int]]]",
+    network: NetworkModel,
+    options: CostOptions = DEFAULT_OPTIONS,
+    with_head: bool = False,
+) -> StageCost:
+    """Cost of a *channel-parallel* (IOP) stage over one layer unit.
+
+    Each device receives the unit's **full** input map (the interleave
+    exchange ships every input channel because a conv output channel
+    reads all of them) and returns only its own output-channel slice
+    (the de-interleave gather).  Output channels are disjoint, so owned
+    FLOPs equal actual FLOPs — channel partitioning pays zero halo
+    redundancy; its price is the full-input broadcast per stage.
+    """
+    if not assignments:
+        raise ValueError("stage needs at least one device assignment")
+    c_out, oh, ow = model.out_shape(unit_index)
+    covered = sorted(
+        (lo, hi) for _, (lo, hi) in assignments if hi > lo
+    )
+    cursor = 0
+    for lo, hi in covered:
+        if lo != cursor:
+            raise ValueError(
+                f"channel intervals {covered} must tile [0, {c_out}) exactly"
+            )
+        cursor = hi
+    if cursor != c_out:
+        raise ValueError(
+            f"channel intervals {covered} must tile [0, {c_out}) exactly"
+        )
+    c_in, h_in, w_in = model.in_shape(unit_index)
+    full_in = Region.full(h_in, w_in)
+    device_costs = []
+    for device, (lo, hi) in assignments:
+        if hi <= lo:
+            empty = Region.from_bounds(0, 0, 0, 0)
+            device_costs.append(
+                DeviceCost(device, empty, empty, 0.0, 0.0, 0.0, 0.0)
+            )
+            continue
+        flops = channel_slice_flops(model, unit_index, lo, hi, options)
+        nbytes = region_bytes(c_in, full_in, options.bytes_per_value) + (
+            (hi - lo) * oh * ow * options.bytes_per_value
+        )
+        device_costs.append(
+            DeviceCost(
+                device,
+                Region.full(oh, ow),
+                full_in,
                 flops,
                 flops,  # disjoint channels: nothing is redundant
                 device.compute_time(flops),

@@ -194,6 +194,7 @@ class SegmentTable:
         self._ends: "List[Optional[_EndTable]]" = [None] * (model.n_units + 1)
         for end in range(1, model.n_units + 1):
             self._ends[end] = self._build_end(end)
+        self._channel_coefs: "Dict[int, int]" = {}
 
     # ------------------------------------------------------------------
     # table construction
@@ -349,6 +350,86 @@ class SegmentTable:
             if t > t_comp:
                 t_comp = t
             t_comm += network.transfer_time(self.strip_bytes(start, end, rows))
+        t_head = 0.0
+        if with_head and self.options.include_head and self.model.head:
+            fastest = max((d for d, _ in assignments), key=lambda d: d.capacity)
+            t_head = fastest.compute_time(self._head_flops)
+        return t_comp + t_comm + t_head
+
+    # ------------------------------------------------------------------
+    # channel-parallel (IOP) stages
+
+    def _channel_coef(self, unit_index: int) -> int:
+        """Integer FLOPs per *output channel* of the layer unit — the
+        full-map Eq. 2 cost divided by ``c_out``, exact because Eq. 2 is
+        linear in the output channel count."""
+        coef = self._channel_coefs.get(unit_index)
+        if coef is None:
+            unit = self.model.units[unit_index]
+            if not isinstance(unit, LayerUnit):
+                raise ValueError(
+                    f"channel-parallel stages need a layer unit, got {unit.name!r}"
+                )
+            _, oh, ow = self.model.out_shape(unit_index)
+            layer = unit.layer
+            kh, kw = layer.kernel_size
+            if isinstance(layer, ConvSpec):
+                coef = kh * kw * (layer.in_channels // layer.groups) * oh * ow
+            else:
+                assert isinstance(layer, PoolSpec)
+                coef = kh * kw * oh * ow if self.options.include_pool else 0
+            self._channel_coefs[unit_index] = coef
+        return coef
+
+    def channel_flops(self, unit_index: int, lo: int, hi: int) -> int:
+        """Exact integer FLOPs of output-channel slice ``[lo, hi)`` of
+        one layer unit over its full spatial map (zero halo redundancy),
+        matching ``channel_slice_flops`` bit-for-bit."""
+        if hi <= lo:
+            return 0
+        return self._channel_coef(unit_index) * (hi - lo)
+
+    def channel_stage_total(
+        self,
+        unit_index: int,
+        assignments: "Sequence[Tuple[Device, Tuple[int, int]]]",
+        network: NetworkModel,
+        with_head: bool = False,
+    ) -> float:
+        """Eq. (9) stage cost of a channel-parallel (IOP) stage,
+        bit-identical to ``channel_stage_time(...).total``: full input
+        map broadcast per active device, disjoint output-channel slices
+        back, compute max / communication sum over the assignments."""
+        if not assignments:
+            raise ValueError("stage needs at least one device assignment")
+        c_out, oh, ow = self.model.out_shape(unit_index)
+        covered = sorted((lo, hi) for _, (lo, hi) in assignments if hi > lo)
+        cursor = 0
+        for lo, hi in covered:
+            if lo != cursor:
+                raise ValueError(
+                    f"channel intervals {covered} must tile [0, {c_out}) exactly"
+                )
+            cursor = hi
+        if cursor != c_out:
+            raise ValueError(
+                f"channel intervals {covered} must tile [0, {c_out}) exactly"
+            )
+        bpv = self.options.bytes_per_value
+        c_in, h_in, w_in = self.model.in_shape(unit_index)
+        in_bytes = c_in * h_in * w_in * bpv
+        t_comp = 0.0
+        t_comm = 0.0
+        for device, (lo, hi) in assignments:
+            if hi <= lo:
+                continue
+            flops = float(self.channel_flops(unit_index, lo, hi))
+            t = device.compute_time(flops)
+            if t > t_comp:
+                t_comp = t
+            t_comm += network.transfer_time(
+                in_bytes + (hi - lo) * oh * ow * bpv
+            )
         t_head = 0.0
         if with_head and self.options.include_head and self.model.head:
             fastest = max((d for d, _ in assignments), key=lambda d: d.capacity)

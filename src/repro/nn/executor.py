@@ -128,6 +128,7 @@ class Engine:
             raise ValueError(f"unknown batch_gemm mode {batch_gemm!r}")
         self.batch_gemm = batch_gemm
         self._packed: "Dict[str, _PackedConv]" = {}
+        self._packed_slices: "Dict[Tuple[str, int, int], _PackedConv]" = {}
         self._scratch = _ThreadScratch()
         self._is_chain = all(
             isinstance(unit, LayerUnit) for unit in model.units
@@ -163,38 +164,83 @@ class Engine:
         self._packed[layer.name] = packed
         return packed
 
+    def _packed_conv_slice(self, layer: ConvSpec, lo: int, hi: int) -> _PackedConv:
+        """Rows ``[lo, hi)`` of the packed conv matrix (IOP channel
+        slices).  The slice is a view of the full packed matrix, so the
+        per-layer weight memory is shared with full-map execution."""
+        key = (layer.name, lo, hi)
+        cached = self._packed_slices.get(key)
+        if cached is not None:
+            return cached
+        full = self._packed_conv(layer)
+        sliced = _PackedConv(
+            full.packed[lo:hi],
+            full.bias[lo:hi] if full.bias is not None else None,
+            full.folded,
+        )
+        self._packed_slices[key] = sliced
+        return sliced
+
     def refresh_weights(self) -> None:
         """Drop cached packed weights (call after mutating ``weights``)."""
         self._packed.clear()
+        self._packed_slices.clear()
 
     # ------------------------------------------------------------------
     # Layer-level dispatch (shared with tiled execution).
     # ------------------------------------------------------------------
-    def run_layer(self, layer: SpatialLayer, x: np.ndarray, pads: _Pad4) -> np.ndarray:
+    def run_layer(
+        self,
+        layer: SpatialLayer,
+        x: np.ndarray,
+        pads: _Pad4,
+        channels: "Optional[Tuple[int, int]]" = None,
+    ) -> np.ndarray:
         """Execute one spatial layer with *explicit* padding.
 
         ``x`` may be a single ``(C, H, W)`` map or a ``(C, B, H, W)``
         cross-frame batch — every kernel underneath indexes the trailing
         spatial axes, so both ranks share one dispatch.
+
+        ``channels`` restricts the layer to the output-channel slice
+        ``[lo, hi)`` (IOP channel-parallel stages): a conv runs the GEMM
+        against only its slice's packed weight rows, a pool sees only
+        its slice's input channels.  ``x`` always carries the layer's
+        full input channels.
         """
         if isinstance(layer, ConvSpec):
+            if channels is not None and layer.groups != 1:
+                raise ValueError(
+                    f"{layer.name}: channel-sliced conv needs groups == 1"
+                )
             if self.fast:
-                return self._run_conv_fast(layer, x, pads)
+                return self._run_conv_fast(layer, x, pads, channels)
             params = self.weights[layer.name]
+            weight = params["weight"]
+            bias = params.get("bias")
+            if channels is not None:
+                lo, hi = channels
+                weight = weight[lo:hi]
+                bias = bias[lo:hi] if bias is not None else None
             out = ops.conv2d_reference(
-                x, params["weight"], params.get("bias"), layer.stride, pads,
+                x, weight, bias, layer.stride, pads,
                 groups=layer.groups,
             )
             if layer.batch_norm:
-                out = ops.batch_norm(
-                    out,
-                    params["gamma"],
-                    params["beta"],
-                    params["mean"],
-                    params["var"],
-                )
+                gamma, beta = params["gamma"], params["beta"]
+                mean, var = params["mean"], params["var"]
+                if channels is not None:
+                    lo, hi = channels
+                    gamma, beta = gamma[lo:hi], beta[lo:hi]
+                    mean, var = mean[lo:hi], var[lo:hi]
+                out = ops.batch_norm(out, gamma, beta, mean, var)
             return ops.apply_activation(out, layer.activation)
         assert isinstance(layer, PoolSpec)
+        if channels is not None:
+            # Pool channel c reads input channel c alone, so the slice
+            # is a plain first-axis view of the (batched) input map.
+            lo, hi = channels
+            x = x[lo:hi]
         if layer.kind_ == "max":
             if self.fast:
                 return ops.maxpool2d(
@@ -214,9 +260,16 @@ class Engine:
         return arena
 
     def _run_conv_fast(
-        self, layer: ConvSpec, x: np.ndarray, pads: _Pad4
+        self,
+        layer: ConvSpec,
+        x: np.ndarray,
+        pads: _Pad4,
+        channels: "Optional[Tuple[int, int]]" = None,
     ) -> np.ndarray:
-        packed = self._packed_conv(layer)
+        if channels is None:
+            packed = self._packed_conv(layer)
+        else:
+            packed = self._packed_conv_slice(layer, channels[0], channels[1])
         fused_activation = layer.activation
         if layer.batch_norm and not packed.folded:
             fused_activation = "linear"
@@ -235,9 +288,13 @@ class Engine:
         )
         if layer.batch_norm and not packed.folded:
             params = self.weights[layer.name]
-            out = ops.batch_norm(
-                out, params["gamma"], params["beta"], params["mean"], params["var"]
-            )
+            gamma, beta = params["gamma"], params["beta"]
+            mean, var = params["mean"], params["var"]
+            if channels is not None:
+                lo, hi = channels
+                gamma, beta = gamma[lo:hi], beta[lo:hi]
+                mean, var = mean[lo:hi], var[lo:hi]
+            out = ops.batch_norm(out, gamma, beta, mean, var)
             return ops.apply_activation_(out, layer.activation)
         return out
 

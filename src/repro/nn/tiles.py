@@ -40,6 +40,8 @@ __all__ = [
     "compile_segment_cached",
     "compile_block_paths",
     "compile_block_paths_cached",
+    "compile_channel_slice",
+    "compile_channel_slice_cached",
     "program_cache_info",
     "clear_program_cache",
     "extract_tile",
@@ -60,11 +62,17 @@ def _pads_of(padded: PaddedRegion) -> _Pad4:
 
 @dataclass(frozen=True)
 class LayerStep:
-    """Execute one layer on the current tile with fixed virtual pads."""
+    """Execute one layer on the current tile with fixed virtual pads.
+
+    ``channels`` restricts the step to the output-channel slice
+    ``[lo, hi)`` (channel-parallel / IOP stages); ``None`` produces
+    every output channel.
+    """
 
     layer: SpatialLayer
     pads: _Pad4
     out_region: Region
+    channels: Optional[Tuple[int, int]] = None
 
 
 @dataclass(frozen=True)
@@ -256,6 +264,48 @@ def compile_block_paths(
     )
 
 
+def compile_channel_slice(
+    model: Model, unit_index: int, lo: int, hi: int
+) -> SegmentProgram:
+    """Compile a *channel-parallel* (IOP) program: produce output
+    channels ``[lo, hi)`` of one layer unit over its full spatial map.
+
+    The program consumes the unit's full input map (the interleave
+    exchange broadcasts every input channel) and emits a
+    ``(hi - lo, H, W)`` tile — the coordinator's channel-block stitch
+    de-interleaves the slices back into the global channel layout.
+    """
+    unit = model.units[unit_index]
+    if not isinstance(unit, LayerUnit):
+        raise ValueError(
+            f"channel-parallel programs need a layer unit, got {unit.name!r}"
+        )
+    c_out, oh, ow = model.out_shape(unit_index)
+    if not 0 <= lo < hi <= c_out:
+        raise ValueError(
+            f"bad channel slice [{lo}, {hi}) for {c_out} output channels"
+        )
+    _, h, w = model.in_shape(unit_index)
+    out_region = Region.full(oh, ow)
+    padded = receptive_region(
+        out_region,
+        unit.layer.kernel_size,
+        unit.layer.stride,
+        unit.layer.padding,
+        (h, w),
+    )
+    step = LayerStep(unit.layer, _pads_of(padded), out_region, channels=(lo, hi))
+    unit_program = UnitProgram(unit.name, padded.region, out_region, steps=(step,))
+    return SegmentProgram(
+        model.name,
+        unit_index,
+        unit_index + 1,
+        padded.region,
+        out_region,
+        (unit_program,),
+    )
+
+
 @lru_cache(maxsize=512)
 def _compile_segment_cached(
     model: Model, start: int, end: int, out_region: Region
@@ -291,11 +341,26 @@ def compile_block_paths_cached(
     return _compile_block_paths_cached(model, unit_index, tuple(path_indices))
 
 
+@lru_cache(maxsize=512)
+def _compile_channel_slice_cached(
+    model: Model, unit_index: int, lo: int, hi: int
+) -> SegmentProgram:
+    return compile_channel_slice(model, unit_index, lo, hi)
+
+
+def compile_channel_slice_cached(
+    model: Model, unit_index: int, lo: int, hi: int
+) -> SegmentProgram:
+    """Memoised :func:`compile_channel_slice` (channel-parallel programs)."""
+    return _compile_channel_slice_cached(model, unit_index, lo, hi)
+
+
 def program_cache_info() -> "Dict[str, object]":
-    """Hit/miss statistics for both program caches."""
+    """Hit/miss statistics for the program caches."""
     return {
         "segment": _compile_segment_cached.cache_info(),
         "block_paths": _compile_block_paths_cached.cache_info(),
+        "channel_slice": _compile_channel_slice_cached.cache_info(),
     }
 
 
@@ -303,6 +368,7 @@ def clear_program_cache() -> None:
     """Drop all memoised programs (frees the model references too)."""
     _compile_segment_cached.cache_clear()
     _compile_block_paths_cached.cache_clear()
+    _compile_channel_slice_cached.cache_clear()
 
 
 def extract_tile(feature_map: np.ndarray, region: Region) -> np.ndarray:
@@ -379,6 +445,27 @@ def run_segment(engine: Engine, program: SegmentProgram, tile: np.ndarray) -> np
 
     for unit_prog in program.units:
         if unit_prog.merge is None:
+            if any(s.channels is not None for s in unit_prog.steps):
+                # Channel-sliced steps bypass the chain batcher: the
+                # engine must see the slice bounds to pick the packed
+                # weight rows, and a slice's output channel count no
+                # longer matches the model layout downstream layers
+                # expect — IOP programs are single-unit by construction.
+                current = flush(current)
+                for s in unit_prog.steps:
+                    current = engine.run_layer(
+                        s.layer, current, s.pads, channels=s.channels
+                    )
+                if current.shape[-2:] != (
+                    unit_prog.out_region.height,
+                    unit_prog.out_region.width,
+                ):
+                    raise AssertionError(
+                        f"{unit_prog.unit_name}: produced "
+                        f"{current.shape[-2:]}, expected "
+                        f"{(unit_prog.out_region.height, unit_prog.out_region.width)}"
+                    )
+                continue
             pending.extend((s.layer, s.pads) for s in unit_prog.steps)
             pending_region = unit_prog.out_region
             continue

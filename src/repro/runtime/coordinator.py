@@ -491,6 +491,32 @@ class TcpTransport(Transport):
             with self.stats_lock:
                 self.stats.recoveries += 1
             return
+        if stage.channel:
+            from repro.nn.tiles import compile_channel_slice_cached
+
+            c_out = stage.out_shape[0]
+            slices = weighted_partition(
+                c_out, [hd.task.capacity for hd in survivors]
+            )
+            for handle, iv in zip(survivors, slices):
+                if iv.end <= iv.start:
+                    handle.alive = False  # nothing left for it to do
+                    handle.retired = True
+                    continue
+                program = compile_channel_slice_cached(
+                    self.model, stage.start, iv.start, iv.end
+                )
+                handle.task = TaskSpec(
+                    handle.task.device_name,
+                    handle.task.capacity,
+                    program,
+                    None,
+                    ((0, iv.end - iv.start, iv.start, iv.end),),
+                )
+                handle.channel.send(Reconfigure(program))
+            with self.stats_lock:
+                self.stats.recoveries += 1
+            return
         _, h, w = stage.out_shape
         rows = weighted_partition(h, [hd.task.capacity for hd in survivors])
         for handle, iv in zip(survivors, rows):

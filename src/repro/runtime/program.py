@@ -23,6 +23,7 @@ from repro.models.graph import Model
 from repro.nn.tiles import (
     SegmentProgram,
     compile_block_paths_cached,
+    compile_channel_slice_cached,
     compile_segment_cached,
     extract_tile,
 )
@@ -77,6 +78,15 @@ class StageProgram:
         return any(task.paths is not None for task in self.tasks)
 
     @property
+    def channel(self) -> bool:
+        """Channel-parallel (IOP) stage: tasks carry channel blocks but
+        no block paths."""
+        return any(
+            task.paths is None and task.channel_blocks is not None
+            for task in self.tasks
+        )
+
+    @property
     def n_tasks(self) -> int:
         return len(self.tasks)
 
@@ -103,7 +113,9 @@ class PlanProgram:
         ]
         for stage in self.stages:
             names = ", ".join(t.device_name for t in stage.tasks)
-            kind = " [branch]" if stage.branch else ""
+            kind = " [branch]" if stage.branch else (
+                " [channel]" if stage.channel else ""
+            )
             lines.append(
                 f"  stage {stage.index}: units [{stage.start}, {stage.end}) "
                 f"-> {stage.out_shape}, {stage.n_tasks} task(s): {names}{kind}"
@@ -124,6 +136,35 @@ def compile_stage(model: Model, stage: StagePlan, index: int) -> StageProgram:
             blocks = tuple(concat_channel_blocks(model, stage.start, group))
             tasks.append(
                 TaskSpec(device.name, device.capacity, program, None, blocks, group)
+            )
+    elif stage.channel_groups is not None:
+        c_out = out_shape[0]
+        covered = sorted(
+            (lo, hi) for lo, hi in stage.channel_groups if hi > lo
+        )
+        cursor = 0
+        for lo, hi in covered:
+            if lo != cursor:
+                raise ValueError(
+                    f"channel groups {covered} must tile [0, {c_out}) exactly"
+                )
+            cursor = hi
+        if cursor != c_out:
+            raise ValueError(
+                f"channel groups {covered} must tile [0, {c_out}) exactly"
+            )
+        for (device, _), (lo, hi) in zip(stage.assignments, stage.channel_groups):
+            if hi <= lo:
+                continue  # idle device in a channel stage
+            program = compile_channel_slice_cached(model, stage.start, lo, hi)
+            tasks.append(
+                TaskSpec(
+                    device.name,
+                    device.capacity,
+                    program,
+                    None,
+                    ((0, hi - lo, lo, hi),),
+                )
             )
     else:
         for device, region in stage.assignments:
@@ -178,11 +219,12 @@ def repartition_stage(
     extra tiles.
 
     ``"rebalance"`` re-splits the stage capacity-weighted over the
-    survivors through :func:`compile_stage` (strip rows via
-    :func:`~repro.partition.strips.weighted_partition`, block paths via
-    LPT).  Better load balance, but the new tile shapes change GEMM
-    reduction order, so outputs are only float-close — it is the TCP
-    backend's policy, whose workers each hold a single tile program.
+    survivors through :func:`compile_stage` (strip rows and IOP channel
+    slices via :func:`~repro.partition.strips.weighted_partition`,
+    block paths via LPT).  Better load balance, but the new tile shapes
+    change GEMM reduction order, so outputs are only float-close — it
+    is the TCP backend's policy, whose workers each hold a single tile
+    program.
 
     Raises :class:`~repro.runtime.faults.StageFailure` when no device
     survives.
@@ -242,6 +284,17 @@ def repartition_stage(
             stage.end,
             tuple((d, Region.full(h, w)) for d in devices),
             path_groups=tuple(tuple(sorted(g)) for g in groups),
+        )
+    elif stage.channel:
+        from repro.partition.strips import weighted_partition
+
+        c_out, h, w = stage.out_shape
+        slices = weighted_partition(c_out, [d.capacity for d in devices])
+        plan_stage = StagePlan(
+            stage.start,
+            stage.end,
+            tuple((d, Region.full(h, w)) for d in devices),
+            channel_groups=tuple((iv.start, iv.end) for iv in slices),
         )
     else:
         from repro.partition.strips import weighted_partition

@@ -2,6 +2,7 @@
 
 from repro.schemes.base import PlanningError, Scheme, weighted_assignments
 from repro.schemes.early_fused import EarlyFusedScheme, default_fuse_count
+from repro.schemes.interleaved import InterleavedScheme
 from repro.schemes.layer_wise import LayerWiseScheme
 from repro.schemes.local import LocalPlanExecutor, local_fallback_plan
 from repro.schemes.optimal_fused import OptimalFusedScheme
@@ -9,6 +10,7 @@ from repro.schemes.pico import PicoScheme
 
 __all__ = [
     "EarlyFusedScheme",
+    "InterleavedScheme",
     "LayerWiseScheme",
     "LocalPlanExecutor",
     "OptimalFusedScheme",
@@ -22,12 +24,14 @@ __all__ = [
     "weighted_assignments",
 ]
 
-#: The paper's comparison set, in its Table I order.
+#: The paper's comparison set, in its Table I order, plus the
+#: successor-literature IOP scheme (arXiv:2409.07693).
 ALL_SCHEMES = (
     LayerWiseScheme,
     EarlyFusedScheme,
     OptimalFusedScheme,
     PicoScheme,
+    InterleavedScheme,
 )
 
 #: The blessed short names (the paper's Table I abbreviations).
@@ -36,6 +40,7 @@ _REGISTRY = {
     "lw": LayerWiseScheme,
     "efl": EarlyFusedScheme,
     "ofl": OptimalFusedScheme,
+    "iop": InterleavedScheme,
 }
 
 
@@ -49,9 +54,10 @@ def get_scheme(name: str, **kwargs) -> Scheme:
 
     The registry behind the unified API (:func:`repro.simulate` and the
     CLI): ``"pico"`` (pipelined cooperation), ``"lw"`` (layer-wise /
-    MoDNN), ``"efl"`` (early-fused / DeepThings) and ``"ofl"``
-    (optimal-fused / AOFL).  ``kwargs`` pass straight to the scheme's
-    constructor (e.g. ``get_scheme("efl", n_fused=4)``).
+    MoDNN), ``"efl"`` (early-fused / DeepThings), ``"ofl"``
+    (optimal-fused / AOFL) and ``"iop"`` (interleaved operator
+    partitioning, channel splits).  ``kwargs`` pass straight to the
+    scheme's constructor (e.g. ``get_scheme("efl", n_fused=4)``).
     """
     cls = _REGISTRY.get(name.strip().lower())
     if cls is None:

@@ -1,0 +1,110 @@
+"""Interleaved Operator Partitioning (IOP, arXiv:2409.07693).
+
+Every spatial scheme in the registry splits feature maps by *rows* and
+pays the kernel-halo redundancy between consecutive convs (Eq. 4).  IOP
+partitions each conv along its **output channels** instead: device
+``k`` computes channel slice ``[lo_k, hi_k)`` of the full map, so the
+per-device GEMMs cover disjoint rows of the packed weight matrix and no
+FLOP is computed twice.  The price is the exchange step between
+consecutive units — every device needs the unit's *full* input map
+(each output channel reads all input channels), so the coordinator's
+scatter broadcasts the map and its gather de-interleaves the channel
+slices back into the global layout.
+
+Like layer-wise, the plan is *exclusive* (one interleave/de-interleave
+exchange per unit); each stage is channel-parallel via
+``StagePlan.channel_groups`` and compiles to channel-slice programs
+that run on every transport.  Units that cannot split by channel —
+block units (their internal layers have mismatched channel counts) and
+grouped convs (a slice would cross group boundaries) — fall back to
+the capacity-weighted spatial partition for that one stage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.cluster.device import Cluster
+from repro.core.plan import PipelinePlan, StagePlan
+from repro.cost.comm import NetworkModel
+from repro.cost.flops import CostOptions, DEFAULT_OPTIONS
+from repro.models.graph import LayerUnit, Model
+from repro.models.layers import ConvSpec
+from repro.partition.regions import Region
+from repro.partition.strips import weighted_partition
+from repro.schemes.base import Scheme, weighted_assignments
+
+__all__ = ["InterleavedScheme", "channel_partition"]
+
+
+def channel_partition(
+    c_out: int, capacities: "Tuple[float, ...]"
+) -> "Tuple[Tuple[int, int], ...]":
+    """Capacity-weighted split of ``[0, c_out)`` into per-device
+    half-open channel intervals (Eq. 2 is linear in ``c_out``, so the
+    FLOP-proportional split is the channel-count-proportional one).
+
+    The intervals tile ``[0, c_out)`` exactly and are pairwise disjoint
+    for arbitrary device counts and weights; surplus devices receive
+    empty intervals.  The property tests assert this algebra.
+    """
+    return tuple(
+        (iv.start, iv.end)
+        for iv in weighted_partition(c_out, list(capacities))
+    )
+
+
+class InterleavedScheme(Scheme):
+    """Channel-split stages with interleave/de-interleave exchanges."""
+
+    name = "IOP"
+
+    @staticmethod
+    def _channel_groups(
+        model: Model, unit_index: int, cluster: Cluster
+    ) -> "Optional[Tuple[Tuple[int, int], ...]]":
+        """The unit's channel partition, or ``None`` when the unit must
+        fall back to a spatial stage."""
+        unit = model.units[unit_index]
+        if not isinstance(unit, LayerUnit):
+            return None
+        layer = unit.layer
+        if isinstance(layer, ConvSpec) and layer.groups != 1:
+            return None
+        c_out = model.out_shape(unit_index)[0]
+        return channel_partition(
+            c_out, tuple(d.capacity for d in cluster.devices)
+        )
+
+    def plan(
+        self,
+        model: Model,
+        cluster: Cluster,
+        network: NetworkModel,
+        options: CostOptions = DEFAULT_OPTIONS,
+    ) -> PipelinePlan:
+        stages = []
+        for idx in range(model.n_units):
+            groups = self._channel_groups(model, idx, cluster)
+            if groups is None:
+                stages.append(
+                    StagePlan(
+                        idx,
+                        idx + 1,
+                        weighted_assignments(
+                            model, idx + 1, cluster.devices, allow_idle=True
+                        ),
+                    )
+                )
+                continue
+            _, oh, ow = model.out_shape(idx)
+            full = Region.full(oh, ow)
+            stages.append(
+                StagePlan(
+                    idx,
+                    idx + 1,
+                    tuple((device, full) for device in cluster.devices),
+                    channel_groups=groups,
+                )
+            )
+        return PipelinePlan(model.name, tuple(stages), mode="exclusive")

@@ -4,8 +4,15 @@ must produce a complete, JSON-serialisable report."""
 from __future__ import annotations
 
 import json
+import pathlib
+
+import pytest
 
 from repro.bench.engine import DEFAULT_MODELS, run_suite
+from repro.bench.exact import check_report
+from repro.bench.exact import run_suite as run_exact_suite
+
+BENCH_EXACT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_exact.json"
 
 
 def test_run_suite_smoke():
@@ -41,3 +48,32 @@ def test_run_suite_smoke():
 def test_default_models_are_paper_models():
     names = [name for name, _ in DEFAULT_MODELS]
     assert names == ["vgg16", "resnet34", "inception_v3"]
+
+
+def test_exact_gap_quick_suite_smoke():
+    """The optimality-gap harness on its CI subset: a tiny model on 2-3
+    devices, homogeneous gap exactly zero, JSON-serialisable report."""
+    report = run_exact_suite(quick=True)
+    assert report["benchmark"] == "exact_planner_gap"
+    assert report["quick"] is True
+    cases = {r["case"]: r for r in report["results"]}
+    assert set(cases) == {"toy/hom2", "toy/het3"}
+    hom = cases["toy/hom2"]
+    assert hom["homogeneous"] and hom["gap_pct"] == 0.0
+    het = cases["toy/het3"]
+    assert het["exact_period_s"] <= het["greedy_period_s"]
+    assert het["gap_pct"] >= 0.0
+    assert json.loads(json.dumps(report)) == report
+
+
+def test_exact_gap_committed_report_reproduces_quick():
+    """The quick subset of the committed BENCH_exact.json must
+    reproduce exactly (analytic, deterministic numbers)."""
+    assert check_report(str(BENCH_EXACT), quick=True) == []
+
+
+@pytest.mark.slow
+def test_exact_gap_committed_report_reproduces_full_zoo():
+    """Full-zoo gap sweep: every committed cell — all four models x all
+    four mixes — reproduces bit-for-bit."""
+    assert check_report(str(BENCH_EXACT)) == []

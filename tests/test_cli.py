@@ -193,3 +193,114 @@ class TestServe:
         )
         assert code == 0
         assert "frames/batch" not in out
+
+
+class TestSchemeIop:
+    def test_plan_iop_saves_channel_groups(self, capsys, tmp_path):
+        path = tmp_path / "iop.json"
+        code, out = run_cli(
+            capsys, "plan", "fig13_toy", "--freqs", "1200,1000,800,600",
+            "--scheme", "iop", "--save", str(path),
+        )
+        assert code == 0
+        assert "exclusive" in out
+        assert "channel-parallel" in out
+        plan = load_plan(str(path))
+        assert any(s.channel_groups is not None for s in plan.stages)
+        for stage in plan.stages:
+            if stage.channel_groups is None:
+                continue
+            cursor = 0
+            for lo, hi in stage.channel_groups:
+                assert lo == cursor
+                cursor = hi
+
+    def test_sim_iop(self, capsys):
+        code, out = run_cli(
+            capsys, "sim", "fig13_toy", "--freqs", "1200,800,600",
+            "--scheme", "iop", "--horizon", "10",
+        )
+        assert code == 0
+        assert "served:" in out
+        assert "IOP" in out
+
+    def test_serve_iop(self, capsys):
+        code, out = run_cli(
+            capsys, "serve", "fig13_toy", "--freqs", "1200,800,600",
+            "--scheme", "iop", "--load", "0.5", "--frames", "6",
+            "--no-compute",
+        )
+        assert code == 0
+        assert "served:" in out
+
+    def test_fleet_iop(self, capsys):
+        code, out = run_cli(
+            capsys, "fleet", "--freqs", "1200,1000,800,600",
+            "--tenant", "cam:fig13_toy:0.5:10.0",
+            "--scheme", "iop", "--frames", "3",
+        )
+        assert code == 0
+        assert "cam" in out and "fleet:" in out
+
+
+class TestPlannerExact:
+    def test_serve_planner_exact(self, capsys):
+        code, out = run_cli(
+            capsys, "serve", "fig13_toy", "--freqs", "1500,900,600",
+            "--planner", "exact", "--load", "0.5", "--frames", "6",
+            "--no-compute",
+        )
+        assert code == 0
+        assert "served:" in out
+
+    def test_sim_planner_exact(self, capsys):
+        code, out = run_cli(
+            capsys, "sim", "fig13_toy", "--freqs", "1500,900,600",
+            "--planner", "exact", "--horizon", "10",
+        )
+        assert code == 0
+        assert "served:" in out
+
+    def test_exact_rejects_other_schemes(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(
+                capsys, "serve", "fig13_toy", "--freqs", "1500,900,600",
+                "--scheme", "lw", "--planner", "exact", "--frames", "2",
+                "--no-compute",
+            )
+
+    def test_fleet_planner_exact(self, capsys):
+        code, out = run_cli(
+            capsys, "fleet", "--freqs", "1500,900,600",
+            "--tenant", "cam:fig13_toy:0.5:10.0",
+            "--planner", "exact", "--frames", "3",
+        )
+        assert code == 0
+        assert "fleet:" in out
+
+
+class TestGap:
+    def test_reports_gap(self, capsys):
+        code, out = run_cli(
+            capsys, "gap", "fig13_toy", "--freqs", "1500,900,600"
+        )
+        assert code == 0
+        assert "greedy (Algorithm 1+2)" in out
+        assert "exact (branch-and-bound)" in out
+        assert "optimality gap:" in out
+
+    def test_homogeneous_gap_is_zero(self, capsys):
+        code, out = run_cli(
+            capsys, "gap", "fig13_toy", "--devices", "3", "--freq", "1000"
+        )
+        assert code == 0
+        assert "optimality gap: 0.00%" in out
+        assert "greedy plan is optimal" in out
+
+    def test_period_bound_returns_greedy(self, capsys):
+        code, out = run_cli(
+            capsys, "gap", "fig13_toy", "--freqs", "1500,900,600",
+            "--period-bound", "1e-9",
+        )
+        assert code == 0
+        assert "optimality gap: 0.00%" in out

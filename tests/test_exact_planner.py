@@ -1,0 +1,148 @@
+"""Regression properties of the branch-and-bound exact planner.
+
+The three analytic anchors (mirrored by the ``repro.bench.exact`` gates
+on the committed ``BENCH_exact.json``):
+
+* **homogeneous equality** — with all capacities equal the canonical
+  stage realization is Algorithm 1's equal split, the two search spaces
+  coincide, and the exact period must *equal* the DP period;
+* **greedy dominance** — on heterogeneous mixes with pairwise-distinct
+  capacities the greedy plan is the search's incumbent under the same
+  canonical realization, so the exact period is always ``<=`` greedy;
+* **degenerate pruning** — ``period_bound=0.0`` prunes every node and
+  the planner must return the incumbent untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.device import heterogeneous_cluster
+from repro.core.dp_planner import plan_homogeneous
+from repro.core.exact import (
+    MAX_EXACT_DEVICES,
+    ExactScheme,
+    plan_exact,
+    realize_exact,
+)
+from repro.core.plan import plan_cost
+from repro.cost.comm import NetworkModel
+from repro.models.toy import toy_chain
+from repro.nn.executor import Engine
+from repro.nn.weights import init_weights
+from repro.runtime.core import InProcTransport, PipelineSession
+from repro.schemes import PlanningError
+from repro.schemes.pico import PicoScheme
+
+NETWORK = NetworkModel.from_mbps(50.0)
+
+#: Heterogeneous mixes with pairwise-distinct capacities: Algorithm 2's
+#: strongest-first realization of any stage subset is then canonical,
+#: so "exact <= greedy" compares identical plan realizations.
+HET_MIXES = (
+    [1500.0, 900.0, 600.0],
+    [1200.0, 1000.0, 800.0, 600.0],
+    [1500.0, 1200.0, 900.0, 700.0, 500.0],
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return toy_chain(4, 1, input_hw=24, in_channels=3, base_channels=8)
+
+
+@pytest.mark.parametrize("n_devices", [2, 3, 4])
+def test_exact_equals_dp_on_homogeneous_cluster(model, n_devices):
+    cluster = heterogeneous_cluster([1000.0] * n_devices)
+    homo = plan_homogeneous(model, cluster, NETWORK)
+    assert homo is not None
+    exact = plan_exact(model, cluster, NETWORK)
+    assert exact.period == homo.period
+    assert exact.gap == 0.0
+
+
+@pytest.mark.parametrize("freqs", HET_MIXES, ids=["het3", "het4", "het5"])
+def test_exact_never_worse_than_greedy(model, freqs):
+    cluster = heterogeneous_cluster(freqs)
+    greedy = plan_cost(
+        model, PicoScheme().plan(model, cluster, NETWORK), NETWORK
+    )
+    exact = plan_exact(model, cluster, NETWORK)
+    assert exact.period <= greedy.period
+    assert exact.incumbent_period == greedy.period
+    assert exact.gap >= 0.0
+
+
+@pytest.mark.parametrize("freqs", HET_MIXES, ids=["het3", "het4", "het5"])
+def test_zero_period_bound_returns_incumbent(model, freqs):
+    """Pruning everything must reproduce the greedy incumbent exactly —
+    the search can only ever improve on it."""
+    cluster = heterogeneous_cluster(freqs)
+    bounded = plan_exact(model, cluster, NETWORK, period_bound=0.0)
+    assert not bounded.improved
+    assert bounded.period == bounded.incumbent_period
+    greedy = plan_cost(
+        model, PicoScheme().plan(model, cluster, NETWORK), NETWORK
+    )
+    assert bounded.period == greedy.period
+    # The incumbent stages mirror the greedy plan's segments.
+    greedy_plan = PicoScheme().plan(model, cluster, NETWORK)
+    assert [(s.start, s.end) for s in bounded.stages] == [
+        (s.start, s.end) for s in greedy_plan.stages
+    ]
+
+
+@pytest.mark.parametrize("freqs", HET_MIXES, ids=["het3", "het4", "het5"])
+def test_realized_plan_cost_reproduces_search_period(model, freqs):
+    cluster = heterogeneous_cluster(freqs)
+    exact = plan_exact(model, cluster, NETWORK)
+    realized = plan_cost(model, realize_exact(model, exact), NETWORK)
+    assert realized.period == exact.period
+    assert realized.latency == exact.latency
+
+
+def test_search_statistics_are_consistent(model):
+    cluster = heterogeneous_cluster(HET_MIXES[1])
+    exact = plan_exact(model, cluster, NETWORK)
+    assert exact.nodes > 0
+    assert 0 <= exact.pruned <= exact.nodes
+    assert exact.n_stages == len(exact.stages)
+    # Stages tile the unit chain and use disjoint devices.
+    assert exact.stages[0].start == 0
+    assert exact.stages[-1].end == model.n_units
+    names = [d.name for s in exact.stages for d in s.devices]
+    assert len(names) == len(set(names))
+    for prev, nxt in zip(exact.stages, exact.stages[1:]):
+        assert prev.end == nxt.start
+
+
+def test_exact_rejects_large_clusters(model):
+    cluster = heterogeneous_cluster(
+        [600.0 + 100.0 * i for i in range(MAX_EXACT_DEVICES + 1)]
+    )
+    with pytest.raises(PlanningError):
+        plan_exact(model, cluster, NETWORK)
+    # But an explicit override accepts it.
+    plan_exact(
+        model, cluster, NETWORK, period_bound=0.0,
+        max_devices=MAX_EXACT_DEVICES + 1,
+    )
+
+
+def test_exact_scheme_plan_runs_and_matches_engine(model):
+    """The --planner exact path end-to-end: the realized plan compiles
+    and serves a frame bit-identical to the plain engine forward."""
+    cluster = heterogeneous_cluster(HET_MIXES[0])
+    plan = ExactScheme().plan(model, cluster, NETWORK)
+    weights = init_weights(model, seed=0)
+    engine = Engine(model, weights)
+    rng = np.random.default_rng(11)
+    frame = rng.standard_normal(model.input_shape).astype(np.float32)
+    transport = InProcTransport(engine)
+    session = PipelineSession.from_plan(model, plan, transport)
+    try:
+        out = session.run_frame(frame)
+    finally:
+        transport.close()
+    assert np.array_equal(out, engine.forward_features(frame))

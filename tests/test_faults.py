@@ -335,7 +335,7 @@ def test_switcher_replan_over_survivors(model, cluster, net):
 
 class TestSchemeRegistry:
     def test_known_names(self):
-        assert set(available_schemes()) == {"pico", "lw", "efl", "ofl"}
+        assert set(available_schemes()) == {"pico", "lw", "efl", "ofl", "iop"}
         for name in available_schemes():
             assert get_scheme(name) is not None
 
